@@ -1,0 +1,20 @@
+//! Baseline hotspot detectors for the paper's comparisons.
+//!
+//! - [`SingleKernelSvm`] — the paper's own "Basic" baseline (Table III):
+//!   one huge C-SVM over density-grid features, no topological
+//!   classification, no balancing, no feedback, no removal.
+//! - [`PatternMatcher`] — a fuzzy density-grid matcher standing in for the
+//!   ICCAD-2012 contest winners' fuzzy pattern matching (Table II).
+//! - [`window_scan`] — 50 %-overlap sliding-window clip extraction, the
+//!   Table V comparison point for our density-filtered extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pattern_match;
+pub mod single_kernel;
+pub mod window_scan;
+
+pub use pattern_match::PatternMatcher;
+pub use single_kernel::SingleKernelSvm;
+pub use window_scan::{window_clip_count, window_clips};

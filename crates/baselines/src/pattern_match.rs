@@ -1,0 +1,238 @@
+//! Fuzzy pattern matching — the contest-winner proxy (Table II).
+//!
+//! The ICCAD-2012 winners matched testing clips against the training
+//! hotspot library with fuzzy tolerances. This baseline stores each
+//! training hotspot's core density grid and flags a clip when its
+//! orientation-minimised eq. (1) distance to any library pattern falls
+//! below a threshold calibrated on the training data. The profile matches
+//! the first-place entry: very high accuracy on seen-pattern layouts, large
+//! extra counts (any fuzzily similar clip matches).
+
+use hotspot_core::{extract_clips, DetectorConfig, Pattern, TrainingSet};
+use hotspot_geom::{DensityGrid, Rect};
+use hotspot_layout::{ClipWindow, LayerId, Layout};
+use std::time::{Duration, Instant};
+
+/// The fuzzy pattern-matching baseline.
+#[derive(Debug, Clone)]
+pub struct PatternMatcher {
+    library: Vec<DensityGrid>,
+    threshold: f64,
+    grid: usize,
+    config: DetectorConfig,
+}
+
+/// Detection outcome of the matcher.
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    /// Reported hotspot windows.
+    pub reported: Vec<ClipWindow>,
+    /// Candidate clips evaluated.
+    pub clips_extracted: usize,
+    /// Wall-clock evaluation time.
+    pub runtime: Duration,
+}
+
+impl PatternMatcher {
+    /// Builds the matcher from the training hotspots, auto-calibrating the
+    /// fuzziness threshold.
+    ///
+    /// The threshold starts from the spread among the hotspot library
+    /// itself (a pattern must match its own variations) and is capped so
+    /// that at most a small fraction of training nonhotspots would match —
+    /// the balance the contest's fuzzy matchers struck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set has no hotspots.
+    pub fn train(training: &TrainingSet, config: DetectorConfig) -> PatternMatcher {
+        assert!(
+            !training.hotspots.is_empty(),
+            "pattern matcher needs hotspot patterns"
+        );
+        let grid = config.cluster.grid;
+        let library: Vec<DensityGrid> = training
+            .hotspots
+            .iter()
+            .map(|p| core_grid(p, grid))
+            .collect();
+
+        // Intra-library nearest-neighbour distances: the fuzz needed to
+        // catch variations of known patterns. The winners prioritised
+        // accuracy, so take a generous (90th percentile) tolerance.
+        let mut intra: Vec<f64> = Vec::new();
+        for (i, g) in library.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for (j, h) in library.iter().enumerate() {
+                if i != j {
+                    best = best.min(g.distance(h).distance);
+                }
+            }
+            if best.is_finite() {
+                intra.push(best);
+            }
+        }
+        intra.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let base = intra
+            .get(intra.len() * 9 / 10)
+            .copied()
+            .unwrap_or(1.0)
+            .max(0.25);
+
+        // Cap: distances from nonhotspots to the library; stay below the
+        // median so the matcher does not flag the *typical* safe pattern
+        // (it will still flag plenty of near-misses — the contest winners'
+        // extra counts were large).
+        let mut safe_dist: Vec<f64> = training
+            .nonhotspots
+            .iter()
+            .map(|p| {
+                let g = core_grid(p, grid);
+                library
+                    .iter()
+                    .map(|h| g.distance(h).distance)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        safe_dist.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cap = if safe_dist.is_empty() {
+            f64::INFINITY
+        } else {
+            safe_dist[safe_dist.len() / 2]
+        };
+
+        PatternMatcher {
+            library,
+            threshold: base.min(cap).max(0.1),
+            grid,
+            config,
+        }
+    }
+
+    /// The calibrated match threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Library size.
+    pub fn library_len(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Distance from a clip's core to the nearest library pattern.
+    pub fn nearest_distance(&self, pattern: &Pattern) -> f64 {
+        let g = core_grid(pattern, self.grid);
+        self.library
+            .iter()
+            .map(|h| g.distance(h).distance)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `true` when the clip fuzzily matches a known hotspot.
+    pub fn classify(&self, pattern: &Pattern) -> bool {
+        self.nearest_distance(pattern) <= self.threshold
+    }
+
+    /// Scans a testing layout with the same clip extraction as the
+    /// framework.
+    pub fn detect(&self, layout: &Layout, layer: LayerId) -> MatchReport {
+        let start = Instant::now();
+        let clips = extract_clips(layout, layer, &self.config);
+        let reported = clips
+            .iter()
+            .filter(|c| self.classify(c))
+            .map(|c| c.window)
+            .collect();
+        MatchReport {
+            reported,
+            clips_extracted: clips.len(),
+            runtime: start.elapsed(),
+        }
+    }
+}
+
+fn core_grid(pattern: &Pattern, grid: usize) -> DensityGrid {
+    let core = pattern.window.core;
+    let local = Rect::from_extents(0, 0, core.width(), core.height());
+    let rects: Vec<Rect> = pattern
+        .rects
+        .iter()
+        .filter_map(|r| r.intersection(&core))
+        .map(|r| r.translate(-core.min()))
+        .collect();
+    DensityGrid::from_rects(&local, &rects, grid, grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_core::Label;
+    use hotspot_geom::Point;
+    use hotspot_layout::ClipShape;
+
+    fn pattern(rects: &[Rect]) -> Pattern {
+        Pattern::new(
+            ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0)),
+            rects,
+        )
+    }
+
+    fn hs(gap: i64) -> Vec<Rect> {
+        vec![
+            Rect::from_extents(0, 0, 400, 300),
+            Rect::from_extents(400 + gap, 0, 800 + gap, 300),
+        ]
+    }
+
+    fn training() -> TrainingSet {
+        let mut ts = TrainingSet::new();
+        for i in 0..5 {
+            ts.push(pattern(&hs(60 + 8 * i)), Label::Hotspot);
+        }
+        for i in 0..10 {
+            ts.push(pattern(&hs(400 + 10 * i)), Label::NonHotspot);
+        }
+        ts
+    }
+
+    #[test]
+    fn matches_seen_and_near_patterns() {
+        let m = PatternMatcher::train(&training(), DetectorConfig::default());
+        assert!(m.classify(&pattern(&hs(60))), "exact library pattern");
+        assert!(m.classify(&pattern(&hs(72))), "near variant");
+    }
+
+    #[test]
+    fn rejects_distant_patterns() {
+        let m = PatternMatcher::train(&training(), DetectorConfig::default());
+        assert!(!m.classify(&pattern(&hs(450))), "safe wide gap");
+        assert!(
+            !m.classify(&pattern(&[Rect::from_extents(0, 0, 1100, 1100)])),
+            "solid block"
+        );
+    }
+
+    #[test]
+    fn matches_rotated_library_patterns() {
+        // Eq. (1) distance is orientation-minimised, so rotated instances
+        // of a known hotspot match.
+        let m = PatternMatcher::train(&training(), DetectorConfig::default());
+        let rotated: Vec<Rect> =
+            hotspot_geom::Orientation::R90.apply_rects(&hs(60), 1200, 1200);
+        assert!(m.classify(&pattern(&rotated)));
+    }
+
+    #[test]
+    fn threshold_is_calibrated() {
+        let m = PatternMatcher::train(&training(), DetectorConfig::default());
+        assert!(m.threshold() > 0.0);
+        assert!(m.threshold().is_finite());
+        assert_eq!(m.library_len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs hotspot patterns")]
+    fn empty_training_panics() {
+        let _ = PatternMatcher::train(&TrainingSet::new(), DetectorConfig::default());
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end pipeline benchmarks: clip extraction throughput, full-layout
+//! detection, and redundant clip removal (backing the runtime columns of
+//! Tables II–III and the Section III-G parallelism discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
+use hotspot_core::{extract_clips, removal, DetectorConfig, HotspotDetector, RectIndex};
+use hotspot_layout::ClipShape;
+use std::hint::black_box;
+
+fn smoke_benchmark() -> Benchmark {
+    Benchmark::generate(BenchmarkSpec {
+        name: "bench".into(),
+        process_nm: 32,
+        width: 48_000,
+        height: 48_000,
+        train_hotspots: 12,
+        train_nonhotspots: 40,
+        test_hotspots: 6,
+        seed: 99,
+        clip_shape: ClipShape::ICCAD2012,
+        oracle: LithoOracle::default(),
+        background_fill: 0.6,
+        ambit_filler: true,
+    })
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let bm = smoke_benchmark();
+    let config = DetectorConfig::default();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("clip_extraction", |b| {
+        b.iter(|| extract_clips(black_box(&bm.layout), bm.layer, &config))
+    });
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let bm = smoke_benchmark();
+    let detector =
+        HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("detect_full_layout", |b| {
+        b.iter(|| detector.detect(black_box(&bm.layout), bm.layer))
+    });
+    group.finish();
+}
+
+fn bench_removal(c: &mut Criterion) {
+    let shape = ClipShape::ICCAD2012;
+    // A dense pile of overlapping reported cores.
+    let cores: Vec<hotspot_geom::Rect> = (0..40)
+        .map(|i| {
+            hotspot_geom::Rect::from_origin_size(
+                hotspot_geom::Point::new((i % 8) * 400, (i / 8) * 400),
+                1200,
+                1200,
+            )
+        })
+        .collect();
+    let index = RectIndex::build(
+        vec![hotspot_geom::Rect::from_extents(0, 0, 5000, 4000)],
+        4800,
+    );
+    let config = DetectorConfig::default();
+    c.bench_function("redundant_clip_removal", |b| {
+        b.iter(|| {
+            removal::remove_redundant_clips(black_box(cores.clone()), shape, &index, &config)
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    use hotspot_geom::{Point, Rect};
+    let oracle = LithoOracle::default();
+    let window = Rect::centered_square(Point::new(0, 0), 4800);
+    let core = Rect::centered_square(Point::new(0, 0), 1200);
+    let rects = [
+        Rect::from_extents(-500, -150, -40, 150),
+        Rect::from_extents(40, -150, 500, 150),
+        Rect::from_extents(-500, 400, 500, 550),
+    ];
+    c.bench_function("litho_oracle_susceptibility", |b| {
+        b.iter(|| oracle.susceptibility(black_box(&core), black_box(&window), black_box(&rects)))
+    });
+}
+
+fn bench_gdsii(c: &mut Criterion) {
+    let bm = smoke_benchmark();
+    let bytes = hotspot_layout::gdsii::write_bytes(&bm.layout).expect("serialise");
+    let mut group = c.benchmark_group("gdsii");
+    group.sample_size(20);
+    group.bench_function("write", |b| {
+        b.iter(|| hotspot_layout::gdsii::write_bytes(black_box(&bm.layout)))
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| hotspot_layout::gdsii::read_bytes(black_box(&bytes)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_detection,
+    bench_removal,
+    bench_oracle,
+    bench_gdsii
+);
+criterion_main!(benches);

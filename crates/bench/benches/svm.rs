@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the SMO solver (backing the training-time
+//! discussion of Section III-D3: many small kernels beat one huge kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_svm::{Kernel, SvmTrainer};
+use std::hint::black_box;
+
+/// Deterministic two-class problem of size `n`.
+fn problem(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 * 0.7368;
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let shift = if label > 0.0 { 0.8 } else { 0.0 };
+        x.push(vec![
+            (t.sin() * 0.4 + shift).fract().abs(),
+            (t.cos() * 0.4 + shift).fract().abs(),
+        ]);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_smo_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_train");
+    group.sample_size(10);
+    for n in [50usize, 100, 200, 400] {
+        let (x, y) = problem(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                SvmTrainer::new(Kernel::rbf(1.0))
+                    .c(100.0)
+                    .train(black_box(&x), black_box(&y))
+                    .expect("training")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = problem(200);
+    let model = SvmTrainer::new(Kernel::rbf(1.0))
+        .c(100.0)
+        .train(&x, &y)
+        .expect("training");
+    let q = vec![0.5, 0.5];
+    c.bench_function("svm_decision_value", |b| {
+        b.iter(|| model.decision_value(black_box(&q)))
+    });
+}
+
+criterion_group!(benches, bench_smo_scaling, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Table I: benchmark statistics of the (synthetic) suite.
+
+use hotspot_bench::{generate_suite, print_header, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Table I — benchmark statistics", scale);
+    println!(
+        "{:<20} {:>6} {:>7} | {:>8} {:>12} {:>8} {:>9}",
+        "training data", "#hs", "#nhs", "test #hs", "area (um^2)", "process", "#polygons"
+    );
+    for bm in generate_suite(scale) {
+        println!(
+            "{:<20} {:>6} {:>7} | {:>8} {:>12.0} {:>7}nm {:>9}",
+            bm.spec.name,
+            bm.training.hotspots.len(),
+            bm.training.nonhotspots.len(),
+            bm.actual.len(),
+            bm.area_um2(),
+            bm.spec.process_nm,
+            bm.layout.polygon_count(),
+        );
+    }
+    println!("\ncore 1.2 x 1.2 um^2, clip 4.8 x 4.8 um^2 (as in the paper)");
+}

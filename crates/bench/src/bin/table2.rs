@@ -1,0 +1,44 @@
+//! Regenerates Table II: comparison of our framework (at three operating
+//! points, with and without multithreading) against the fuzzy
+//! pattern-matching contest-winner proxy.
+
+use hotspot_bench::{generate_suite, print_header, run_matcher, run_ours, scale_from_env};
+use hotspot_core::DetectorConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Table II — comparison with the contest-winner proxy", scale);
+    println!(
+        "{:<22} {:<12} {:>5} {:>7} {:>9} {:>10} {:>9}",
+        "benchmark", "method", "#hit", "#extra", "accuracy", "hit/extra", "runtime"
+    );
+    for bm in generate_suite(scale) {
+        let base = DetectorConfig::default();
+        let rows = vec![
+            run_matcher(&bm, base.clone()),
+            run_ours(&bm, base.clone(), "ours", base.decision_threshold),
+            run_ours(
+                &bm,
+                base.clone().medium_accuracy(),
+                "ours_med",
+                base.clone().medium_accuracy().decision_threshold,
+            ),
+            run_ours(
+                &bm,
+                base.clone().low_accuracy(),
+                "ours_low",
+                base.clone().low_accuracy().decision_threshold,
+            ),
+            run_ours(
+                &bm,
+                base.clone().sequential(),
+                "ours_nopara",
+                base.decision_threshold,
+            ),
+        ];
+        for r in rows {
+            println!("{:<22} {}", bm.spec.name, r.row());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic ICCAD-2012-style hotspot benchmarks.
+//!
+//! The paper evaluates on six proprietary 32/28 nm industrial benchmarks.
+//! This crate is the documented substitution (see `DESIGN.md`): a seeded
+//! generator builds layouts and training sets with the same *structure* —
+//! highly imbalanced training populations, core/ambit clips, planted
+//! hotspots among dense background wiring — labelled by a deterministic
+//! **lithography susceptibility oracle** ([`litho`]) that plays the role of
+//! the foundry's lithography simulation.
+//!
+//! - [`litho`]: Gaussian aerial-image proxy; bridging/pinching risk scoring,
+//! - [`motifs`]: parametric layout motif families (tip-to-tip gaps, parallel
+//!   lines, L-pairs, combs, jogs),
+//! - [`generator`]: seeded benchmark construction,
+//! - [`suite`]: the six Table-I-shaped benchmarks at a configurable scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod litho;
+pub mod motifs;
+pub mod suite;
+
+pub use generator::{Benchmark, BenchmarkSpec};
+pub use litho::LithoOracle;
+pub use motifs::Motif;
+pub use suite::{iccad_suite, SuiteScale};

@@ -1,0 +1,416 @@
+//! A deterministic lithography susceptibility oracle.
+//!
+//! Stands in for the foundry lithography simulation that labelled the
+//! contest benchmarks. The oracle computes a coarse *aerial image* of a
+//! clip — the polygon coverage raster blurred by a separable Gaussian whose
+//! width models the sub-wavelength point-spread — and scores two failure
+//! modes against the nominal print threshold of 0.5:
+//!
+//! - **bridging**: a space pixel whose intensity rises above
+//!   `0.5 − margin` (neighbouring shapes print into the gap),
+//! - **pinching**: a polygon pixel whose intensity falls below
+//!   `0.5 + margin` (the shape necks off).
+//!
+//! The susceptibility is the worst violation depth; a clip is a hotspot
+//! when it is positive. Narrow gaps inside dense context blur shut and
+//! bridge; isolated wide shapes stay safe — exactly the qualitative
+//! behaviour hotspot detectors learn from real lithography.
+
+use hotspot_geom::{Coord, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The Gaussian aerial-image oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LithoOracle {
+    /// Raster pixel size in nm (coarse: 40 nm).
+    pub pixel: Coord,
+    /// Gaussian point-spread sigma in nm (models λ/NA blur).
+    pub sigma: f64,
+    /// Margin around the 0.5 print threshold; smaller margins label fewer
+    /// clips hotspot.
+    pub margin: f64,
+}
+
+impl Default for LithoOracle {
+    fn default() -> Self {
+        LithoOracle {
+            pixel: 20,
+            sigma: 70.0,
+            margin: 0.06,
+        }
+    }
+}
+
+impl LithoOracle {
+    /// The fractional-coverage raster of `rects` over `window` (row-major,
+    /// plus grid dimensions).
+    pub fn coverage_raster(&self, window: &Rect, rects: &[Rect]) -> (Vec<f64>, usize, usize) {
+        let nx = (window.width() / self.pixel).max(1) as usize;
+        let ny = (window.height() / self.pixel).max(1) as usize;
+        let mut img = vec![0.0f64; nx * ny];
+        for r in rects {
+            let Some(c) = r.intersection(window) else {
+                continue;
+            };
+            let local = c.translate(-window.min());
+            let px0 = (local.min().x / self.pixel).max(0) as usize;
+            let px1 = ((local.max().x + self.pixel - 1) / self.pixel).min(nx as Coord) as usize;
+            let py0 = (local.min().y / self.pixel).max(0) as usize;
+            let py1 = ((local.max().y + self.pixel - 1) / self.pixel).min(ny as Coord) as usize;
+            for py in py0..py1 {
+                for px in px0..px1 {
+                    // Fractional coverage of the pixel.
+                    let cell = Rect::from_extents(
+                        px as Coord * self.pixel,
+                        py as Coord * self.pixel,
+                        (px + 1) as Coord * self.pixel,
+                        (py + 1) as Coord * self.pixel,
+                    );
+                    let ov = cell.overlap_area(&local) as f64 / cell.area() as f64;
+                    let v = &mut img[py * nx + px];
+                    *v = (*v + ov).min(1.0);
+                }
+            }
+        }
+        (img, nx, ny)
+    }
+
+    /// The blurred aerial image of `rects` over `window` (row-major grid of
+    /// intensities in `[0, 1]`, plus grid dimensions).
+    pub fn aerial_image(&self, window: &Rect, rects: &[Rect]) -> (Vec<f64>, usize, usize) {
+        let (img, nx, ny) = self.coverage_raster(window, rects);
+        let kernel = gaussian_kernel(self.sigma / self.pixel as f64);
+        let img = blur_rows(&img, nx, ny, &kernel);
+        let img = blur_cols(&img, nx, ny, &kernel);
+        (img, nx, ny)
+    }
+
+    /// Susceptibility of the core region given the clip context: positive
+    /// values mean "hotspot", larger is worse.
+    ///
+    /// Two failure modes are scored:
+    ///
+    /// - **bridging** — a space pixel prints because the aerial intensities
+    ///   of *distinct* polygons overlap. The interaction requirement (union
+    ///   intensity clearly above the strongest single connected component)
+    ///   keeps the corner rounding of a single polygon — a non-defect —
+    ///   from scoring.
+    /// - **pinching** — a pixel deep inside a feature *along some axis*
+    ///   under-exposes (thin lines neck off). The per-axis depth test
+    ///   excludes convex corners, which round harmlessly.
+    ///
+    /// The context is truncated to `core` plus three sigma, beyond which
+    /// the Gaussian contributes nothing.
+    pub fn susceptibility(&self, core: &Rect, context_window: &Rect, rects: &[Rect]) -> f64 {
+        const INTERACTION_MARGIN: f64 = 0.05;
+        const PINCH_DEPTH_PX: usize = 3;
+
+        let reach = (3.0 * self.sigma).ceil() as Coord + self.pixel;
+        let window = match core.inflate(reach).intersection(context_window) {
+            Some(w) => w,
+            None => *context_window,
+        };
+        let live: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .collect();
+        let (target, nx, ny) = self.coverage_raster(&window, &live);
+        let kernel = gaussian_kernel(self.sigma / self.pixel as f64);
+        let all = blur_cols(&blur_rows(&target, nx, ny, &kernel), nx, ny, &kernel);
+
+        // Strongest single-polygon intensity per pixel: blur each connected
+        // component (rects joined by touch/overlap) separately.
+        let components = connected_components(&live);
+        let mut single_max = vec![0.0f64; nx * ny];
+        for comp in &components {
+            let (raster, _, _) = self.coverage_raster(&window, comp);
+            let img = blur_cols(&blur_rows(&raster, nx, ny, &kernel), nx, ny, &kernel);
+            for (s, v) in single_max.iter_mut().zip(&img) {
+                if *v > *s {
+                    *s = *v;
+                }
+            }
+        }
+
+        // Only fully covered pixels count as polygon interior; partially
+        // covered boundary pixels carry intensities near the print
+        // threshold by construction and must not be pinch-checked.
+        let is_poly = |x: isize, y: isize| -> bool {
+            x >= 0
+                && y >= 0
+                && x < nx as isize
+                && y < ny as isize
+                && target[y as usize * nx + x as usize] >= 0.999
+        };
+        // Run length of polygon pixels in one direction (capped).
+        const RUN_CAP: usize = 8;
+        let axis_run = |px: isize, py: isize, dx: isize, dy: isize| -> usize {
+            let mut d = 0;
+            while d < RUN_CAP && is_poly(px + dx * (d as isize + 1), py + dy * (d as isize + 1)) {
+                d += 1;
+            }
+            d
+        };
+
+        let mut worst = f64::NEG_INFINITY;
+        for py in 0..ny as isize {
+            for px in 0..nx as isize {
+                let cx = window.min().x + (px as Coord) * self.pixel + self.pixel / 2;
+                let cy = window.min().y + (py as Coord) * self.pixel + self.pixel / 2;
+                if !core.contains_point(hotspot_geom::Point::new(cx, cy)) {
+                    continue;
+                }
+                let i = py as usize * nx + px as usize;
+                let intensity = all[i];
+                let violation = if is_poly(px, py) {
+                    // Pinching happens where the feature is *thin* along one
+                    // axis while the pixel is *deep* along the other (far
+                    // from line ends and corners). Thick regions and corner
+                    // rounding are exempt.
+                    const THIN_PX: usize = 6; // ≤ 120 nm wide
+                    let (l, r) = (axis_run(px, py, -1, 0), axis_run(px, py, 1, 0));
+                    let (d, u) = (axis_run(px, py, 0, -1), axis_run(px, py, 0, 1));
+                    let thin_x = l + r + 1 <= THIN_PX;
+                    let thin_y = d + u + 1 <= THIN_PX;
+                    let deep_x = l.min(r) >= PINCH_DEPTH_PX;
+                    let deep_y = d.min(u) >= PINCH_DEPTH_PX;
+                    if !((thin_y && deep_x) || (thin_x && deep_y)) {
+                        continue;
+                    }
+                    (0.5 + self.margin) - intensity
+                } else {
+                    // Bridging: a space pixel printing due to the combined
+                    // intensity of several polygons. The interaction term
+                    // is negative wherever a single polygon dominates, so
+                    // ordinary edge/corner rounding never scores.
+                    let print = intensity - (0.5 - self.margin);
+                    let interaction = intensity - single_max[i] - INTERACTION_MARGIN;
+                    print.min(interaction)
+                };
+                if violation > worst {
+                    worst = violation;
+                }
+            }
+        }
+        if worst.is_finite() {
+            worst
+        } else {
+            -1.0
+        }
+    }
+
+    /// `true` when the core region is a lithography hotspot under this
+    /// oracle.
+    pub fn is_hotspot(&self, core: &Rect, context_window: &Rect, rects: &[Rect]) -> bool {
+        self.susceptibility(core, context_window, rects) > 0.0
+    }
+}
+
+/// Groups rectangles into connected components (touching or overlapping
+/// rects belong to one polygon).
+fn connected_components(rects: &[Rect]) -> Vec<Vec<Rect>> {
+    let n = rects.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rects[i].touches(&rects[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> = std::collections::BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(rects[i]);
+    }
+    groups.into_values().collect()
+}
+
+fn gaussian_kernel(sigma_px: f64) -> Vec<f64> {
+    let radius = (3.0 * sigma_px).ceil().max(1.0) as usize;
+    let mut k: Vec<f64> = (0..=2 * radius)
+        .map(|i| {
+            let d = i as f64 - radius as f64;
+            (-d * d / (2.0 * sigma_px * sigma_px).max(1e-12)).exp()
+        })
+        .collect();
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+fn blur_rows(img: &[f64], nx: usize, ny: usize, kernel: &[f64]) -> Vec<f64> {
+    let radius = kernel.len() / 2;
+    let mut out = vec![0.0; img.len()];
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut acc = 0.0;
+            for (k, w) in kernel.iter().enumerate() {
+                let xi = x as isize + k as isize - radius as isize;
+                if xi >= 0 && (xi as usize) < nx {
+                    acc += w * img[y * nx + xi as usize];
+                }
+            }
+            out[y * nx + x] = acc;
+        }
+    }
+    out
+}
+
+fn blur_cols(img: &[f64], nx: usize, ny: usize, kernel: &[f64]) -> Vec<f64> {
+    let radius = kernel.len() / 2;
+    let mut out = vec![0.0; img.len()];
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut acc = 0.0;
+            for (k, w) in kernel.iter().enumerate() {
+                let yi = y as isize + k as isize - radius as isize;
+                if yi >= 0 && (yi as usize) < ny {
+                    acc += w * img[yi as usize * nx + x];
+                }
+            }
+            out[y * nx + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Point;
+
+    fn oracle() -> LithoOracle {
+        LithoOracle::default()
+    }
+
+    fn window() -> Rect {
+        Rect::centered_square(Point::new(0, 0), 2400)
+    }
+
+    fn core() -> Rect {
+        Rect::centered_square(Point::new(0, 0), 1200)
+    }
+
+    /// Two bars separated by `gap`, centred in the core.
+    fn bar_pair(gap: Coord) -> Vec<Rect> {
+        vec![
+            Rect::from_extents(-500 - gap / 2, -150, -gap / 2, 150),
+            Rect::from_extents(gap / 2, -150, 500 + gap / 2, 150),
+        ]
+    }
+
+    #[test]
+    fn empty_core_is_safe() {
+        assert!(!oracle().is_hotspot(&core(), &window(), &[]));
+    }
+
+    #[test]
+    fn solid_block_is_safe() {
+        // A large solid block prints fine.
+        let rects = [Rect::centered_square(Point::new(0, 0), 900)];
+        assert!(!oracle().is_hotspot(&core(), &window(), &rects));
+    }
+
+    #[test]
+    fn narrow_gap_bridges() {
+        let o = oracle();
+        assert!(
+            o.is_hotspot(&core(), &window(), &bar_pair(60)),
+            "60 nm gap must bridge (score {})",
+            o.susceptibility(&core(), &window(), &bar_pair(60))
+        );
+    }
+
+    #[test]
+    fn wide_gap_is_safe() {
+        let o = oracle();
+        assert!(
+            !o.is_hotspot(&core(), &window(), &bar_pair(500)),
+            "500 nm gap must be safe (score {})",
+            o.susceptibility(&core(), &window(), &bar_pair(500))
+        );
+    }
+
+    #[test]
+    fn susceptibility_monotone_in_gap() {
+        let o = oracle();
+        let scores: Vec<f64> = [60, 120, 200, 320, 500]
+            .iter()
+            .map(|&g| o.susceptibility(&core(), &window(), &bar_pair(g)))
+            .collect();
+        for w in scores.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "susceptibility should shrink with gap: {scores:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_line_pinches() {
+        let o = oracle();
+        // A 60 nm-wide isolated line necks off.
+        let thin = [Rect::from_extents(-500, -30, 500, 30)];
+        assert!(
+            o.is_hotspot(&core(), &window(), &thin),
+            "thin line must pinch (score {})",
+            o.susceptibility(&core(), &window(), &thin)
+        );
+        // A 400 nm-wide line is robust.
+        let wide = [Rect::from_extents(-500, -200, 500, 200)];
+        assert!(!o.is_hotspot(&core(), &window(), &wide));
+    }
+
+    #[test]
+    fn context_outside_core_affects_score() {
+        // Dense context in the ambit raises the background intensity of the
+        // core's gap (the physical reason the ambit matters — Fig. 10).
+        let o = oracle();
+        let bars = bar_pair(240);
+        let mut crowded = bars.clone();
+        // Bars hugging the core from above and below, inside the ambit.
+        crowded.push(Rect::from_extents(-700, 170, 700, 420));
+        crowded.push(Rect::from_extents(-700, -420, -170 - 0, -170));
+        let base = o.susceptibility(&core(), &window(), &bars);
+        let with_ctx = o.susceptibility(&core(), &window(), &crowded);
+        assert!(
+            with_ctx > base,
+            "dense context must raise the score ({base} -> {with_ctx})"
+        );
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let o = oracle();
+        let a = o.susceptibility(&core(), &window(), &bar_pair(100));
+        let b = o.susceptibility(&core(), &window(), &bar_pair(100));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aerial_image_bounded() {
+        let o = oracle();
+        let (img, _, _) = o.aerial_image(&window(), &bar_pair(100));
+        assert!(img.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn kernel_normalised() {
+        let k = gaussian_kernel(2.0);
+        assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(k.len() % 2, 1);
+    }
+}

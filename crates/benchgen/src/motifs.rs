@@ -1,0 +1,310 @@
+//! Parametric layout motif families.
+//!
+//! Every motif instantiates to a set of rectangles anchored at the origin
+//! (the bounding box's bottom-left corner sits at `(0, 0)`, and at least
+//! one rectangle's corner coincides with it), matching the clip-extraction
+//! anchoring convention so training clips and extracted clips share frames.
+
+use hotspot_geom::{Coord, Rect};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parametric layout motif.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Motif {
+    /// Two horizontal bars facing tip to tip across `gap`.
+    BarPair {
+        /// Tip-to-tip gap in nm.
+        gap: Coord,
+        /// Bar length in nm.
+        len: Coord,
+        /// Bar height in nm.
+        height: Coord,
+    },
+    /// `count` vertical lines at constant pitch.
+    ParallelLines {
+        /// Number of lines.
+        count: u32,
+        /// Line width in nm.
+        width: Coord,
+        /// Space between lines in nm.
+        spacing: Coord,
+        /// Line length in nm.
+        len: Coord,
+    },
+    /// Two L-shapes facing each other across a diagonal corner gap.
+    CornerPair {
+        /// Arm length of each L.
+        arm: Coord,
+        /// Arm thickness.
+        thick: Coord,
+        /// Diagonal corner-to-corner gap.
+        gap: Coord,
+    },
+    /// A comb: a spine with upward teeth, and a bar above the teeth.
+    Comb {
+        /// Number of teeth.
+        teeth: u32,
+        /// Tooth width.
+        tooth_w: Coord,
+        /// Space between teeth.
+        tooth_gap: Coord,
+        /// Tooth height above the spine.
+        tooth_h: Coord,
+        /// Gap between tooth tips and the top bar.
+        top_gap: Coord,
+    },
+    /// A jogged wire with a notch that narrows to `neck`.
+    Jog {
+        /// Wire width.
+        width: Coord,
+        /// Segment length.
+        len: Coord,
+        /// Neck width at the jog.
+        neck: Coord,
+    },
+}
+
+/// The motif family names, for diagnostics and stratified sampling.
+pub const FAMILIES: [&str; 5] = ["bar_pair", "parallel_lines", "corner_pair", "comb", "jog"];
+
+impl Motif {
+    /// The family name of this motif.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Motif::BarPair { .. } => "bar_pair",
+            Motif::ParallelLines { .. } => "parallel_lines",
+            Motif::CornerPair { .. } => "corner_pair",
+            Motif::Comb { .. } => "comb",
+            Motif::Jog { .. } => "jog",
+        }
+    }
+
+    /// Instantiates the motif as origin-anchored rectangles.
+    pub fn rects(&self) -> Vec<Rect> {
+        match *self {
+            Motif::BarPair { gap, len, height } => vec![
+                Rect::from_extents(0, 0, len, height),
+                Rect::from_extents(len + gap, 0, 2 * len + gap, height),
+            ],
+            Motif::ParallelLines {
+                count,
+                width,
+                spacing,
+                len,
+            } => (0..count as Coord)
+                .map(|i| {
+                    let x = i * (width + spacing);
+                    Rect::from_extents(x, 0, x + width, len)
+                })
+                .collect(),
+            Motif::CornerPair { arm, thick, gap } => {
+                // Two L-shapes: the first L's horizontal arm tip faces the
+                // side of the second L's vertical arm across `gap` (the
+                // classic line-end hotspot configuration).
+                vec![
+                    Rect::from_extents(0, 0, arm, thick),
+                    Rect::from_extents(0, 0, thick, arm),
+                    Rect::from_extents(arm + gap, 0, arm + gap + thick, arm),
+                    Rect::from_extents(arm + gap, arm - thick, 2 * arm + gap, arm),
+                ]
+            }
+            Motif::Comb {
+                teeth,
+                tooth_w,
+                tooth_gap,
+                tooth_h,
+                top_gap,
+            } => {
+                let spine_h: Coord = 150;
+                let total_w = teeth as Coord * tooth_w + (teeth as Coord - 1) * tooth_gap;
+                let mut v = vec![Rect::from_extents(0, 0, total_w, spine_h)];
+                for i in 0..teeth as Coord {
+                    let x = i * (tooth_w + tooth_gap);
+                    v.push(Rect::from_extents(
+                        x,
+                        spine_h,
+                        x + tooth_w,
+                        spine_h + tooth_h,
+                    ));
+                }
+                v.push(Rect::from_extents(
+                    0,
+                    spine_h + tooth_h + top_gap,
+                    total_w,
+                    spine_h + tooth_h + top_gap + 150,
+                ));
+                v
+            }
+            Motif::Jog { width, len, neck } => vec![
+                Rect::from_extents(0, 0, len, width),
+                // The jog riser narrows to `neck`.
+                Rect::from_extents(len, 0, len + neck, width + len / 2),
+                Rect::from_extents(len, width + len / 2, 2 * len + neck, width + len / 2 + width),
+            ],
+        }
+    }
+
+    /// Bounding box of the instantiated motif.
+    pub fn bbox(&self) -> Rect {
+        Rect::bbox_of(self.rects().iter()).expect("motifs are non-empty")
+    }
+
+    /// Samples a motif with parameters biased toward lithography risk
+    /// (small gaps/necks in dense context). The oracle still makes the
+    /// final call.
+    pub fn sample_risky<R: Rng + ?Sized>(rng: &mut R) -> Motif {
+        match rng.random_range(0..5u32) {
+            0 => Motif::BarPair {
+                gap: rng.random_range(60..150),
+                len: rng.random_range(320..480),
+                height: rng.random_range(160..320),
+            },
+            1 => Motif::ParallelLines {
+                count: rng.random_range(3..6),
+                width: rng.random_range(60..110),
+                spacing: rng.random_range(50..100),
+                len: rng.random_range(600..1100),
+            },
+            2 => Motif::CornerPair {
+                arm: rng.random_range(300..500),
+                thick: rng.random_range(120..220),
+                gap: rng.random_range(60..130),
+            },
+            3 => Motif::Comb {
+                teeth: rng.random_range(3..5),
+                tooth_w: rng.random_range(90..150),
+                tooth_gap: rng.random_range(110..180),
+                tooth_h: rng.random_range(250..420),
+                top_gap: rng.random_range(60..140),
+            },
+            _ => Motif::Jog {
+                width: rng.random_range(140..240),
+                len: rng.random_range(320..480),
+                neck: rng.random_range(60..100),
+            },
+        }
+    }
+
+    /// Samples a motif with comfortable spacings (usually printable).
+    /// All parameter ranges keep the bounding box within a 1.2 µm core.
+    pub fn sample_safe<R: Rng + ?Sized>(rng: &mut R) -> Motif {
+        match rng.random_range(0..5u32) {
+            0 => Motif::BarPair {
+                gap: rng.random_range(300..370),
+                len: rng.random_range(280..380),
+                height: rng.random_range(200..340),
+            },
+            1 => Motif::ParallelLines {
+                count: rng.random_range(2..4),
+                width: rng.random_range(140..200),
+                spacing: rng.random_range(220..280),
+                len: rng.random_range(600..1100),
+            },
+            2 => Motif::CornerPair {
+                arm: rng.random_range(300..400),
+                thick: rng.random_range(160..260),
+                gap: rng.random_range(300..360),
+            },
+            3 => Motif::Comb {
+                teeth: rng.random_range(2..3),
+                tooth_w: rng.random_range(180..240),
+                tooth_gap: rng.random_range(300..330),
+                tooth_h: rng.random_range(250..380),
+                top_gap: rng.random_range(320..420),
+            },
+            _ => Motif::Jog {
+                width: rng.random_range(200..320),
+                len: rng.random_range(300..420),
+                neck: rng.random_range(180..260),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn motifs_are_origin_anchored() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            for m in [Motif::sample_risky(&mut rng), Motif::sample_safe(&mut rng)] {
+                let b = m.bbox();
+                assert_eq!(b.min(), hotspot_geom::Point::new(0, 0), "{m:?}");
+                // Some rect's corner sits exactly at the origin.
+                assert!(
+                    m.rects()
+                        .iter()
+                        .any(|r| r.min() == hotspot_geom::Point::new(0, 0)),
+                    "{m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn motifs_fit_in_a_core() {
+        // Cell placement leaves (clip − 2·ambit) = 1200 nm of free space;
+        // every sampled motif must fit with headroom.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            for m in [Motif::sample_risky(&mut rng), Motif::sample_safe(&mut rng)] {
+                let b = m.bbox();
+                assert!(
+                    b.width() <= 1150 && b.height() <= 1150,
+                    "{m:?} too large: {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rects_are_valid_and_disjoint_enough() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let m = Motif::sample_safe(&mut rng);
+            for r in m.rects() {
+                assert!(!r.is_empty(), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_cover_all_variants() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(Motif::sample_risky(&mut rng).family());
+        }
+        assert_eq!(seen.len(), FAMILIES.len());
+    }
+
+    #[test]
+    fn bar_pair_geometry() {
+        let m = Motif::BarPair {
+            gap: 100,
+            len: 400,
+            height: 200,
+        };
+        let r = m.rects();
+        assert_eq!(r.len(), 2);
+        assert_eq!(hotspot_geom::edge_spacing(&r[0], &r[1]), Some(100));
+    }
+
+    #[test]
+    fn comb_geometry() {
+        let m = Motif::Comb {
+            teeth: 3,
+            tooth_w: 100,
+            tooth_gap: 150,
+            tooth_h: 300,
+            top_gap: 80,
+        };
+        let r = m.rects();
+        assert_eq!(r.len(), 5); // spine + 3 teeth + top bar
+    }
+}

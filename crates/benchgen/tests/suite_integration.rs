@@ -1,0 +1,71 @@
+//! Suite-level integration tests: the generated benchmarks satisfy the
+//! structural invariants the experiments rely on.
+
+use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
+use hotspot_layout::gdsii;
+
+#[test]
+fn tiny_suite_benchmarks_are_internally_consistent() {
+    // Two representative benchmarks (the imbalanced bm2 and the blind one).
+    let specs = iccad_suite(SuiteScale::Tiny);
+    for spec in [specs[1].clone(), specs[5].clone()] {
+        let bm = Benchmark::generate(spec.clone());
+        // Counts match the spec.
+        assert_eq!(bm.training.hotspots.len(), spec.train_hotspots, "{}", spec.name);
+        assert_eq!(
+            bm.training.nonhotspots.len(),
+            spec.train_nonhotspots,
+            "{}",
+            spec.name
+        );
+        assert_eq!(bm.actual.len(), spec.test_hotspots, "{}", spec.name);
+        // Every ground-truth window lies inside the layout bounds.
+        let bounds = hotspot_geom::Rect::from_extents(0, 0, spec.width, spec.height);
+        for w in &bm.actual {
+            assert!(bounds.contains_rect(&w.core), "{}: {w}", spec.name);
+        }
+        // Ground-truth cores are pairwise disjoint (one hotspot per cell).
+        for (i, a) in bm.actual.iter().enumerate() {
+            for b in &bm.actual[i + 1..] {
+                assert!(!a.core.overlaps(&b.core), "{}", spec.name);
+            }
+        }
+        // The layout round-trips through the GDSII codec bit-exactly.
+        let restored =
+            gdsii::read_bytes(&gdsii::write_bytes(&bm.layout).expect("write")).expect("read");
+        assert_eq!(restored, bm.layout, "{}", spec.name);
+    }
+}
+
+#[test]
+fn suite_scales_monotonically() {
+    let tiny = iccad_suite(SuiteScale::Tiny);
+    let small = iccad_suite(SuiteScale::Small);
+    let paper = iccad_suite(SuiteScale::Paper);
+    for ((t, s), p) in tiny.iter().zip(&small).zip(&paper) {
+        assert!(t.width <= s.width && s.width <= p.width, "{}", t.name);
+        assert!(
+            t.test_hotspots <= s.test_hotspots && s.test_hotspots <= p.test_hotspots,
+            "{}",
+            t.name
+        );
+        assert!(
+            t.train_nonhotspots <= s.train_nonhotspots
+                && s.train_nonhotspots <= p.train_nonhotspots,
+            "{}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn same_spec_same_benchmark_different_names_differ() {
+    let specs = iccad_suite(SuiteScale::Tiny);
+    let a = Benchmark::generate(specs[0].clone());
+    let b = Benchmark::generate(specs[0].clone());
+    assert_eq!(a.layout, b.layout);
+    assert_eq!(a.training, b.training);
+    // Distinct benchmarks use distinct seeds and must differ.
+    let c = Benchmark::generate(specs[4].clone());
+    assert_ne!(a.layout, c.layout);
+}

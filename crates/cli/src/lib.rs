@@ -1,0 +1,468 @@
+//! Implementation of the `hotspot` command-line interface.
+//!
+//! Subcommands:
+//!
+//! - `generate` — build a synthetic benchmark and write its artifacts
+//!   (`layout.gds`, `training.json`, `actual.json`, `spec.json`),
+//! - `train` — train the framework on a training set and persist the model,
+//! - `detect` — run a trained model on a GDSII layout and write the report,
+//! - `score` — score a report against ground truth,
+//! - `info` — print layout statistics.
+//!
+//! Every command is a pure function from arguments to an output string, so
+//! the whole surface is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
+use hotspot_core::{DetectorConfig, HotspotDetector, TrainingSet};
+use hotspot_layout::{gdsii, ClipWindow, LayerId};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the message explains usage.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// GDSII parse/serialise failure.
+    Gds(gdsii::GdsError),
+    /// Training failure.
+    Train(hotspot_core::TrainPipelineError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Gds(e) => write!(f, "gdsii error: {e}"),
+            CliError::Train(e) => write!(f, "training error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+impl From<gdsii::GdsError> for CliError {
+    fn from(e: gdsii::GdsError) -> Self {
+        CliError::Gds(e)
+    }
+}
+impl From<hotspot_core::TrainPipelineError> for CliError {
+    fn from(e: hotspot_core::TrainPipelineError) -> Self {
+        CliError::Train(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hotspot — machine-learning lithography hotspot detection
+
+USAGE:
+  hotspot generate --name <benchmark> [--scale tiny|small|paper] --out <dir>
+  hotspot train    --training <training.json> --out <model.json> [--threads N]
+  hotspot detect   --model <model.json> --layout <layout.gds> --out <report.json>
+                   [--layer N] [--threshold X]
+  hotspot score    --report <report.json> --actual <actual.json> --area-um2 <X>
+  hotspot info     --layout <layout.gds>
+  hotspot render   --layout <layout.gds> --out <image.svg>
+                   [--report <report.json>] [--actual <actual.json>]
+
+Benchmarks: array_benchmark1..5, mx_blind_partial.";
+
+/// Runs a CLI invocation (without the program name) and returns its stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments or failing I/O.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    let opts = parse_flags(rest)?;
+    match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "train" => cmd_train(&opts),
+        "detect" => cmd_detect(&opts),
+        "score" => cmd_score(&opts),
+        "info" => cmd_info(&opts),
+        "render" => cmd_render(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Flag map: `--key value` pairs.
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}\n\n{USAGE}")))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Opts, CliError> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected a --flag, got `{flag}`")));
+        };
+        let Some(value) = it.next() else {
+            return Err(CliError::Usage(format!("flag --{key} needs a value")));
+        };
+        out.push((key.to_string(), value.clone()));
+    }
+    Ok(Opts(out))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
+    let name = opts.require("name")?;
+    let out_dir = PathBuf::from(opts.require("out")?);
+    let scale = match opts.get("scale").unwrap_or("small") {
+        "tiny" => SuiteScale::Tiny,
+        "small" => SuiteScale::Small,
+        "paper" => SuiteScale::Paper,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale `{other}` (tiny|small|paper)"
+            )))
+        }
+    };
+    let spec = iccad_suite(scale)
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| CliError::Usage(format!("unknown benchmark `{name}`")))?;
+    let benchmark = Benchmark::generate(spec);
+
+    std::fs::create_dir_all(&out_dir)?;
+    gdsii::write_file(&benchmark.layout, out_dir.join("layout.gds"))?;
+    write_json(out_dir.join("training.json"), &benchmark.training)?;
+    write_json(out_dir.join("actual.json"), &benchmark.actual)?;
+    write_json(out_dir.join("spec.json"), &benchmark.spec)?;
+
+    Ok(format!(
+        "generated `{}` into {}\n  layout.gds    {} polygons, {:.0} um^2\n  training.json {} hotspots / {} nonhotspots\n  actual.json   {} ground-truth hotspots",
+        benchmark.spec.name,
+        out_dir.display(),
+        benchmark.layout.polygon_count(),
+        benchmark.area_um2(),
+        benchmark.training.hotspots.len(),
+        benchmark.training.nonhotspots.len(),
+        benchmark.actual.len(),
+    ))
+}
+
+fn cmd_train(opts: &Opts) -> Result<String, CliError> {
+    let training: TrainingSet = read_json(opts.require("training")?)?;
+    let out = PathBuf::from(opts.require("out")?);
+    let config = DetectorConfig {
+        threads: opts.parse("threads", 0usize)?,
+        ..Default::default()
+    };
+    let detector = HotspotDetector::train(&training, config)?;
+    write_json(&out, &detector)?;
+    let s = detector.summary();
+    Ok(format!(
+        "trained {} kernels ({} hotspot clusters, {} nonhotspot medoids, feedback: {}) in {:.2?}\nmodel written to {}",
+        detector.kernels().len(),
+        s.hotspot_clusters,
+        s.nonhotspot_medoids,
+        s.feedback_trained,
+        s.training_time,
+        out.display(),
+    ))
+}
+
+fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
+    let detector: HotspotDetector = read_json(opts.require("model")?)?;
+    let layout = gdsii::read_file(opts.require("layout")?)?;
+    let out = PathBuf::from(opts.require("out")?);
+    let layer = LayerId::new(opts.parse("layer", 1u16)?);
+    let threshold = opts.parse("threshold", detector.config().decision_threshold)?;
+
+    let report = detector.detect_with_threshold(&layout, layer, threshold);
+    write_json(&out, &report.reported)?;
+    Ok(format!(
+        "evaluated {} clips, flagged {}, reported {} hotspots in {:.2?}\nreport written to {}",
+        report.clips_extracted,
+        report.clips_flagged,
+        report.reported.len(),
+        report.total_time(),
+        out.display(),
+    ))
+}
+
+fn cmd_score(opts: &Opts) -> Result<String, CliError> {
+    let reported: Vec<ClipWindow> = read_json(opts.require("report")?)?;
+    let actual: Vec<ClipWindow> = read_json(opts.require("actual")?)?;
+    let area: f64 = opts
+        .require("area-um2")?
+        .parse()
+        .map_err(|_| CliError::Usage("--area-um2 must be a number".into()))?;
+    let min_overlap = opts.parse("min-overlap", 0.2f64)?;
+    let eval = hotspot_core::score(
+        &reported,
+        &actual,
+        min_overlap,
+        area,
+        std::time::Duration::ZERO,
+    );
+    Ok(format!(
+        "{eval}\nfalse alarm: {:.6} extras/um^2",
+        eval.false_alarm()
+    ))
+}
+
+fn cmd_info(opts: &Opts) -> Result<String, CliError> {
+    let layout = gdsii::read_file(opts.require("layout")?)?;
+    let mut out = format!(
+        "layout `{}`: {} polygons on {} layer(s)\n",
+        layout.name(),
+        layout.polygon_count(),
+        layout.layers().count()
+    );
+    if let Some(bbox) = layout.bbox() {
+        out.push_str(&format!(
+            "bbox: {} — {} ({:.1} x {:.1} um)\n",
+            bbox.min(),
+            bbox.max(),
+            bbox.width() as f64 / 1000.0,
+            bbox.height() as f64 / 1000.0
+        ));
+    }
+    for layer in layout.layers() {
+        out.push_str(&format!(
+            "  {layer}: {} polygons, {:.1} um^2 of metal\n",
+            layout.polygons(layer).len(),
+            layout.layer_area(layer) as f64 / 1e6
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_render(opts: &Opts) -> Result<String, CliError> {
+    let layout = gdsii::read_file(opts.require("layout")?)?;
+    let out = PathBuf::from(opts.require("out")?);
+    let mut options = hotspot_layout::svg::RenderOptions::default();
+    if let Some(path) = opts.get("report") {
+        options.reported = read_json(path)?;
+    }
+    if let Some(path) = opts.get("actual") {
+        options.actual = read_json(path)?;
+    }
+    hotspot_layout::svg::render_to_file(&layout, &options, &out)?;
+    Ok(format!(
+        "rendered {} polygons (+{} reported, {} actual windows) to {}",
+        layout.polygon_count(),
+        options.reported.len(),
+        options.actual.len(),
+        out.display(),
+    ))
+}
+
+fn write_json<T: serde::Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(std::io::BufWriter::new(file), value)?;
+    Ok(())
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, CliError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(std::io::BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn workdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hotspot_cli_{name}"));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn missing_flags_error() {
+        let err = run(&argv(&["generate", "--name", "array_benchmark1"])).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+        let err = run(&argv(&["generate", "--name"])).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn unknown_benchmark_errors() {
+        let dir = workdir("unknown_bm");
+        let err = run(&argv(&[
+            "generate",
+            "--name",
+            "bogus",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        // generate -> train -> detect -> score, all through the public CLI.
+        let dir = workdir("roundtrip");
+        let out = run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("generated"));
+
+        let model = dir.join("model.json");
+        let out = run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained"), "{out}");
+
+        let report = dir.join("report.json");
+        let out = run(&argv(&[
+            "detect",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("reported"), "{out}");
+
+        let out = run(&argv(&[
+            "score",
+            "--report",
+            report.to_str().unwrap(),
+            "--actual",
+            dir.join("actual.json").to_str().unwrap(),
+            "--area-um2",
+            "207",
+        ]))
+        .unwrap();
+        assert!(out.contains("#hit"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_produces_svg() {
+        let dir = workdir("render");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let svg = dir.join("layout.svg");
+        let out = run(&argv(&[
+            "render",
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--actual",
+            dir.join("actual.json").to_str().unwrap(),
+            "--out",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("rendered"), "{out}");
+        let content = std::fs::read_to_string(&svg).unwrap();
+        assert!(content.contains("data-overlay=\"actual\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_reports_layout_stats() {
+        let dir = workdir("info");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark5",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&argv(&[
+            "info",
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("polygons"), "{out}");
+        assert!(out.contains("bbox"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

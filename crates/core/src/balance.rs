@@ -1,0 +1,87 @@
+//! Population balancing (Section III-D3).
+//!
+//! The contest training sets are highly imbalanced (nonhotspots outnumber
+//! hotspots up to 100×). Balancing combines:
+//!
+//! - **upsampling**: every hotspot pattern spawns four shifted derivatives
+//!   (up, down, left, right by the data-shift distance), which also injects
+//!   the fuzziness that compensates clip-extraction misalignment, and
+//! - **downsampling**: nonhotspot patterns are clustered topologically and
+//!   only each cluster's medoid joins the training set.
+
+use crate::pattern::Pattern;
+use hotspot_geom::{Coord, Point};
+
+/// Expands each hotspot pattern into itself plus four shifted derivatives.
+///
+/// A shifted derivative whose core becomes empty is dropped (it would be a
+/// meaningless hotspot example).
+pub fn upsample_hotspots(hotspots: &[Pattern], shift: Coord) -> Vec<Pattern> {
+    let mut out = Vec::with_capacity(hotspots.len() * 5);
+    for p in hotspots {
+        out.push(p.clone());
+        if shift == 0 {
+            continue;
+        }
+        for delta in [
+            Point::new(0, shift),
+            Point::new(0, -shift),
+            Point::new(-shift, 0),
+            Point::new(shift, 0),
+        ] {
+            let shifted = p.shifted(delta);
+            if !shifted.core_rects().is_empty() {
+                out.push(shifted);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Rect;
+    use hotspot_layout::ClipShape;
+
+    fn pattern() -> Pattern {
+        let shape = ClipShape::new(1200, 4800).unwrap();
+        let window = shape.window_centered(Point::new(0, 0));
+        Pattern::new(window, &[Rect::from_extents(-400, -400, 400, 400)])
+    }
+
+    #[test]
+    fn five_derivatives_per_hotspot() {
+        let out = upsample_hotspots(&[pattern()], 120);
+        assert_eq!(out.len(), 5);
+        // All derivatives share the window; geometry differs.
+        for p in &out[1..] {
+            assert_eq!(p.window, out[0].window);
+            assert_ne!(p.rects, out[0].rects);
+        }
+    }
+
+    #[test]
+    fn zero_shift_keeps_originals_only() {
+        let out = upsample_hotspots(&[pattern()], 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn derivatives_with_empty_core_dropped() {
+        // Geometry close to the core edge: a huge shift empties the core.
+        let shape = ClipShape::new(1200, 4800).unwrap();
+        let window = shape.window_centered(Point::new(0, 0));
+        let p = Pattern::new(window, &[Rect::from_extents(-600, -600, -500, -500)]);
+        let out = upsample_hotspots(&[p], 1200);
+        // Original plus the shifts that keep geometry in the core
+        // (rightward/upward shifts by 1200 move it out of the core).
+        assert!(out.len() < 5);
+        assert!(out.iter().all(|p| !p.core_rects().is_empty()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(upsample_hotspots(&[], 120).is_empty());
+    }
+}

@@ -1,0 +1,678 @@
+//! The end-to-end hotspot detector (Fig. 3).
+
+use crate::balance::upsample_hotspots;
+use crate::config::DetectorConfig;
+use crate::extraction::{extract_clips_indexed, RectIndex};
+use crate::feedback::{flagging_kernels, train_feedback, FeedbackKernel};
+use crate::metrics::{score, Evaluation};
+use crate::pattern::{Pattern, TrainingSet};
+use crate::removal::remove_redundant_clips;
+use crate::training::{
+    classify_patterns, density_grid, train_cluster_kernels, ClusterKernel, PatternCluster, Region,
+};
+use hotspot_layout::{ClipWindow, LayerId, Layout};
+use hotspot_svm::TrainError;
+use hotspot_topo::TopoSignature;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error running the training pipeline.
+#[derive(Debug)]
+pub enum TrainPipelineError {
+    /// The training set contains no hotspot patterns.
+    NoHotspots,
+    /// The configuration failed validation.
+    Config(String),
+    /// An SVM kernel failed to train.
+    Svm(TrainError),
+}
+
+impl fmt::Display for TrainPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainPipelineError::NoHotspots => {
+                write!(f, "training set contains no hotspot patterns")
+            }
+            TrainPipelineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainPipelineError::Svm(e) => write!(f, "svm training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainPipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainPipelineError::Svm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for TrainPipelineError {
+    fn from(e: TrainError) -> Self {
+        TrainPipelineError::Svm(e)
+    }
+}
+
+/// Outcome of evaluating one testing layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// The reported hotspot clips (after removal, when enabled).
+    pub reported: Vec<ClipWindow>,
+    /// Candidate clips extracted from the layout.
+    pub clips_extracted: usize,
+    /// Clips flagged hotspot by the multiple kernels.
+    pub clips_flagged: usize,
+    /// Flags reclaimed to nonhotspot by the feedback kernel.
+    pub feedback_reclaimed: usize,
+    /// Wall-clock time of clip extraction.
+    #[serde(skip)]
+    pub extraction_time: Duration,
+    /// Wall-clock time of kernel evaluation.
+    #[serde(skip)]
+    pub classification_time: Duration,
+    /// Wall-clock time of redundant clip removal.
+    #[serde(skip)]
+    pub removal_time: Duration,
+}
+
+impl DetectionReport {
+    /// Total wall-clock time of the evaluation phase.
+    pub fn total_time(&self) -> Duration {
+        self.extraction_time + self.classification_time + self.removal_time
+    }
+
+    /// Scores this report against ground-truth hotspot windows.
+    pub fn score_against(
+        &self,
+        actual: &[ClipWindow],
+        min_clip_overlap: f64,
+        layout_area_um2: f64,
+    ) -> Evaluation {
+        score(
+            &self.reported,
+            actual,
+            min_clip_overlap,
+            layout_area_um2,
+            self.total_time(),
+        )
+    }
+}
+
+/// Summary of the training phase, for diagnostics and the experiment
+/// harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSummary {
+    /// Hotspot patterns after upsampling.
+    pub upsampled_hotspots: usize,
+    /// Hotspot clusters (= SVM kernels).
+    pub hotspot_clusters: usize,
+    /// Nonhotspot clusters found.
+    pub nonhotspot_clusters: usize,
+    /// Nonhotspot medoids kept after downsampling.
+    pub nonhotspot_medoids: usize,
+    /// Whether a feedback kernel was trained.
+    pub feedback_trained: bool,
+    /// Wall-clock training time.
+    #[serde(skip)]
+    pub training_time: Duration,
+}
+
+impl TrainingSummary {
+    /// The paper's `#hs/#nhs` balance ratio after resampling (Table III).
+    pub fn balance_ratio(&self) -> f64 {
+        if self.nonhotspot_medoids == 0 {
+            return 0.0;
+        }
+        self.upsampled_hotspots as f64 / self.nonhotspot_medoids as f64
+    }
+}
+
+/// The trained hotspot-detection framework.
+///
+/// Serialisable with serde, so a trained detector can be persisted and
+/// reloaded (see the `hotspot` CLI's `train` / `detect` commands).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotspotDetector {
+    kernels: Vec<ClusterKernel>,
+    feedback: Option<FeedbackKernel>,
+    config: DetectorConfig,
+    summary: TrainingSummary,
+}
+
+impl HotspotDetector {
+    /// Runs the full training phase of Fig. 3: upsampling, topological
+    /// classification, population balancing, multiple-kernel learning, and
+    /// feedback-kernel learning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainPipelineError`] for invalid configurations, an empty
+    /// hotspot set, or SVM failures.
+    pub fn train(
+        training: &TrainingSet,
+        config: DetectorConfig,
+    ) -> Result<HotspotDetector, TrainPipelineError> {
+        config.validate().map_err(TrainPipelineError::Config)?;
+        if training.hotspots.is_empty() {
+            return Err(TrainPipelineError::NoHotspots);
+        }
+        let start = Instant::now();
+
+        let (hotspots, hotspot_clusters, nonhotspot_clusters, medoids) =
+            if config.ablation.topology {
+                // Upsample hotspots by data shifting, classify both classes,
+                // and downsample nonhotspots to cluster medoids.
+                let hotspots = upsample_hotspots(&training.hotspots, config.data_shift);
+                let h_clusters = classify_patterns(&hotspots, Region::Core, &config.cluster);
+                let n_clusters =
+                    classify_patterns(&training.nonhotspots, Region::Core, &config.cluster);
+                let medoids: Vec<Pattern> = n_clusters
+                    .iter()
+                    .map(|c| training.nonhotspots[c.medoid].clone())
+                    .collect();
+                (hotspots, h_clusters, n_clusters, medoids)
+            } else {
+                // Degenerate single-cluster mode (the "Basic" ablation): one
+                // kernel over all hotspots against all nonhotspots.
+                let hotspots = training.hotspots.clone();
+                let cluster = single_cluster(&hotspots, &config);
+                (
+                    hotspots,
+                    vec![cluster],
+                    Vec::new(),
+                    training.nonhotspots.clone(),
+                )
+            };
+
+        let kernels = train_cluster_kernels(&hotspots, &hotspot_clusters, &medoids, &config)?;
+
+        let feedback = if config.ablation.feedback && config.ablation.topology {
+            train_feedback(
+                &hotspots,
+                &hotspot_clusters,
+                &kernels,
+                &training.nonhotspots,
+                &nonhotspot_clusters,
+                &config,
+            )?
+        } else {
+            None
+        };
+
+        let summary = TrainingSummary {
+            upsampled_hotspots: hotspots.len(),
+            hotspot_clusters: hotspot_clusters.len(),
+            nonhotspot_clusters: nonhotspot_clusters.len(),
+            nonhotspot_medoids: medoids.len(),
+            feedback_trained: feedback.is_some(),
+            training_time: start.elapsed(),
+        };
+
+        Ok(HotspotDetector {
+            kernels,
+            feedback,
+            config,
+            summary,
+        })
+    }
+
+    /// The trained per-cluster kernels.
+    pub fn kernels(&self) -> &[ClusterKernel] {
+        &self.kernels
+    }
+
+    /// The feedback kernel, when one was trained.
+    pub fn feedback(&self) -> Option<&FeedbackKernel> {
+        self.feedback.as_ref()
+    }
+
+    /// The configuration the detector was trained with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Training-phase statistics.
+    pub fn summary(&self) -> &TrainingSummary {
+        &self.summary
+    }
+
+    /// Classifies a single clip pattern (multiple kernels, then feedback).
+    pub fn classify(&self, pattern: &Pattern) -> bool {
+        self.classify_with_threshold(pattern, self.config.decision_threshold)
+    }
+
+    /// Calibrated hotspot probability of a clip: the maximum Platt
+    /// probability over the kernels the clip routes to, or `None` when no
+    /// kernel's topology or density gate admits it.
+    pub fn classify_probability(&self, pattern: &Pattern) -> Option<f64> {
+        let window = pattern.window.core;
+        let rects: Vec<_> = pattern
+            .rects
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .map(|r| r.translate(-window.min()))
+            .collect();
+        let local =
+            hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+        let signature = hotspot_topo::TopoSignature::of(&local, &rects);
+        let grid =
+            crate::training::density_grid(pattern, crate::training::Region::Core, &self.config);
+        let mut best: Option<f64> = None;
+        for k in &self.kernels {
+            let topo_match = signature == k.signature;
+            let density_match = grid.nx() == k.centroid.nx()
+                && grid.ny() == k.centroid.ny()
+                && grid.distance(&k.centroid).distance
+                    <= k.radius.max(1e-9) * self.config.fuzziness;
+            if !topo_match && !density_match {
+                continue;
+            }
+            let features = crate::training::feature_vector_padded(
+                pattern,
+                crate::training::Region::Core,
+                &self.config,
+                k.feature_len,
+            );
+            let p = k.platt.probability(k.model.decision_value(&features));
+            if best.map_or(true, |b| p > b) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+
+    /// Classification at an explicit decision threshold (for the Fig. 15
+    /// trade-off sweep).
+    pub fn classify_with_threshold(&self, pattern: &Pattern, threshold: f64) -> bool {
+        let flags = flagging_kernels(&self.kernels, pattern, &self.config, threshold);
+        if flags.is_empty() {
+            return false;
+        }
+        match (&self.feedback, self.config.ablation.feedback) {
+            (Some(fb), true) => fb.confirms(pattern, &self.config),
+            _ => true,
+        }
+    }
+
+    /// Runs the full evaluation phase of Fig. 3 on a testing layout.
+    pub fn detect(&self, layout: &Layout, layer: LayerId) -> DetectionReport {
+        self.detect_with_threshold(layout, layer, self.config.decision_threshold)
+    }
+
+    /// Evaluation with an explicit decision threshold.
+    pub fn detect_with_threshold(
+        &self,
+        layout: &Layout,
+        layer: LayerId,
+        threshold: f64,
+    ) -> DetectionReport {
+        // 1. Clip extraction over a shared spatial index.
+        let t0 = Instant::now();
+        let index = RectIndex::from_layout(layout, layer, self.config.clip_shape.clip_side());
+        let clips = extract_clips_indexed(&index, self.config.clip_shape, &self.config.distribution);
+        let extraction_time = t0.elapsed();
+
+        // 2. Multiple-kernel (and feedback) evaluation, parallel over clips.
+        let t1 = Instant::now();
+        let threads = self.config.effective_threads().max(1);
+        let flags: Vec<(bool, bool)> = if threads <= 1 || clips.len() < 2 {
+            clips
+                .iter()
+                .map(|c| self.flag_pattern(c, threshold))
+                .collect()
+        } else {
+            let chunk = clips.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = clips
+                    .chunks(chunk)
+                    .map(|cs| {
+                        scope.spawn(move || {
+                            cs.iter()
+                                .map(|c| self.flag_pattern(c, threshold))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("classification panicked"))
+                    .collect()
+            })
+        };
+        let mut flagged_cores = Vec::new();
+        let mut clips_flagged = 0usize;
+        let mut feedback_reclaimed = 0usize;
+        for (clip, (flagged, reclaimed)) in clips.iter().zip(&flags) {
+            if *flagged {
+                clips_flagged += 1;
+                if *reclaimed {
+                    feedback_reclaimed += 1;
+                } else {
+                    flagged_cores.push(clip.window.core);
+                }
+            }
+        }
+        let classification_time = t1.elapsed();
+
+        // 3. Redundant clip removal.
+        let t2 = Instant::now();
+        let reported = if self.config.ablation.removal {
+            remove_redundant_clips(flagged_cores, self.config.clip_shape, &index, &self.config)
+        } else {
+            flagged_cores
+                .into_iter()
+                .map(|core| ClipWindow {
+                    core,
+                    clip: core.inflate(self.config.clip_shape.ambit()),
+                })
+                .collect()
+        };
+        let removal_time = t2.elapsed();
+
+        DetectionReport {
+            reported,
+            clips_extracted: clips.len(),
+            clips_flagged,
+            feedback_reclaimed,
+            extraction_time,
+            classification_time,
+            removal_time,
+        }
+    }
+
+    /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip.
+    fn flag_pattern(&self, pattern: &Pattern, threshold: f64) -> (bool, bool) {
+        let flags = flagging_kernels(&self.kernels, pattern, &self.config, threshold);
+        if flags.is_empty() {
+            return (false, false);
+        }
+        let reclaimed = match (&self.feedback, self.config.ablation.feedback) {
+            (Some(fb), true) => !fb.confirms(pattern, &self.config),
+            _ => false,
+        };
+        (true, reclaimed)
+    }
+}
+
+/// A degenerate cluster holding every hotspot (the single-kernel ablation).
+fn single_cluster(hotspots: &[Pattern], config: &DetectorConfig) -> PatternCluster {
+    let first = &hotspots[0];
+    let window = first.window.core;
+    let local_rects: Vec<_> = first
+        .core_rects()
+        .iter()
+        .map(|r| r.translate(-window.min()))
+        .collect();
+    let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+    let signature = TopoSignature::of(&local, &local_rects);
+    let mut centroid = density_grid(first, Region::Core, config);
+    for (i, p) in hotspots.iter().enumerate().skip(1) {
+        let g = density_grid(p, Region::Core, config);
+        centroid.fold_mean(&g, i);
+    }
+    PatternCluster {
+        members: (0..hotspots.len()).collect(),
+        signature,
+        centroid,
+        // An effectively infinite radius routes every clip to this kernel.
+        radius: f64::MAX / 4.0,
+        medoid: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::{Point, Rect};
+    use hotspot_layout::ClipShape;
+
+    fn shape() -> ClipShape {
+        ClipShape::ICCAD2012
+    }
+
+    /// Builds a training clip anchored like layout-clip extraction does:
+    /// the core's bottom-left corner sits at `corner` and the motif rects
+    /// are corner-relative. Training clips and extracted clips then share
+    /// the same frame, as the contest's foundry-provided clips do.
+    fn pattern_at(corner: Point, rects: &[Rect]) -> Pattern {
+        let window = shape().window_from_core_corner(corner);
+        let abs: Vec<Rect> = rects.iter().map(|r| r.translate(corner)).collect();
+        Pattern::new(window, &abs)
+    }
+
+    /// Hotspot motif: two bars with a dangerously narrow gap, anchored at
+    /// the origin corner.
+    fn hs_rects(gap: i64) -> Vec<Rect> {
+        vec![
+            Rect::from_extents(0, 0, 300, 300),
+            Rect::from_extents(300 + gap, 0, 600 + gap, 300),
+        ]
+    }
+
+    /// Safe motif: same topology, generous gap (still inside the core).
+    fn safe_rects(gap: i64) -> Vec<Rect> {
+        hs_rects(gap)
+    }
+
+    fn training_set() -> TrainingSet {
+        let mut ts = TrainingSet::new();
+        for i in 0..4 {
+            ts.push(
+                pattern_at(Point::new(0, 0), &hs_rects(60 + 10 * i)),
+                crate::Label::Hotspot,
+            );
+        }
+        for i in 0..8 {
+            ts.push(
+                pattern_at(Point::new(0, 0), &safe_rects(480 + 10 * i)),
+                crate::Label::NonHotspot,
+            );
+        }
+        ts
+    }
+
+    fn fast_config() -> DetectorConfig {
+        DetectorConfig {
+            max_learning_rounds: 3,
+            threads: 2,
+            // The unit-test layouts are sparse; keep the paper's bound for
+            // the dense benchmark layouts only.
+            distribution: crate::DistributionFilter {
+                min_core_density: 0.001,
+                min_polygon_count: 1,
+                max_boundary_bbox_distance: 4800,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_classifies_patterns() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        assert!(!det.kernels().is_empty());
+        assert!(det.classify(&pattern_at(Point::new(0, 0), &hs_rects(80))));
+        assert!(!det.classify(&pattern_at(Point::new(0, 0), &safe_rects(500))));
+    }
+
+    #[test]
+    fn training_errors() {
+        let mut empty = TrainingSet::new();
+        empty.push(
+            pattern_at(Point::new(0, 0), &safe_rects(500)),
+            crate::Label::NonHotspot,
+        );
+        assert!(matches!(
+            HotspotDetector::train(&empty, fast_config()),
+            Err(TrainPipelineError::NoHotspots)
+        ));
+
+        let bad = DetectorConfig {
+            reframe_separation: 10_000,
+            ..Default::default()
+        };
+        assert!(matches!(
+            HotspotDetector::train(&training_set(), bad),
+            Err(TrainPipelineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn summary_reflects_balancing() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let s = det.summary();
+        // 4 hotspots upsampled ×5 (original + 4 shifts, minus any empty-core
+        // derivatives).
+        assert!(s.upsampled_hotspots >= 4);
+        assert!(s.hotspot_clusters >= 1);
+        assert!(s.balance_ratio() > 0.0);
+    }
+
+    #[test]
+    fn detect_finds_planted_hotspot() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        // Plant a hotspot motif and a safe motif far apart.
+        for r in hs_rects(70) {
+            layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
+        }
+        for r in safe_rects(500) {
+            layout.add_rect(layer, r.translate(Point::new(60_000, 60_000)));
+        }
+        let report = det.detect(&layout, layer);
+        assert!(report.clips_extracted > 0);
+        let hotspot_window = shape().window_centered(Point::new(20_000, 20_000));
+        assert!(
+            report
+                .reported
+                .iter()
+                .any(|w| w.is_hit(&hotspot_window, 0.2)),
+            "planted hotspot not reported; {} clips reported",
+            report.reported.len()
+        );
+    }
+
+    #[test]
+    fn threshold_monotonically_prunes_reports() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        for i in 0..4 {
+            for r in hs_rects(70 + i * 5) {
+                layout.add_rect(layer, r.translate(Point::new(20_000 * (i + 1), 20_000)));
+            }
+        }
+        let lo = det.detect_with_threshold(&layout, layer, 0.0);
+        let hi = det.detect_with_threshold(&layout, layer, 2.0);
+        assert!(hi.clips_flagged <= lo.clips_flagged);
+    }
+
+    #[test]
+    fn parallel_and_sequential_detection_agree() {
+        let det_seq = HotspotDetector::train(
+            &training_set(),
+            DetectorConfig {
+                threads: 1,
+                ..fast_config()
+            },
+        )
+        .unwrap();
+        let det_par = HotspotDetector::train(
+            &training_set(),
+            DetectorConfig {
+                threads: 4,
+                ..fast_config()
+            },
+        )
+        .unwrap();
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        for r in hs_rects(70) {
+            layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
+        }
+        let a = det_seq.detect(&layout, layer);
+        let b = det_par.detect(&layout, layer);
+        assert_eq!(a.reported, b.reported);
+        assert_eq!(a.clips_extracted, b.clips_extracted);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_and_ordered() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let hot = pattern_at(Point::new(0, 0), &hs_rects(75));
+        let cold = pattern_at(Point::new(0, 0), &safe_rects(500));
+        let p_hot = det.classify_probability(&hot).expect("routes to a kernel");
+        assert!((0.0..=1.0).contains(&p_hot));
+        assert!(p_hot > 0.5, "hotspot probability {p_hot}");
+        if let Some(p_cold) = det.classify_probability(&cold) {
+            assert!(p_cold < p_hot, "cold {p_cold} >= hot {p_hot}");
+        }
+        // A pattern far from every cluster routes nowhere.
+        let alien = pattern_at(
+            Point::new(0, 0),
+            &[Rect::from_extents(0, 0, 1100, 1100)],
+        );
+        assert_eq!(det.classify_probability(&alien), None);
+    }
+
+    #[test]
+    fn single_kernel_ablation_trains() {
+        let cfg = DetectorConfig {
+            ablation: crate::AblationSwitches {
+                topology: false,
+                removal: false,
+                feedback: false,
+            },
+            ..fast_config()
+        };
+        let det = HotspotDetector::train(&training_set(), cfg).unwrap();
+        assert_eq!(det.kernels().len(), 1);
+        assert!(det.feedback().is_none());
+    }
+
+    #[test]
+    fn removal_toggle_changes_report_shape() {
+        let det_on = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let cfg_off = DetectorConfig {
+            ablation: crate::AblationSwitches {
+                removal: false,
+                ..Default::default()
+            },
+            ..fast_config()
+        };
+        let det_off = HotspotDetector::train(&training_set(), cfg_off).unwrap();
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        // A dense row of hotspot motifs so clips pile up.
+        for i in 0..6 {
+            for r in hs_rects(70) {
+                layout.add_rect(layer, r.translate(Point::new(20_000 + i * 700, 20_000)));
+            }
+        }
+        let with = det_on.detect(&layout, layer);
+        let without = det_off.detect(&layout, layer);
+        assert!(
+            with.reported.len() <= without.reported.len(),
+            "removal must not increase the report count ({} vs {})",
+            with.reported.len(),
+            without.reported.len()
+        );
+    }
+
+    #[test]
+    fn report_scoring_integration() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        for r in hs_rects(70) {
+            layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
+        }
+        let report = det.detect(&layout, layer);
+        let actual = vec![shape().window_centered(Point::new(20_000, 20_000))];
+        let eval = report.score_against(&actual, 0.2, 100.0);
+        assert_eq!(eval.actual, 1);
+        assert!(eval.accuracy() >= 0.0);
+    }
+}

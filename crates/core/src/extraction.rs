@@ -1,0 +1,321 @@
+//! Layout clip extraction (Section III-E, Fig. 11).
+//!
+//! Instead of scanning the full layout with a sliding window, the layout's
+//! polygons are dissected into rectangles, oversized rectangles are split at
+//! the core side length, and one candidate clip is anchored at the
+//! bottom-left corner of each piece. Candidates whose polygon distribution
+//! fails the user requirements are discarded.
+
+use crate::config::{DetectorConfig, DistributionFilter};
+use crate::pattern::Pattern;
+use hotspot_geom::{Coord, Point, Rect};
+use hotspot_layout::{ClipShape, LayerId, Layout};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index over layout rectangles.
+///
+/// Buckets rectangles by grid cell for fast window queries during clip
+/// extraction and redundant clip removal.
+#[derive(Debug, Clone)]
+pub struct RectIndex {
+    cell: Coord,
+    buckets: HashMap<(Coord, Coord), Vec<usize>>,
+    rects: Vec<Rect>,
+}
+
+impl RectIndex {
+    /// Builds an index with the given cell size (typically the clip side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive.
+    pub fn build(rects: Vec<Rect>, cell: Coord) -> RectIndex {
+        assert!(cell > 0, "cell size must be positive");
+        let mut buckets: HashMap<(Coord, Coord), Vec<usize>> = HashMap::new();
+        for (i, r) in rects.iter().enumerate() {
+            if r.is_empty() {
+                continue;
+            }
+            let (cx0, cy0) = (r.min().x.div_euclid(cell), r.min().y.div_euclid(cell));
+            // Inclusive top-right cell: subtract 1 so edge-aligned rects do
+            // not spill into the next cell.
+            let (cx1, cy1) = (
+                (r.max().x - 1).div_euclid(cell),
+                (r.max().y - 1).div_euclid(cell),
+            );
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    buckets.entry((cx, cy)).or_default().push(i);
+                }
+            }
+        }
+        RectIndex {
+            cell,
+            buckets,
+            rects,
+        }
+    }
+
+    /// Builds an index over a dissected layout layer.
+    pub fn from_layout(layout: &Layout, layer: LayerId, cell: Coord) -> RectIndex {
+        RectIndex::build(layout.dissected_rects(layer), cell)
+    }
+
+    /// All rectangles overlapping `window` (deduplicated, arbitrary order).
+    pub fn query(&self, window: &Rect) -> Vec<Rect> {
+        let mut seen: Vec<usize> = Vec::new();
+        let (cx0, cy0) = (
+            window.min().x.div_euclid(self.cell),
+            window.min().y.div_euclid(self.cell),
+        );
+        let (cx1, cy1) = (
+            (window.max().x - 1).div_euclid(self.cell),
+            (window.max().y - 1).div_euclid(self.cell),
+        );
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
+                    for &i in bucket {
+                        if self.rects[i].overlaps(window) && !seen.contains(&i) {
+                            seen.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        seen.into_iter().map(|i| self.rects[i]).collect()
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The indexed rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+}
+
+/// Splits rectangles wider or taller than `side` into pieces of at most
+/// `side` (Fig. 11(a)): a hotspot core must be anchorable on every piece.
+pub fn split_oversized(rects: &[Rect], side: Coord) -> Vec<Rect> {
+    let mut out = Vec::with_capacity(rects.len());
+    for r in rects {
+        let mut y = r.min().y;
+        while y < r.max().y {
+            let y1 = (y + side).min(r.max().y);
+            let mut x = r.min().x;
+            while x < r.max().x {
+                let x1 = (x + side).min(r.max().x);
+                out.push(Rect::from_extents(x, y, x1, y1));
+                x = x1;
+            }
+            y = y1;
+        }
+    }
+    out
+}
+
+/// Extracts candidate clips from a layout layer per Section III-E.
+///
+/// Returns the surviving clip patterns (one per distinct core anchor whose
+/// polygon distribution passes `config.distribution`).
+pub fn extract_clips(layout: &Layout, layer: LayerId, config: &DetectorConfig) -> Vec<Pattern> {
+    let index = RectIndex::from_layout(layout, layer, config.clip_shape.clip_side());
+    extract_clips_indexed(&index, config.clip_shape, &config.distribution)
+}
+
+/// Clip extraction over a prebuilt index (reused by the evaluation phase).
+pub fn extract_clips_indexed(
+    index: &RectIndex,
+    shape: ClipShape,
+    filter: &DistributionFilter,
+) -> Vec<Pattern> {
+    let pieces = split_oversized(index.rects(), shape.core_side());
+    let mut seen_anchors: std::collections::HashSet<Point> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for piece in pieces {
+        // Anchor the core at the piece's bottom-left corner (Fig. 11(b)).
+        let anchor = piece.min();
+        if !seen_anchors.insert(anchor) {
+            continue;
+        }
+        let window = shape.window_from_core_corner(anchor);
+        let pattern = Pattern::new(window, &index.query(&window.clip));
+        if passes_filter(&pattern, filter) {
+            out.push(pattern);
+        }
+    }
+    out
+}
+
+/// The polygon-distribution requirements of Section III-E.
+pub fn passes_filter(pattern: &Pattern, filter: &DistributionFilter) -> bool {
+    if pattern.rects.len() < filter.min_polygon_count {
+        return false;
+    }
+    if pattern.core_density() < filter.min_core_density {
+        return false;
+    }
+    match pattern.max_boundary_bbox_distance() {
+        Some(d) => d <= filter.max_boundary_bbox_distance,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_layout::ClipShape;
+
+    #[test]
+    fn index_query_finds_overlapping() {
+        let rects = vec![
+            Rect::from_extents(0, 0, 100, 100),
+            Rect::from_extents(5000, 5000, 5100, 5100),
+        ];
+        let idx = RectIndex::build(rects, 1000);
+        assert_eq!(idx.len(), 2);
+        let q = idx.query(&Rect::from_extents(-50, -50, 50, 50));
+        assert_eq!(q.len(), 1);
+        let q2 = idx.query(&Rect::from_extents(0, 0, 6000, 6000));
+        assert_eq!(q2.len(), 2);
+        let q3 = idx.query(&Rect::from_extents(200, 200, 300, 300));
+        assert!(q3.is_empty());
+    }
+
+    #[test]
+    fn index_handles_cell_straddling_rects() {
+        let rects = vec![Rect::from_extents(900, 900, 1100, 1100)];
+        let idx = RectIndex::build(rects, 1000);
+        // Query from within each straddled cell.
+        for probe in [
+            Rect::from_extents(950, 950, 960, 960),
+            Rect::from_extents(1050, 1050, 1060, 1060),
+        ] {
+            assert_eq!(idx.query(&probe).len(), 1, "probe {probe:?}");
+        }
+        // No duplicates when the query spans several cells.
+        let q = idx.query(&Rect::from_extents(800, 800, 1200, 1200));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn split_oversized_respects_side() {
+        let rects = vec![Rect::from_extents(0, 0, 2500, 800)];
+        let pieces = split_oversized(&rects, 1000);
+        assert!(pieces.iter().all(|p| p.width() <= 1000 && p.height() <= 1000));
+        let total: i64 = pieces.iter().map(|p| p.area()).sum();
+        assert_eq!(total, 2500 * 800);
+        assert_eq!(pieces.len(), 3);
+    }
+
+    #[test]
+    fn split_keeps_small_rects() {
+        let rects = vec![Rect::from_extents(0, 0, 300, 200)];
+        assert_eq!(split_oversized(&rects, 1000), rects);
+    }
+
+    #[test]
+    fn extraction_covers_every_polygon() {
+        // Each polygon must be included by at least one extracted clip
+        // (guaranteed when the distribution requirements pass).
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        for i in 0..5 {
+            layout.add_rect(
+                layer,
+                Rect::from_extents(i * 3000, 0, i * 3000 + 500, 400),
+            );
+        }
+        let config = DetectorConfig {
+            clip_shape: ClipShape::ICCAD2012,
+            distribution: DistributionFilter {
+                min_core_density: 0.0,
+                min_polygon_count: 1,
+                max_boundary_bbox_distance: 4800,
+            },
+            ..Default::default()
+        };
+        let clips = extract_clips(&layout, layer, &config);
+        assert!(!clips.is_empty());
+        for r in layout.dissected_rects(layer) {
+            assert!(
+                clips.iter().any(|c| c.window.clip.contains_rect(&r)),
+                "rect {r:?} not covered by any clip"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_filter_prunes_sparse_clips() {
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        // A tiny lone rect: density below the threshold.
+        layout.add_rect(layer, Rect::from_extents(0, 0, 20, 20));
+        let config = DetectorConfig {
+            distribution: DistributionFilter {
+                min_core_density: 0.5,
+                min_polygon_count: 1,
+                max_boundary_bbox_distance: 4800,
+            },
+            ..Default::default()
+        };
+        assert!(extract_clips(&layout, layer, &config).is_empty());
+    }
+
+    #[test]
+    fn boundary_bbox_distance_filter() {
+        let shape = ClipShape::ICCAD2012;
+        let window = shape.window_from_core_corner(Point::new(0, 0));
+        // Content hugging the core only: distance to clip boundary is the
+        // ambit (1800), above the paper's 1440 bound.
+        let p = Pattern::new(window, &[Rect::from_extents(0, 0, 1200, 1200)]);
+        let tight = DistributionFilter {
+            max_boundary_bbox_distance: 1440,
+            ..Default::default()
+        };
+        assert!(!passes_filter(&p, &tight));
+        let loose = DistributionFilter {
+            max_boundary_bbox_distance: 1800,
+            ..Default::default()
+        };
+        assert!(passes_filter(&p, &loose));
+    }
+
+    #[test]
+    fn deduplicates_anchor_points() {
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        // Two stacked rects dissect/merge into shapes sharing anchors after
+        // splitting; ensure no duplicate windows.
+        layout.add_rect(layer, Rect::from_extents(0, 0, 600, 600));
+        layout.add_rect(layer, Rect::from_extents(0, 0, 600, 600));
+        let config = DetectorConfig {
+            distribution: DistributionFilter {
+                min_core_density: 0.0,
+                min_polygon_count: 1,
+                max_boundary_bbox_distance: 4800,
+            },
+            ..Default::default()
+        };
+        let clips = extract_clips(&layout, layer, &config);
+        let mut anchors: Vec<Point> = clips.iter().map(|c| c.window.core.min()).collect();
+        let before = anchors.len();
+        anchors.dedup();
+        assert_eq!(before, anchors.len());
+    }
+
+    #[test]
+    fn empty_layout_yields_no_clips() {
+        let layout = Layout::new("t");
+        let clips = extract_clips(&layout, LayerId::METAL1, &DetectorConfig::default());
+        assert!(clips.is_empty());
+    }
+}

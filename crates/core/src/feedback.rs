@@ -1,0 +1,321 @@
+//! Feedback-kernel learning and evaluation (Section III-D4, Figs. 9–10).
+//!
+//! After multiple-kernel training, the nonhotspot medoids are self-evaluated
+//! through the kernels. Medoids still flagged as hotspots ("extras") reveal
+//! clusters whose *core* looks like a hotspot but whose *ambit* says
+//! otherwise (Fig. 10). Those clusters are re-classified with the ambit
+//! included, and a dedicated kernel is trained on the resulting sub-cluster
+//! medoids (nonhotspot side) against the hotspots of the offending kernels
+//! (hotspot side). At evaluation time the feedback kernel reclaims flagged
+//! clips back to nonhotspot, cutting the false alarm without touching the
+//! hit count of true hotspots.
+
+use crate::config::DetectorConfig;
+use crate::pattern::Pattern;
+use crate::training::{
+    classify_patterns, density_grid, feature_vector_padded, train_iterative, ClusterKernel,
+    PatternCluster, Region,
+};
+use hotspot_svm::{SvmModel, TrainError};
+use hotspot_topo::TopoSignature;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The kernels of the multiple-kernel stage that flag `pattern` as a
+/// hotspot (empty = classified nonhotspot everywhere).
+///
+/// A kernel participates when the pattern's core topology matches its
+/// cluster signature exactly, or the core density grid lies within
+/// `radius × fuzziness` of the cluster centroid.
+pub fn flagging_kernels(
+    kernels: &[ClusterKernel],
+    pattern: &Pattern,
+    config: &DetectorConfig,
+    threshold: f64,
+) -> Vec<usize> {
+    let window = pattern.window.core;
+    let rects: Vec<_> = pattern
+        .rects
+        .iter()
+        .filter_map(|r| r.intersection(&window))
+        .map(|r| r.translate(-window.min()))
+        .collect();
+    let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+    let signature = TopoSignature::of(&local, &rects);
+    let grid = density_grid(pattern, Region::Core, config);
+
+    let mut out = Vec::new();
+    for (idx, k) in kernels.iter().enumerate() {
+        let topo_match = signature == k.signature;
+        let density_match = if grid.nx() == k.centroid.nx() && grid.ny() == k.centroid.ny() {
+            grid.distance(&k.centroid).distance <= k.radius.max(1e-9) * config.fuzziness
+        } else {
+            false
+        };
+        if !topo_match && !density_match {
+            continue;
+        }
+        let features = feature_vector_padded(pattern, Region::Core, config, k.feature_len);
+        if k.model.decision_value(&features) > threshold {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+/// The trained feedback kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackKernel {
+    /// The SVM trained on clip-region (core + ambit) features.
+    pub model: SvmModel,
+    /// Feature-vector length the kernel expects.
+    pub feature_len: usize,
+    /// How many extras the self-evaluation produced.
+    pub extras_seen: usize,
+}
+
+impl FeedbackKernel {
+    /// `true` when the feedback kernel *confirms* the hotspot flag;
+    /// `false` reclaims the clip as a nonhotspot.
+    pub fn confirms(&self, pattern: &Pattern, config: &DetectorConfig) -> bool {
+        let features = feature_vector_padded(pattern, Region::Clip, config, self.feature_len);
+        self.model.decision_value(&features) > 0.0
+    }
+}
+
+/// Trains the feedback kernel (Fig. 9(b)–(c)).
+///
+/// Returns `Ok(None)` when self-evaluation produces no extras — every
+/// nonhotspot medoid is already classified correctly, so no feedback kernel
+/// is needed.
+///
+/// # Errors
+///
+/// Propagates SVM training failures.
+pub fn train_feedback(
+    hotspots: &[Pattern],
+    hotspot_clusters: &[PatternCluster],
+    kernels: &[ClusterKernel],
+    nonhotspots: &[Pattern],
+    nonhotspot_clusters: &[PatternCluster],
+    config: &DetectorConfig,
+) -> Result<Option<FeedbackKernel>, TrainError> {
+    // Self-evaluation: push every nonhotspot medoid through the kernels.
+    let mut offending_kernels: BTreeSet<usize> = BTreeSet::new();
+    let mut extra_cluster_ids: BTreeSet<usize> = BTreeSet::new();
+    for (cid, cluster) in nonhotspot_clusters.iter().enumerate() {
+        let medoid = &nonhotspots[cluster.medoid];
+        let flags = flagging_kernels(kernels, medoid, config, config.decision_threshold);
+        if !flags.is_empty() {
+            extra_cluster_ids.insert(cid);
+            offending_kernels.extend(flags);
+        }
+    }
+    if extra_cluster_ids.is_empty() {
+        return Ok(None);
+    }
+
+    // Nonhotspot side: re-classify the offending clusters' members with the
+    // ambit region included, then keep the sub-cluster medoids.
+    let mut member_patterns: Vec<Pattern> = Vec::new();
+    for &cid in &extra_cluster_ids {
+        for &m in &nonhotspot_clusters[cid].members {
+            member_patterns.push(nonhotspots[m].clone());
+        }
+    }
+    let sub_clusters = classify_patterns(&member_patterns, Region::Clip, &config.cluster);
+    let nonhotspot_training: Vec<&Pattern> = sub_clusters
+        .iter()
+        .map(|c| &member_patterns[c.medoid])
+        .collect();
+
+    // Hotspot side: the hotspots of every kernel that produced extras
+    // (kernels map 1:1 to hotspot clusters).
+    let mut hotspot_training: Vec<&Pattern> = Vec::new();
+    for &kid in &offending_kernels {
+        if let Some(cluster) = hotspot_clusters.get(kid) {
+            for &m in &cluster.members {
+                hotspot_training.push(&hotspots[m]);
+            }
+        }
+    }
+    if hotspot_training.is_empty() {
+        return Ok(None);
+    }
+
+    // Clip-region features; pad everything to the longest vector.
+    let raw: Vec<(Vec<f64>, f64)> = hotspot_training
+        .iter()
+        .map(|p| (crate::training::feature_vector(p, Region::Clip, config), 1.0))
+        .chain(
+            nonhotspot_training
+                .iter()
+                .map(|p| (crate::training::feature_vector(p, Region::Clip, config), -1.0)),
+        )
+        .collect();
+    let feature_len = raw.iter().map(|(v, _)| v.len()).max().unwrap_or(5).max(5);
+    let mut x = Vec::with_capacity(raw.len());
+    let mut y = Vec::with_capacity(raw.len());
+    for (v, label) in raw {
+        x.push(pad_tail(v, feature_len));
+        y.push(label);
+    }
+
+    let fit = train_iterative(&x, &y, config)?;
+    Ok(Some(FeedbackKernel {
+        model: fit.model,
+        feature_len,
+        extras_seen: extra_cluster_ids.len(),
+    }))
+}
+
+/// Pads/truncates preserving the 5-value nontopological tail.
+fn pad_tail(mut v: Vec<f64>, len: usize) -> Vec<f64> {
+    if v.len() == len {
+        return v;
+    }
+    let tail: Vec<f64> = v.split_off(v.len().saturating_sub(5));
+    v.resize(len.saturating_sub(5), 0.0);
+    v.extend(tail);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::train_cluster_kernels;
+    use hotspot_geom::{Point, Rect};
+    use hotspot_layout::ClipShape;
+
+    fn shape() -> ClipShape {
+        ClipShape::new(1200, 4800).unwrap()
+    }
+
+    fn pattern(rects: &[Rect]) -> Pattern {
+        Pattern::new(shape().window_centered(Point::new(0, 0)), rects)
+    }
+
+    /// Hotspot motif: two bars with a dangerously small gap in the core.
+    fn hotspot_core(gap: i64) -> Vec<Rect> {
+        vec![
+            Rect::from_extents(-500, -200, -gap / 2, 200),
+            Rect::from_extents(gap / 2, -200, 500, 200),
+        ]
+    }
+
+    /// Nonhotspot: same two-bar topology but a comfortable gap.
+    fn safe_core(gap: i64) -> Vec<Rect> {
+        hotspot_core(gap)
+    }
+
+    fn config() -> DetectorConfig {
+        DetectorConfig {
+            max_learning_rounds: 4,
+            ..Default::default()
+        }
+    }
+
+    fn trained_world() -> (
+        Vec<Pattern>,
+        Vec<PatternCluster>,
+        Vec<ClusterKernel>,
+        Vec<Pattern>,
+        Vec<PatternCluster>,
+    ) {
+        let hotspots: Vec<Pattern> = (0..4)
+            .map(|i| pattern(&hotspot_core(60 + i * 10)))
+            .collect();
+        let nonhotspots: Vec<Pattern> = (0..4)
+            .map(|i| pattern(&safe_core(700 + i * 40)))
+            .collect();
+        let cfg = config();
+        let h_clusters = classify_patterns(&hotspots, Region::Core, &cfg.cluster);
+        let n_clusters = classify_patterns(&nonhotspots, Region::Core, &cfg.cluster);
+        let medoids: Vec<Pattern> = n_clusters
+            .iter()
+            .map(|c| nonhotspots[c.medoid].clone())
+            .collect();
+        let kernels = train_cluster_kernels(&hotspots, &h_clusters, &medoids, &cfg).unwrap();
+        (hotspots, h_clusters, kernels, nonhotspots, n_clusters)
+    }
+
+    #[test]
+    fn flagging_kernels_fire_on_hotspots() {
+        let (_, _, kernels, _, _) = trained_world();
+        let hs = pattern(&hotspot_core(70));
+        let flags = flagging_kernels(&kernels, &hs, &config(), 0.0);
+        assert!(!flags.is_empty(), "hotspot-like clip should be flagged");
+    }
+
+    #[test]
+    fn flagging_kernels_pass_safe_patterns() {
+        let (_, _, kernels, _, _) = trained_world();
+        let safe = pattern(&safe_core(720));
+        let flags = flagging_kernels(&kernels, &safe, &config(), 0.0);
+        assert!(flags.is_empty(), "safe clip should pass, got {flags:?}");
+    }
+
+    #[test]
+    fn no_extras_no_feedback_kernel() {
+        let (hotspots, h_clusters, kernels, nonhotspots, n_clusters) = trained_world();
+        // With a well-separated training world, self-evaluation should be
+        // clean and feedback unnecessary.
+        let fb = train_feedback(
+            &hotspots,
+            &h_clusters,
+            &kernels,
+            &nonhotspots,
+            &n_clusters,
+            &config(),
+        )
+        .unwrap();
+        assert!(fb.is_none());
+    }
+
+    #[test]
+    fn ambiguous_core_triggers_feedback_training() {
+        // Build the Fig. 10 situation: hotspots and nonhotspots share an
+        // almost identical core; only the ambit distinguishes them.
+        let core = hotspot_core(100);
+        let hotspots: Vec<Pattern> = (0..3).map(|_| pattern(&core)).collect();
+        let mut with_ambit = core.clone();
+        with_ambit.push(Rect::from_extents(1400, 1400, 2300, 2300));
+        let nonhotspots: Vec<Pattern> = (0..3).map(|_| pattern(&with_ambit)).collect();
+
+        let cfg = config();
+        let h_clusters = classify_patterns(&hotspots, Region::Core, &cfg.cluster);
+        let n_clusters = classify_patterns(&nonhotspots, Region::Core, &cfg.cluster);
+        let medoids: Vec<Pattern> = n_clusters
+            .iter()
+            .map(|c| nonhotspots[c.medoid].clone())
+            .collect();
+        let kernels = train_cluster_kernels(&hotspots, &h_clusters, &medoids, &cfg).unwrap();
+
+        // The medoid's core equals the hotspot core, so self-evaluation must
+        // produce an extra and feedback training must engage.
+        let fb = train_feedback(
+            &hotspots,
+            &h_clusters,
+            &kernels,
+            &nonhotspots,
+            &n_clusters,
+            &cfg,
+        )
+        .unwrap();
+        let fb = fb.expect("ambiguous cores must trigger feedback learning");
+        assert!(fb.extras_seen >= 1);
+
+        // The feedback kernel separates by ambit: it confirms the bare-core
+        // hotspot and reclaims the ambit-decorated nonhotspot.
+        assert!(fb.confirms(&pattern(&core), &cfg));
+        assert!(!fb.confirms(&pattern(&with_ambit), &cfg));
+    }
+
+    #[test]
+    fn pad_tail_roundtrip() {
+        let v = vec![9.0, 8.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = pad_tail(v.clone(), 12);
+        assert_eq!(p.len(), 12);
+        assert_eq!(&p[7..], &v[2..]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Machine-learning-based lithography hotspot detection — the framework of
+//! Yu, Lin, Jiang & Chiang (DAC 2013 / TCAD 2015), reimplemented in Rust.
+//!
+//! The pipeline (Fig. 3 of the paper):
+//!
+//! **Training** — hotspot patterns are upsampled by data shifting
+//! ([`balance`]), all patterns are classified by topology (string-based,
+//! then density-based — [`training`]), nonhotspots are downsampled to
+//! cluster medoids, one C-SVM kernel is trained per hotspot cluster with
+//! iterative `(C, γ)` adaptation, and a **feedback kernel** ([`feedback`])
+//! is trained on the ambit features of self-evaluation false alarms.
+//!
+//! **Evaluation** — layout clips are extracted by polygon dissection with
+//! density filtering ([`extraction`]), each clip is classified by the
+//! multiple kernels and the feedback kernel, and reported hotspots pass
+//! **redundant clip removal** ([`removal`]): merging, reframing, discarding
+//! and shifting. [`metrics`] implements the contest's hit/extra scoring.
+//!
+//! The one-stop API is [`HotspotDetector`]:
+//!
+//! ```no_run
+//! use hotspot_core::{DetectorConfig, HotspotDetector, TrainingSet};
+//! use hotspot_layout::{LayerId, Layout};
+//!
+//! # fn get_training_set() -> TrainingSet { unimplemented!() }
+//! # fn get_layout() -> Layout { unimplemented!() }
+//! let training: TrainingSet = get_training_set();
+//! let layout: Layout = get_layout();
+//! let detector = HotspotDetector::train(&training, DetectorConfig::default())?;
+//! let report = detector.detect(&layout, LayerId::METAL1);
+//! println!("{} hotspots reported", report.reported.len());
+//! # Ok::<(), hotspot_core::TrainPipelineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod config;
+pub mod detector;
+pub mod extraction;
+pub mod feedback;
+pub mod metrics;
+pub mod multilayer;
+pub mod pattern;
+pub mod patterning;
+pub mod removal;
+pub mod training;
+
+pub use config::{AblationSwitches, DetectorConfig, DistributionFilter};
+pub use detector::{DetectionReport, HotspotDetector, TrainPipelineError};
+pub use extraction::{extract_clips, RectIndex};
+pub use metrics::{score, Evaluation};
+pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
+pub use pattern::{Label, Pattern, TrainingSet};
+pub use patterning::{DecomposedPattern, DoublePatterningDetector};
+pub use training::{ClusterKernel, PatternCluster};

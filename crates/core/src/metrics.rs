@@ -1,0 +1,199 @@
+//! Hit/extra scoring (Definitions 1–3 and Fig. 2 of the paper).
+
+use hotspot_layout::ClipWindow;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Scoring of a detection run against the ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Correctly identified actual hotspots.
+    pub hits: usize,
+    /// Actual hotspots that were missed.
+    pub misses: usize,
+    /// Reported clips that hit no actual hotspot (false alarms).
+    pub extras: usize,
+    /// Total reported clip count.
+    pub reported: usize,
+    /// Total actual hotspot count.
+    pub actual: usize,
+    /// Testing-layout area in µm² (for the false-alarm definition).
+    pub layout_area_um2: f64,
+    /// Wall-clock runtime of the measured phase.
+    #[serde(skip)]
+    pub runtime: Duration,
+}
+
+impl Evaluation {
+    /// Accuracy = hits / actual hotspots (Definition 2).
+    pub fn accuracy(&self) -> f64 {
+        if self.actual == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / self.actual as f64
+    }
+
+    /// False alarm = extras / layout area (Definition 3), in extras per µm².
+    pub fn false_alarm(&self) -> f64 {
+        if self.layout_area_um2 <= 0.0 {
+            return 0.0;
+        }
+        self.extras as f64 / self.layout_area_um2
+    }
+
+    /// Hit/extra ratio, the secondary contest objective (∞-safe: extras of
+    /// zero yields the hit count itself).
+    pub fn hit_extra_ratio(&self) -> f64 {
+        if self.extras == 0 {
+            return self.hits as f64;
+        }
+        self.hits as f64 / self.extras as f64
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#hit {} / {}  #extra {}  accuracy {:.2}%  hit/extra {:.3e}  runtime {:.1}s",
+            self.hits,
+            self.actual,
+            self.extras,
+            self.accuracy() * 100.0,
+            self.hit_extra_ratio(),
+            self.runtime.as_secs_f64()
+        )
+    }
+}
+
+/// Scores reported clips against the actual hotspots.
+///
+/// An actual hotspot is *hit* when any reported clip satisfies the Fig. 2
+/// rule against it; a reported clip is an *extra* when it hits no actual
+/// hotspot. One reported clip can hit several actual hotspots and several
+/// reported clips can hit the same actual hotspot without becoming extras.
+pub fn score(
+    reported: &[ClipWindow],
+    actual: &[ClipWindow],
+    min_clip_overlap: f64,
+    layout_area_um2: f64,
+    runtime: Duration,
+) -> Evaluation {
+    let mut hit_actual = vec![false; actual.len()];
+    let mut extras = 0usize;
+    for r in reported {
+        let mut hit_any = false;
+        for (i, a) in actual.iter().enumerate() {
+            if r.is_hit(a, min_clip_overlap) {
+                hit_actual[i] = true;
+                hit_any = true;
+            }
+        }
+        if !hit_any {
+            extras += 1;
+        }
+    }
+    let hits = hit_actual.iter().filter(|&&h| h).count();
+    Evaluation {
+        hits,
+        misses: actual.len() - hits,
+        extras,
+        reported: reported.len(),
+        actual: actual.len(),
+        layout_area_um2,
+        runtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Point;
+    use hotspot_layout::ClipShape;
+
+    fn shape() -> ClipShape {
+        ClipShape::ICCAD2012
+    }
+
+    fn w(x: i64, y: i64) -> ClipWindow {
+        shape().window_centered(Point::new(x, y))
+    }
+
+    #[test]
+    fn exact_match_scores_hit() {
+        let e = score(&[w(0, 0)], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.hits, 1);
+        assert_eq!(e.extras, 0);
+        assert_eq!(e.misses, 0);
+        assert_eq!(e.accuracy(), 1.0);
+        assert_eq!(e.false_alarm(), 0.0);
+    }
+
+    #[test]
+    fn near_match_within_core_overlap_hits() {
+        let e = score(&[w(600, 0)], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.hits, 1);
+        assert_eq!(e.extras, 0);
+    }
+
+    #[test]
+    fn far_report_is_extra() {
+        let e = score(&[w(50_000, 0)], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.hits, 0);
+        assert_eq!(e.extras, 1);
+        assert_eq!(e.misses, 1);
+        assert_eq!(e.accuracy(), 0.0);
+        assert!((e.false_alarm() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_reports_one_actual() {
+        // Two overlapping reports on one hotspot: one hit, no extras.
+        let e = score(&[w(0, 0), w(200, 0)], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.hits, 1);
+        assert_eq!(e.extras, 0);
+        assert_eq!(e.reported, 2);
+    }
+
+    #[test]
+    fn one_report_covering_two_actuals() {
+        let e = score(&[w(0, 0)], &[w(300, 0), w(-300, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.hits, 2);
+        assert_eq!(e.extras, 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = score(&[], &[], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.accuracy(), 1.0);
+        assert_eq!(e.hit_extra_ratio(), 0.0);
+        let e = score(&[], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        assert_eq!(e.accuracy(), 0.0);
+        assert_eq!(e.misses, 1);
+    }
+
+    #[test]
+    fn ratios() {
+        let e = Evaluation {
+            hits: 10,
+            misses: 2,
+            extras: 5,
+            reported: 15,
+            actual: 12,
+            layout_area_um2: 1000.0,
+            runtime: Duration::ZERO,
+        };
+        assert!((e.accuracy() - 10.0 / 12.0).abs() < 1e-12);
+        assert!((e.hit_extra_ratio() - 2.0).abs() < 1e-12);
+        assert!((e.false_alarm() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = score(&[w(0, 0)], &[w(0, 0)], 0.2, 100.0, Duration::from_secs(3));
+        let s = e.to_string();
+        assert!(s.contains("#hit 1"));
+        assert!(s.contains("100.00%"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the evaluation-phase machinery: clip
+//! extraction coverage, redundant-clip-removal invariants, and scoring
+//! identities.
+
+use hotspot_core::{
+    extract_clips, removal, score, DetectorConfig, DistributionFilter, RectIndex,
+};
+use hotspot_geom::{Point, Rect};
+use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_layout_rects() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(
+        (0i64..40_000, 0i64..40_000, 100i64..2_000, 100i64..2_000),
+        1..15,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+            .collect()
+    })
+}
+
+fn permissive_config() -> DetectorConfig {
+    DetectorConfig {
+        distribution: DistributionFilter {
+            min_core_density: 0.0,
+            min_polygon_count: 1,
+            max_boundary_bbox_distance: 4800,
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn extraction_covers_every_polygon(rects in arb_layout_rects()) {
+        // Section III-E's guarantee: when the distribution requirements are
+        // permissive, every polygon is included by at least one clip.
+        let mut layout = Layout::new("prop");
+        for r in &rects {
+            layout.add_rect(LayerId::METAL1, *r);
+        }
+        let clips = extract_clips(&layout, LayerId::METAL1, &permissive_config());
+        for r in layout.dissected_rects(LayerId::METAL1) {
+            prop_assert!(
+                clips.iter().any(|c| c.window.clip.contains_rect(&r)),
+                "rect {:?} not covered by any of {} clips", r, clips.len()
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_clips_pass_their_own_filter(rects in arb_layout_rects()) {
+        let mut layout = Layout::new("prop");
+        for r in &rects {
+            layout.add_rect(LayerId::METAL1, *r);
+        }
+        let config = permissive_config();
+        for clip in extract_clips(&layout, LayerId::METAL1, &config) {
+            prop_assert!(hotspot_core::extraction::passes_filter(&clip, &config.distribution));
+        }
+    }
+
+    #[test]
+    fn removal_preserves_core_coverage(
+        anchors in proptest::collection::vec((0i64..8_000, 0i64..8_000), 1..25)
+    ) {
+        // Every input core must overlap some output core: removal may
+        // compress reports but never abandon a reported area.
+        let shape = ClipShape::ICCAD2012;
+        let cores: Vec<Rect> = anchors
+            .iter()
+            .map(|&(x, y)| Rect::from_origin_size(Point::new(x, y), 1200, 1200))
+            .collect();
+        let index = RectIndex::build(Vec::new(), 4800);
+        let out = removal::remove_redundant_clips(
+            cores.clone(),
+            shape,
+            &index,
+            &DetectorConfig::default(),
+        );
+        prop_assert!(!out.is_empty());
+        for c in &cores {
+            prop_assert!(
+                out.iter().any(|w| w.core.overlaps(c)),
+                "core {:?} lost by removal", c
+            );
+        }
+    }
+
+    #[test]
+    fn removal_never_expands_the_report(
+        anchors in proptest::collection::vec((0i64..6_000, 0i64..6_000), 1..20)
+    ) {
+        let shape = ClipShape::ICCAD2012;
+        let mut cores: Vec<Rect> = anchors
+            .iter()
+            .map(|&(x, y)| Rect::from_origin_size(Point::new(x, y), 1200, 1200))
+            .collect();
+        cores.sort_by_key(|r| (r.min().x, r.min().y));
+        cores.dedup();
+        let index = RectIndex::build(Vec::new(), 4800);
+        let out = removal::remove_redundant_clips(
+            cores.clone(),
+            shape,
+            &index,
+            &DetectorConfig::default(),
+        );
+        prop_assert!(
+            out.len() <= cores.len(),
+            "removal grew {} cores into {} clips", cores.len(), out.len()
+        );
+    }
+
+    #[test]
+    fn scoring_identities(
+        reported in proptest::collection::vec((0i64..60_000, 0i64..60_000), 0..12),
+        actual in proptest::collection::vec((0i64..60_000, 0i64..60_000), 0..8),
+    ) {
+        let shape = ClipShape::ICCAD2012;
+        let reported: Vec<ClipWindow> = reported
+            .iter()
+            .map(|&(x, y)| shape.window_centered(Point::new(x, y)))
+            .collect();
+        let actual: Vec<ClipWindow> = actual
+            .iter()
+            .map(|&(x, y)| shape.window_centered(Point::new(x, y)))
+            .collect();
+        let eval = score(&reported, &actual, 0.2, 1000.0, Duration::ZERO);
+        prop_assert_eq!(eval.hits + eval.misses, eval.actual);
+        prop_assert!(eval.extras <= eval.reported);
+        prop_assert!(eval.accuracy() >= 0.0 && eval.accuracy() <= 1.0);
+        // More reports can only help accuracy: adding the actual windows as
+        // reports yields 100%.
+        let mut boosted = reported.clone();
+        boosted.extend(actual.iter().copied());
+        let perfect = score(&boosted, &actual, 0.2, 1000.0, Duration::ZERO);
+        prop_assert_eq!(perfect.hits, actual.len());
+    }
+
+    #[test]
+    fn rect_index_matches_linear_scan(
+        rects in arb_layout_rects(),
+        probe in (0i64..40_000, 0i64..40_000, 500i64..6_000, 500i64..6_000),
+    ) {
+        let (x, y, w, h) = probe;
+        let window = Rect::from_origin_size(Point::new(x, y), w, h);
+        let index = RectIndex::build(rects.clone(), 4800);
+        let mut from_index = index.query(&window);
+        let mut linear: Vec<Rect> = rects.iter().filter(|r| r.overlaps(&window)).copied().collect();
+        let key = |r: &Rect| (r.min().x, r.min().y, r.max().x, r.max().y);
+        from_index.sort_by_key(key);
+        from_index.dedup();
+        linear.sort_by_key(key);
+        linear.dedup();
+        prop_assert_eq!(from_index, linear);
+    }
+}

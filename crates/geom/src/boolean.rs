@@ -1,0 +1,241 @@
+//! Boolean operations on rectangle sets: exact union area, coverage tests,
+//! and rectangle-set subtraction.
+//!
+//! Used by redundant clip removal (the Fig. 12(d) discard rule asks whether
+//! the *union* of other cores covers a polygon piece) and by the density
+//! and scoring machinery. All operations are exact on integer coordinates.
+
+use crate::{Coord, Rect};
+
+/// Exact area of the union of `rects`, in nm².
+///
+/// Runs a sweep over the distinct x-intervals with an interval merge per
+/// band — `O(n² log n)` worst case, which is ample for per-clip sets.
+///
+/// ```
+/// use hotspot_geom::{boolean, Rect};
+/// let a = Rect::from_extents(0, 0, 10, 10);
+/// let b = Rect::from_extents(5, 0, 15, 10);
+/// assert_eq!(boolean::union_area(&[a, b]), 150);
+/// ```
+pub fn union_area(rects: &[Rect]) -> i64 {
+    let mut xs: Vec<Coord> = Vec::with_capacity(rects.len() * 2);
+    for r in rects {
+        if !r.is_empty() {
+            xs.push(r.min().x);
+            xs.push(r.max().x);
+        }
+    }
+    xs.sort_unstable();
+    xs.dedup();
+    let mut total: i64 = 0;
+    for band in xs.windows(2) {
+        let (x0, x1) = (band[0], band[1]);
+        // Merge the y-intervals of rects spanning this x-band.
+        let mut ys: Vec<(Coord, Coord)> = rects
+            .iter()
+            .filter(|r| !r.is_empty() && r.min().x <= x0 && r.max().x >= x1)
+            .map(|r| (r.min().y, r.max().y))
+            .collect();
+        ys.sort_unstable();
+        let mut covered: i64 = 0;
+        let mut cursor = Coord::MIN;
+        for (lo, hi) in ys {
+            let lo = lo.max(cursor);
+            if hi > lo {
+                covered += hi - lo;
+                cursor = hi;
+            }
+        }
+        total += covered * (x1 - x0);
+    }
+    total
+}
+
+/// `true` when the union of `cover` fully covers `target`.
+///
+/// Exact: equivalent to `area(target ∖ ∪cover) == 0`.
+pub fn covers(cover: &[Rect], target: &Rect) -> bool {
+    if target.is_empty() {
+        return true;
+    }
+    let clipped: Vec<Rect> = cover
+        .iter()
+        .filter_map(|r| r.intersection(target))
+        .collect();
+    union_area(&clipped) == target.area()
+}
+
+/// The parts of `target` not covered by any rect in `cutters`, as disjoint
+/// rectangles.
+///
+/// ```
+/// use hotspot_geom::{boolean, Rect};
+/// let target = Rect::from_extents(0, 0, 10, 10);
+/// let hole = Rect::from_extents(4, 4, 6, 6);
+/// let parts = boolean::subtract(&target, &[hole]);
+/// let area: i64 = parts.iter().map(|r| r.area()).sum();
+/// assert_eq!(area, 100 - 4);
+/// ```
+pub fn subtract(target: &Rect, cutters: &[Rect]) -> Vec<Rect> {
+    let mut pieces = vec![*target];
+    for cutter in cutters {
+        let mut next = Vec::with_capacity(pieces.len());
+        for piece in pieces {
+            subtract_one(&piece, cutter, &mut next);
+        }
+        pieces = next;
+        if pieces.is_empty() {
+            break;
+        }
+    }
+    pieces
+}
+
+/// Splits `piece ∖ cutter` into at most four rectangles.
+fn subtract_one(piece: &Rect, cutter: &Rect, out: &mut Vec<Rect>) {
+    let Some(overlap) = piece.intersection(cutter) else {
+        if !piece.is_empty() {
+            out.push(*piece);
+        }
+        return;
+    };
+    // Bottom band.
+    if overlap.min().y > piece.min().y {
+        out.push(Rect::from_extents(
+            piece.min().x,
+            piece.min().y,
+            piece.max().x,
+            overlap.min().y,
+        ));
+    }
+    // Top band.
+    if overlap.max().y < piece.max().y {
+        out.push(Rect::from_extents(
+            piece.min().x,
+            overlap.max().y,
+            piece.max().x,
+            piece.max().y,
+        ));
+    }
+    // Left band (within the overlap's y-range).
+    if overlap.min().x > piece.min().x {
+        out.push(Rect::from_extents(
+            piece.min().x,
+            overlap.min().y,
+            overlap.min().x,
+            overlap.max().y,
+        ));
+    }
+    // Right band.
+    if overlap.max().x < piece.max().x {
+        out.push(Rect::from_extents(
+            overlap.max().x,
+            overlap.min().y,
+            piece.max().x,
+            overlap.max().y,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::from_extents(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn union_of_disjoint_adds() {
+        assert_eq!(union_area(&[r(0, 0, 10, 10), r(20, 0, 30, 10)]), 200);
+    }
+
+    #[test]
+    fn union_of_overlapping_deduplicates() {
+        assert_eq!(union_area(&[r(0, 0, 10, 10), r(5, 0, 15, 10)]), 150);
+        // Identical copies count once.
+        assert_eq!(union_area(&[r(0, 0, 10, 10); 5]), 100);
+    }
+
+    #[test]
+    fn union_handles_contained_rects() {
+        assert_eq!(union_area(&[r(0, 0, 100, 100), r(10, 10, 20, 20)]), 10_000);
+    }
+
+    #[test]
+    fn union_of_cross_shape() {
+        // Plus sign: 30×10 and 10×30 crossing at the centre.
+        let area = union_area(&[r(0, 10, 30, 20), r(10, 0, 20, 30)]);
+        assert_eq!(area, 300 + 300 - 100);
+    }
+
+    #[test]
+    fn union_ignores_empty() {
+        assert_eq!(union_area(&[r(5, 5, 5, 10)]), 0);
+        assert_eq!(union_area(&[]), 0);
+    }
+
+    #[test]
+    fn covers_exact_and_partial() {
+        let target = r(0, 0, 10, 10);
+        assert!(covers(&[r(0, 0, 10, 10)], &target));
+        // Two halves cover exactly.
+        assert!(covers(&[r(0, 0, 5, 10), r(5, 0, 10, 10)], &target));
+        // A 1 nm sliver missing.
+        assert!(!covers(&[r(0, 0, 5, 10), r(5, 0, 10, 9)], &target));
+        // Overlapping pieces still cover.
+        assert!(covers(&[r(0, 0, 7, 10), r(3, 0, 10, 10)], &target));
+        // Empty target is vacuously covered.
+        assert!(covers(&[], &r(3, 3, 3, 9)));
+    }
+
+    #[test]
+    fn subtract_hole_produces_frame() {
+        let parts = subtract(&r(0, 0, 10, 10), &[r(4, 4, 6, 6)]);
+        let area: i64 = parts.iter().map(Rect::area).sum();
+        assert_eq!(area, 96);
+        // Pieces are pairwise disjoint.
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                assert!(!parts[i].overlaps(&parts[j]));
+            }
+        }
+        // And none covers the hole.
+        for p in &parts {
+            assert!(!p.overlaps(&r(4, 4, 6, 6)));
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_is_identity() {
+        let parts = subtract(&r(0, 0, 10, 10), &[r(20, 20, 30, 30)]);
+        assert_eq!(parts, vec![r(0, 0, 10, 10)]);
+    }
+
+    #[test]
+    fn subtract_full_cover_is_empty() {
+        assert!(subtract(&r(0, 0, 10, 10), &[r(-5, -5, 15, 15)]).is_empty());
+    }
+
+    #[test]
+    fn subtract_multiple_cutters() {
+        let parts = subtract(&r(0, 0, 10, 10), &[r(0, 0, 5, 10), r(5, 0, 10, 5)]);
+        let area: i64 = parts.iter().map(Rect::area).sum();
+        assert_eq!(area, 25);
+        assert_eq!(parts, vec![r(5, 5, 10, 10)]);
+    }
+
+    #[test]
+    fn union_area_equals_target_minus_subtract() {
+        // Cross-check the two primitives against each other.
+        let target = r(0, 0, 50, 50);
+        let cutters = [r(0, 0, 20, 20), r(10, 10, 40, 30), r(30, 25, 50, 50)];
+        let clipped: Vec<Rect> = cutters
+            .iter()
+            .filter_map(|c| c.intersection(&target))
+            .collect();
+        let remaining: i64 = subtract(&target, &cutters).iter().map(Rect::area).sum();
+        assert_eq!(union_area(&clipped), target.area() - remaining);
+    }
+}

@@ -1,0 +1,268 @@
+//! The orientation group `D8`: four rotations × two mirrors.
+//!
+//! The paper considers "eight possible orientations … combinations of four
+//! rotations (0°, 90°, 180°, 270°) and two mirrors" in both the Theorem-1
+//! topology match and the density distance of eq. (1). Orientations act on
+//! geometry *within a window* `[0, w) × [0, h)` so that transformed
+//! coordinates stay non-negative, matching how clip patterns are stored.
+
+use crate::{Coord, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An element of the dihedral group `D8` acting on a `w × h` window.
+///
+/// `Rk` is a counterclockwise rotation by `k` degrees; `Mx*` first mirrors
+/// horizontally (x ↦ w−x) and then rotates.
+///
+/// ```
+/// use hotspot_geom::{Orientation, Point, Rect};
+/// let r = Rect::from_extents(0, 0, 10, 20);
+/// let (rot, dims) = (Orientation::R90.apply_rect(&r, 100, 50), Orientation::R90.window(100, 50));
+/// assert_eq!(dims, (50, 100));
+/// assert_eq!(rot, Rect::from_extents(30, 0, 50, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// 90° counterclockwise rotation.
+    R90,
+    /// 180° rotation.
+    R180,
+    /// 270° counterclockwise rotation.
+    R270,
+    /// Horizontal mirror (x ↦ w − x).
+    Mx,
+    /// Horizontal mirror followed by 90° ccw rotation.
+    MxR90,
+    /// Horizontal mirror followed by 180° rotation (= vertical mirror).
+    MxR180,
+    /// Horizontal mirror followed by 270° ccw rotation.
+    MxR270,
+}
+
+/// All eight orientations, identity first.
+pub const D8: [Orientation; 8] = [
+    Orientation::R0,
+    Orientation::R90,
+    Orientation::R180,
+    Orientation::R270,
+    Orientation::Mx,
+    Orientation::MxR90,
+    Orientation::MxR180,
+    Orientation::MxR270,
+];
+
+impl Orientation {
+    /// `true` for the four mirrored elements.
+    pub fn is_mirrored(self) -> bool {
+        matches!(
+            self,
+            Orientation::Mx | Orientation::MxR90 | Orientation::MxR180 | Orientation::MxR270
+        )
+    }
+
+    /// Number of 90° ccw rotation steps applied after the optional mirror.
+    pub fn rotation_steps(self) -> u8 {
+        match self {
+            Orientation::R0 | Orientation::Mx => 0,
+            Orientation::R90 | Orientation::MxR90 => 1,
+            Orientation::R180 | Orientation::MxR180 => 2,
+            Orientation::R270 | Orientation::MxR270 => 3,
+        }
+    }
+
+    /// Builds the orientation from a mirror flag and rotation step count.
+    pub fn from_parts(mirrored: bool, steps: u8) -> Orientation {
+        match (mirrored, steps % 4) {
+            (false, 0) => Orientation::R0,
+            (false, 1) => Orientation::R90,
+            (false, 2) => Orientation::R180,
+            (false, 3) => Orientation::R270,
+            (true, 0) => Orientation::Mx,
+            (true, 1) => Orientation::MxR90,
+            (true, 2) => Orientation::MxR180,
+            (true, 3) => Orientation::MxR270,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Dimensions of the window after the transform.
+    pub fn window(self, w: Coord, h: Coord) -> (Coord, Coord) {
+        if self.rotation_steps() % 2 == 1 {
+            (h, w)
+        } else {
+            (w, h)
+        }
+    }
+
+    /// Transforms a point inside a `w × h` window.
+    ///
+    /// The result lies in the transformed window ([`Orientation::window`]).
+    /// Note that for closed-open rectangles, corners must be transformed via
+    /// [`Orientation::apply_rect`], not point by point.
+    pub fn apply_point(self, p: Point, w: Coord, h: Coord) -> Point {
+        let (mut x, mut y) = (p.x, p.y);
+        if self.is_mirrored() {
+            x = w - x;
+        }
+        let (mut cw, mut ch) = (w, h);
+        for _ in 0..self.rotation_steps() {
+            // 90° ccw within a cw × ch window: (x, y) -> (ch - y, x).
+            let nx = ch - y;
+            let ny = x;
+            x = nx;
+            y = ny;
+            std::mem::swap(&mut cw, &mut ch);
+        }
+        let _ = cw;
+        Point::new(x, y)
+    }
+
+    /// Transforms a rectangle inside a `w × h` window (corners transformed
+    /// and re-normalised, so closed-open extents remain valid).
+    pub fn apply_rect(self, r: &Rect, w: Coord, h: Coord) -> Rect {
+        let a = self.apply_point(r.min(), w, h);
+        let b = self.apply_point(r.max(), w, h);
+        Rect::new(a, b)
+    }
+
+    /// Transforms every rectangle in a slice.
+    pub fn apply_rects(self, rects: &[Rect], w: Coord, h: Coord) -> Vec<Rect> {
+        rects.iter().map(|r| self.apply_rect(r, w, h)).collect()
+    }
+
+    /// Group composition: `self.then(other)` applies `self` first.
+    pub fn then(self, other: Orientation) -> Orientation {
+        // In D4 presentation with r = ccw rotation, m = horizontal mirror:
+        // m r^k  composition rules: r^a r^b = r^(a+b); (m r^a)(r^b) = m r^(a+b);
+        // r^a (m r^b) = m r^(b - a); (m r^a)(m r^b) = r^(b - a).
+        let (am, ak) = (self.is_mirrored(), self.rotation_steps() as i8);
+        let (bm, bk) = (other.is_mirrored(), other.rotation_steps() as i8);
+        let (m, k) = match (am, bm) {
+            (false, false) => (false, ak + bk),
+            (true, false) => (true, ak + bk),
+            (false, true) => (true, bk - ak),
+            (true, true) => (false, bk - ak),
+        };
+        Orientation::from_parts(m, k.rem_euclid(4) as u8)
+    }
+
+    /// The inverse element.
+    pub fn inverse(self) -> Orientation {
+        if self.is_mirrored() {
+            self // every mirrored element of D8 is an involution
+        } else {
+            Orientation::from_parts(false, (4 - self.rotation_steps()) % 4)
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::Mx => "MX",
+            Orientation::MxR90 => "MX90",
+            Orientation::MxR180 => "MX180",
+            Orientation::MxR270 => "MX270",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Coord = 100;
+    const H: Coord = 60;
+
+    #[test]
+    fn identity_is_noop() {
+        let r = Rect::from_extents(5, 10, 30, 50);
+        assert_eq!(Orientation::R0.apply_rect(&r, W, H), r);
+    }
+
+    #[test]
+    fn r90_maps_bottom_right_to_top_right() {
+        // A marker near the bottom-right corner.
+        let r = Rect::from_extents(90, 0, 100, 10);
+        let t = Orientation::R90.apply_rect(&r, W, H);
+        // New window is 60 × 100; marker should be near the top-right.
+        assert_eq!(t, Rect::from_extents(50, 90, 60, 100));
+    }
+
+    #[test]
+    fn r180_is_r90_twice() {
+        let r = Rect::from_extents(5, 10, 30, 50);
+        let once = Orientation::R90.apply_rect(&r, W, H);
+        let (w1, h1) = Orientation::R90.window(W, H);
+        let twice = Orientation::R90.apply_rect(&once, w1, h1);
+        assert_eq!(Orientation::R180.apply_rect(&r, W, H), twice);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let r = Rect::from_extents(5, 10, 30, 50);
+        let m = Orientation::Mx.apply_rect(&r, W, H);
+        assert_eq!(Orientation::Mx.apply_rect(&m, W, H), r);
+    }
+
+    #[test]
+    fn window_dims_swap_on_odd_rotations() {
+        assert_eq!(Orientation::R90.window(W, H), (H, W));
+        assert_eq!(Orientation::R180.window(W, H), (W, H));
+        assert_eq!(Orientation::MxR270.window(W, H), (H, W));
+    }
+
+    #[test]
+    fn transformed_rect_stays_in_window() {
+        let r = Rect::from_extents(0, 0, 10, 5);
+        for o in D8 {
+            let (tw, th) = o.window(W, H);
+            let t = o.apply_rect(&r, W, H);
+            let win = Rect::from_extents(0, 0, tw, th);
+            assert!(win.contains_rect(&t), "{o}: {t:?} outside {tw}x{th}");
+            assert_eq!(t.area(), r.area(), "{o} changed area");
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let r = Rect::from_extents(3, 7, 21, 18);
+        for a in D8 {
+            for b in D8 {
+                let combined = a.then(b).apply_rect(&r, W, H);
+                let (w1, h1) = a.window(W, H);
+                let sequential = b.apply_rect(&a.apply_rect(&r, W, H), w1, h1);
+                assert_eq!(combined, sequential, "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for o in D8 {
+            assert_eq!(o.then(o.inverse()), Orientation::R0, "{o}");
+            assert_eq!(o.inverse().then(o), Orientation::R0, "{o}");
+        }
+    }
+
+    #[test]
+    fn group_is_closed_and_has_eight_elements() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in D8 {
+            for b in D8 {
+                seen.insert(a.then(b));
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Points in integer nanometres.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// Layout coordinate in nanometres.
+///
+/// All geometry in this workspace uses signed 64-bit integer nanometres; the
+/// largest layouts in the paper are below 1 mm per side (10⁶ nm), so areas in
+/// nm² fit comfortably in an `i64`/`i128`.
+pub type Coord = i64;
+
+/// A point on the layout grid, in nanometres.
+///
+/// ```
+/// use hotspot_geom::Point;
+/// let p = Point::new(3, 4) + Point::new(1, 1);
+/// assert_eq!(p, Point::new(4, 5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate in nanometres.
+    pub x: Coord,
+    /// Vertical coordinate in nanometres.
+    pub y: Coord,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use hotspot_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, -4)), 7);
+    /// ```
+    pub fn manhattan_distance(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    pub fn chebyshev_distance(self, other: Point) -> Coord {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Component-wise minimum.
+    pub fn min_components(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max_components(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Swaps the x and y coordinates (reflection across the main diagonal).
+    pub fn transpose(self) -> Point {
+        Point::new(self.y, self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(3, 4);
+        let b = Point::new(-1, 2);
+        assert_eq!(a + b, Point::new(2, 6));
+        assert_eq!(a - b, Point::new(4, 2));
+        assert_eq!(-a, Point::new(-3, -4));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Point::new(2, 6));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, -4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(a.chebyshev_distance(b), 4);
+        assert_eq!(b.manhattan_distance(a), 7);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, 2);
+        assert_eq!(a.min_components(b), Point::new(1, 2));
+        assert_eq!(a.max_components(b), Point::new(4, 9));
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        assert_eq!(Point::new(2, 5).transpose(), Point::new(5, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::new(-1, 7).to_string(), "(-1, 7)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (10, 20).into();
+        assert_eq!(p, Point::new(10, 20));
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the geometry substrate.
+
+use hotspot_geom::{DensityGrid, Orientation, Point, Polygon, Rect, D8};
+use proptest::prelude::*;
+
+fn arb_rect(max: i64) -> impl Strategy<Value = Rect> {
+    (0..max, 0..max, 1..max, 1..max).prop_map(move |(x, y, w, h)| {
+        Rect::from_origin_size(Point::new(x, y), w, h)
+    })
+}
+
+fn arb_rects(max: i64, n: usize) -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(arb_rect(max), 1..n)
+}
+
+proptest! {
+    #[test]
+    fn rect_intersection_is_commutative(a in arb_rect(200), b in arb_rect(200)) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+    }
+
+    #[test]
+    fn rect_intersection_is_contained_in_both(a in arb_rect(200), b in arb_rect(200)) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(a in arb_rect(200), b in arb_rect(200)) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn translate_preserves_area(a in arb_rect(200), dx in -100i64..100, dy in -100i64..100) {
+        prop_assert_eq!(a.translate(Point::new(dx, dy)).area(), a.area());
+    }
+
+    #[test]
+    fn orientation_roundtrip_restores_rect(a in arb_rect(100)) {
+        // Keep the rect inside a fixed window for the transform.
+        let (w, h) = (220, 220);
+        for o in D8 {
+            let (tw, th) = o.window(w, h);
+            let t = o.apply_rect(&a, w, h);
+            let back = o.inverse().apply_rect(&t, tw, th);
+            prop_assert_eq!(back, a, "orientation {}", o);
+        }
+    }
+
+    #[test]
+    fn orientation_composition_associative(
+        i in 0usize..8, j in 0usize..8, k in 0usize..8
+    ) {
+        let (a, b, c) = (D8[i], D8[j], D8[k]);
+        prop_assert_eq!(a.then(b).then(c), a.then(b.then(c)));
+    }
+
+    #[test]
+    fn density_grid_mean_matches_covered_area(rects in arb_rects(100, 6)) {
+        // Union area via inclusion over a discrete grid equals grid mean.
+        let window = Rect::from_extents(0, 0, 200, 200);
+        let g = DensityGrid::from_rects(&window, &rects, 10, 10);
+        // Exact union area by scanline over unit cells is too slow; instead
+        // check bounds: mean * window_area >= max single rect clipped area /
+        // window area is not an invariant under overlap, so check weaker
+        // bounds: 0 <= mean <= sum of clipped areas / window area.
+        let sum_clipped: i64 = rects
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .map(|r| r.area())
+            .sum();
+        let upper = (sum_clipped as f64 / window.area() as f64).min(1.0);
+        prop_assert!(g.mean() >= -1e-12);
+        prop_assert!(g.mean() <= upper + 1e-9);
+    }
+
+    #[test]
+    fn density_distance_zero_for_any_orientation(rects in arb_rects(200, 5)) {
+        let window = Rect::from_extents(0, 0, 200, 200);
+        let clipped: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .collect();
+        prop_assume!(!clipped.is_empty());
+        let g = DensityGrid::from_rects(&window, &clipped, 8, 8);
+        for o in D8 {
+            let trects = o.apply_rects(&clipped, 200, 200);
+            let t = DensityGrid::from_rects(&window, &trects, 8, 8);
+            prop_assert!(g.distance(&t).distance < 1e-9, "orientation {}", o);
+        }
+    }
+
+    #[test]
+    fn density_distance_triangle_inequality(
+        a in arb_rects(200, 4), b in arb_rects(200, 4), c in arb_rects(200, 4)
+    ) {
+        // The plain L1 distance (fixed orientation) is a metric; the
+        // orientation-minimised one satisfies the triangle inequality too
+        // because D8 is a group.
+        let window = Rect::from_extents(0, 0, 200, 200);
+        let ga = DensityGrid::from_rects(&window, &a, 6, 6);
+        let gb = DensityGrid::from_rects(&window, &b, 6, 6);
+        let gc = DensityGrid::from_rects(&window, &c, 6, 6);
+        let dab = ga.distance(&gb).distance;
+        let dbc = gb.distance(&gc).distance;
+        let dac = ga.distance(&gc).distance;
+        prop_assert!(dac <= dab + dbc + 1e-9);
+    }
+
+    #[test]
+    fn dissection_preserves_area(
+        xs in proptest::collection::vec(1i64..50, 2..5),
+        ys in proptest::collection::vec(1i64..50, 2..5),
+    ) {
+        // Build a staircase polygon from cumulative steps: always valid.
+        let mut verts = vec![Point::new(0, 0)];
+        let (mut x, mut y) = (0i64, 0i64);
+        for (&dx, &dy) in xs.iter().zip(&ys) {
+            x += dx;
+            verts.push(Point::new(x, y));
+            y += dy;
+            verts.push(Point::new(x, y));
+        }
+        verts.push(Point::new(0, y));
+        let poly = Polygon::new(verts).expect("staircase is rectilinear");
+        let rects = poly.dissect_horizontal();
+        let total: i64 = rects.iter().map(|r| r.area()).sum();
+        prop_assert_eq!(total, poly.area());
+        // Rectangles must be pairwise disjoint.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                prop_assert!(!rects[i].overlaps(&rects[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn dissection_rects_inside_bbox(
+        xs in proptest::collection::vec(1i64..40, 2..6),
+        ys in proptest::collection::vec(1i64..40, 2..6),
+    ) {
+        let mut verts = vec![Point::new(0, 0)];
+        let (mut x, mut y) = (0i64, 0i64);
+        for (&dx, &dy) in xs.iter().zip(&ys) {
+            x += dx;
+            verts.push(Point::new(x, y));
+            y += dy;
+            verts.push(Point::new(x, y));
+        }
+        verts.push(Point::new(0, y));
+        let poly = Polygon::new(verts).expect("staircase is rectilinear");
+        let bbox = poly.bbox();
+        for r in poly.dissect_horizontal() {
+            prop_assert!(bbox.contains_rect(&r));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn union_area_bounds(rects in proptest::collection::vec(
+        (0i64..100, 0i64..100, 1i64..60, 1i64..60), 1..8
+    )) {
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+            .collect();
+        let union = hotspot_geom::boolean::union_area(&rects);
+        let sum: i64 = rects.iter().map(Rect::area).sum();
+        let max_single = rects.iter().map(Rect::area).max().unwrap_or(0);
+        prop_assert!(union <= sum, "union {union} exceeds sum {sum}");
+        prop_assert!(union >= max_single, "union {union} below max rect {max_single}");
+        // Union of the set equals union of the set plus duplicates.
+        let mut doubled = rects.clone();
+        doubled.extend(rects.iter().copied());
+        prop_assert_eq!(union, hotspot_geom::boolean::union_area(&doubled));
+    }
+
+    #[test]
+    fn subtract_partitions_target(
+        cutters in proptest::collection::vec((0i64..100, 0i64..100, 1i64..60, 1i64..60), 0..6)
+    ) {
+        let target = Rect::from_extents(0, 0, 120, 120);
+        let cutters: Vec<Rect> = cutters
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+            .collect();
+        let parts = hotspot_geom::boolean::subtract(&target, &cutters);
+        // Disjoint pieces inside the target, none touching a cutter.
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(target.contains_rect(p));
+            prop_assert!(!cutters.iter().any(|c| c.overlaps(p)));
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.overlaps(q));
+            }
+        }
+        // Areas reconcile with the union primitive.
+        let clipped: Vec<Rect> = cutters
+            .iter()
+            .filter_map(|c| c.intersection(&target))
+            .collect();
+        let remaining: i64 = parts.iter().map(Rect::area).sum();
+        prop_assert_eq!(
+            remaining,
+            target.area() - hotspot_geom::boolean::union_area(&clipped)
+        );
+    }
+}
+
+#[test]
+fn orientation_identity_constant() {
+    assert_eq!(Orientation::default(), Orientation::R0);
+}

@@ -1,0 +1,251 @@
+//! Core/ambit clip-window geometry (Figs. 1–2 of the paper).
+//!
+//! A training pattern or reported hotspot is a *clip*: a square window whose
+//! central *core* carries the significant geometry and whose peripheral
+//! *ambit* supplies context. The contest's benchmarks use a 1.2 × 1.2 µm
+//! core inside a 4.8 × 4.8 µm clip.
+
+use hotspot_geom::{Coord, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shared shape of every clip in a benchmark: core side and clip side.
+///
+/// ```
+/// use hotspot_layout::ClipShape;
+/// let shape = ClipShape::new(1200, 4800)?;
+/// assert_eq!(shape.ambit(), 1800);
+/// # Ok::<(), hotspot_layout::clip::ClipShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClipShape {
+    core_side: Coord,
+    clip_side: Coord,
+}
+
+/// Error constructing a [`ClipShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClipShapeError {
+    /// Core or clip side was not positive.
+    NonPositiveSide,
+    /// The clip side was not larger than the core side.
+    ClipNotLarger,
+    /// Core and clip sides differ by an odd amount, so the ambit cannot be
+    /// symmetric on the integer grid.
+    AsymmetricAmbit,
+}
+
+impl fmt::Display for ClipShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClipShapeError::NonPositiveSide => write!(f, "clip sides must be positive"),
+            ClipShapeError::ClipNotLarger => {
+                write!(f, "clip side must exceed core side")
+            }
+            ClipShapeError::AsymmetricAmbit => {
+                write!(f, "clip and core sides must differ by an even amount")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClipShapeError {}
+
+impl ClipShape {
+    /// The ICCAD-2012 contest shape: 1.2 µm core, 4.8 µm clip.
+    pub const ICCAD2012: ClipShape = ClipShape {
+        core_side: 1200,
+        clip_side: 4800,
+    };
+
+    /// Creates a clip shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClipShapeError`] unless `0 < core_side < clip_side` and the
+    /// difference is even.
+    pub fn new(core_side: Coord, clip_side: Coord) -> Result<Self, ClipShapeError> {
+        if core_side <= 0 || clip_side <= 0 {
+            return Err(ClipShapeError::NonPositiveSide);
+        }
+        if clip_side <= core_side {
+            return Err(ClipShapeError::ClipNotLarger);
+        }
+        if (clip_side - core_side) % 2 != 0 {
+            return Err(ClipShapeError::AsymmetricAmbit);
+        }
+        Ok(ClipShape {
+            core_side,
+            clip_side,
+        })
+    }
+
+    /// Core side length (`l_c` in the paper).
+    pub fn core_side(self) -> Coord {
+        self.core_side
+    }
+
+    /// Clip side length.
+    pub fn clip_side(self) -> Coord {
+        self.clip_side
+    }
+
+    /// Ambit width on each side: `(clip − core) / 2`.
+    pub fn ambit(self) -> Coord {
+        (self.clip_side - self.core_side) / 2
+    }
+
+    /// A clip window whose core's bottom-left corner sits at `corner`
+    /// (the anchoring used by layout-clip extraction, Fig. 11(b)).
+    pub fn window_from_core_corner(self, corner: Point) -> ClipWindow {
+        let core = Rect::from_origin_size(corner, self.core_side, self.core_side);
+        ClipWindow {
+            core,
+            clip: core.inflate(self.ambit()),
+        }
+    }
+
+    /// A clip window centred on `center`.
+    pub fn window_centered(self, center: Point) -> ClipWindow {
+        let core = Rect::centered_square(center, self.core_side);
+        ClipWindow {
+            core,
+            clip: core.inflate(self.ambit()),
+        }
+    }
+}
+
+/// A placed clip: its full window and the core region inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClipWindow {
+    /// The full clip window (core plus ambit).
+    pub clip: Rect,
+    /// The core region at the clip's centre.
+    pub core: Rect,
+}
+
+impl ClipWindow {
+    /// The contest's hit rule (Fig. 2): a reported clip *hits* an actual
+    /// hotspot when the reported core overlaps the actual core, the reported
+    /// clip fully covers the actual core, and the two clips overlap by at
+    /// least `min_clip_overlap` of the clip area.
+    ///
+    /// ```
+    /// use hotspot_layout::ClipShape;
+    /// use hotspot_geom::Point;
+    /// let shape = ClipShape::ICCAD2012;
+    /// let actual = shape.window_centered(Point::new(0, 0));
+    /// let reported = shape.window_centered(Point::new(300, 100));
+    /// assert!(reported.is_hit(&actual, 0.2));
+    /// let far = shape.window_centered(Point::new(5000, 5000));
+    /// assert!(!far.is_hit(&actual, 0.2));
+    /// ```
+    pub fn is_hit(&self, actual: &ClipWindow, min_clip_overlap: f64) -> bool {
+        self.core.overlaps(&actual.core)
+            && self.clip.contains_rect(&actual.core)
+            && self.clip.overlap_ratio(&actual.clip) >= min_clip_overlap
+    }
+
+    /// Translates the whole window by `delta`.
+    pub fn translate(&self, delta: Point) -> ClipWindow {
+        ClipWindow {
+            clip: self.clip.translate(delta),
+            core: self.core.translate(delta),
+        }
+    }
+}
+
+impl fmt::Display for ClipWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clip {} core {}", self.clip, self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iccad_shape() {
+        let s = ClipShape::ICCAD2012;
+        assert_eq!(s.core_side(), 1200);
+        assert_eq!(s.clip_side(), 4800);
+        assert_eq!(s.ambit(), 1800);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(ClipShape::new(0, 100), Err(ClipShapeError::NonPositiveSide));
+        assert_eq!(ClipShape::new(100, 100), Err(ClipShapeError::ClipNotLarger));
+        assert_eq!(
+            ClipShape::new(100, 201),
+            Err(ClipShapeError::AsymmetricAmbit)
+        );
+        assert!(ClipShape::new(100, 200).is_ok());
+    }
+
+    #[test]
+    fn window_from_corner_places_core() {
+        let s = ClipShape::new(100, 300).unwrap();
+        let w = s.window_from_core_corner(Point::new(1000, 2000));
+        assert_eq!(w.core, Rect::from_extents(1000, 2000, 1100, 2100));
+        assert_eq!(w.clip, Rect::from_extents(900, 1900, 1200, 2200));
+    }
+
+    #[test]
+    fn window_centered_is_concentric() {
+        let s = ClipShape::new(100, 300).unwrap();
+        let w = s.window_centered(Point::new(0, 0));
+        assert_eq!(w.core.center(), w.clip.center());
+        assert_eq!(w.core.width(), 100);
+        assert_eq!(w.clip.width(), 300);
+    }
+
+    #[test]
+    fn hit_requires_core_overlap() {
+        let s = ClipShape::ICCAD2012;
+        let actual = s.window_centered(Point::new(0, 0));
+        // Core just beyond the actual core but clip still covering it: miss.
+        let reported = s.window_centered(Point::new(1300, 0));
+        assert!(!reported.core.overlaps(&actual.core));
+        assert!(!reported.is_hit(&actual, 0.2));
+    }
+
+    #[test]
+    fn hit_requires_full_core_coverage() {
+        let s = ClipShape::new(1200, 2000).unwrap(); // narrow ambit of 400
+        let actual = s.window_centered(Point::new(0, 0));
+        // Cores overlap, but the reported clip cannot cover the actual core.
+        let reported = s.window_centered(Point::new(1100, 0));
+        assert!(reported.core.overlaps(&actual.core));
+        assert!(!reported.clip.contains_rect(&actual.core));
+        assert!(!reported.is_hit(&actual, 0.0));
+    }
+
+    #[test]
+    fn hit_requires_min_clip_overlap() {
+        let s = ClipShape::ICCAD2012;
+        let actual = s.window_centered(Point::new(0, 0));
+        let reported = s.window_centered(Point::new(1100, 1100));
+        assert!(reported.core.overlaps(&actual.core));
+        assert!(reported.clip.contains_rect(&actual.core));
+        // Clip overlap ratio ≈ (4800-1100)²/4800² ≈ 0.594.
+        assert!(reported.is_hit(&actual, 0.5));
+        assert!(!reported.is_hit(&actual, 0.7));
+    }
+
+    #[test]
+    fn exact_match_is_a_hit() {
+        let s = ClipShape::ICCAD2012;
+        let w = s.window_centered(Point::new(123, 456));
+        assert!(w.is_hit(&w, 1.0));
+    }
+
+    #[test]
+    fn translate_moves_both_rects() {
+        let s = ClipShape::ICCAD2012;
+        let w = s.window_centered(Point::new(0, 0)).translate(Point::new(10, 20));
+        assert_eq!(w.core.center(), Point::new(10, 20));
+        assert_eq!(w.clip.center(), Point::new(10, 20));
+    }
+}

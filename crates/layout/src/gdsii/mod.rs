@@ -1,0 +1,33 @@
+//! GDSII stream-format reader and writer.
+//!
+//! Implements the subset of the GDSII binary stream format needed to
+//! round-trip flat hotspot-benchmark layouts: one library, one structure,
+//! `BOUNDARY` elements with `LAYER`/`DATATYPE`/`XY`. This replaces the
+//! proprietary Anuvad library the paper used for layout I/O.
+//!
+//! The database unit is 1 nm (`UNITS` is written as 0.001 user units per
+//! database unit, 1e-9 m per database unit).
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspot_layout::{gdsii, LayerId, Layout};
+//! use hotspot_geom::Rect;
+//!
+//! let mut layout = Layout::new("top");
+//! layout.add_rect(LayerId::new(5), Rect::from_extents(-100, 0, 250, 40));
+//! let bytes = gdsii::write_bytes(&layout)?;
+//! let back = gdsii::read_bytes(&bytes)?;
+//! assert_eq!(back, layout);
+//! # Ok::<(), gdsii::GdsError>(())
+//! ```
+
+mod reader;
+mod real;
+mod records;
+mod writer;
+
+pub use reader::{read_bytes, read_file};
+pub use real::{decode_real8, encode_real8};
+pub use records::{GdsError, RecordType};
+pub use writer::{write_bytes, write_file};

@@ -1,0 +1,133 @@
+//! The GDSII 8-byte excess-64 floating-point format.
+//!
+//! GDSII predates IEEE 754: a real is stored as a sign bit, a 7-bit excess-64
+//! base-16 exponent, and a 56-bit mantissa representing a fraction in
+//! `[1/16, 1)`. Only the `UNITS` record uses reals, but the codec is exact
+//! for the values we write and tested against the canonical encodings.
+
+/// Encodes an `f64` into the GDSII 8-byte real format.
+///
+/// Values whose magnitude falls outside the representable range saturate to
+/// zero or the maximum representable value.
+///
+/// ```
+/// use hotspot_layout::gdsii::{decode_real8, encode_real8};
+/// let bytes = encode_real8(1e-9);
+/// let back = decode_real8(bytes);
+/// assert!((back - 1e-9).abs() < 1e-24);
+/// ```
+pub fn encode_real8(value: f64) -> [u8; 8] {
+    if value == 0.0 || !value.is_finite() {
+        return [0; 8];
+    }
+    let sign = if value < 0.0 { 0x80u8 } else { 0 };
+    let mut mag = value.abs();
+    // Normalise: mag = fraction * 16^exp with fraction in [1/16, 1).
+    let mut exp: i32 = 0;
+    while mag >= 1.0 {
+        mag /= 16.0;
+        exp += 1;
+    }
+    while mag < 1.0 / 16.0 {
+        mag *= 16.0;
+        exp -= 1;
+    }
+    let biased = exp + 64;
+    if biased <= 0 {
+        return [0; 8]; // underflow
+    }
+    if biased > 127 {
+        // Saturate to the largest representable magnitude.
+        let mut out = [0xFFu8; 8];
+        out[0] = sign | 0x7F;
+        return out;
+    }
+    let mantissa = (mag * (1u64 << 56) as f64).round() as u64;
+    // Rounding can push the mantissa to exactly 2^56; renormalise.
+    let (mantissa, biased) = if mantissa >= 1u64 << 56 {
+        (mantissa >> 4, biased + 1)
+    } else {
+        (mantissa, biased)
+    };
+    let mut out = [0u8; 8];
+    out[0] = sign | (biased as u8 & 0x7F);
+    for i in 0..7 {
+        out[1 + i] = ((mantissa >> (8 * (6 - i))) & 0xFF) as u8;
+    }
+    out
+}
+
+/// Decodes a GDSII 8-byte real into an `f64`.
+pub fn decode_real8(bytes: [u8; 8]) -> f64 {
+    let sign = if bytes[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exp = (bytes[0] & 0x7F) as i32 - 64;
+    let mut mantissa: u64 = 0;
+    for &b in &bytes[1..8] {
+        mantissa = (mantissa << 8) | b as u64;
+    }
+    if mantissa == 0 {
+        return 0.0;
+    }
+    sign * (mantissa as f64 / (1u64 << 56) as f64) * 16f64.powi(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero() {
+        assert_eq!(encode_real8(0.0), [0; 8]);
+        assert_eq!(decode_real8([0; 8]), 0.0);
+    }
+
+    #[test]
+    fn canonical_one() {
+        // 1.0 = 0.0625 * 16^1 -> exponent 65, mantissa 0x10000000000000.
+        let bytes = encode_real8(1.0);
+        assert_eq!(bytes, [0x41, 0x10, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(decode_real8(bytes), 1.0);
+    }
+
+    #[test]
+    fn canonical_units_values() {
+        // The classic UNITS payload: 0.001 and 1e-9.
+        let milli = encode_real8(0.001);
+        assert!((decode_real8(milli) - 0.001).abs() < 1e-18);
+        let nano = encode_real8(1e-9);
+        assert!((decode_real8(nano) - 1e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn negative_values() {
+        let b = encode_real8(-2.5);
+        assert!(b[0] & 0x80 != 0);
+        assert!((decode_real8(b) + 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_assorted() {
+        for &v in &[
+            1.0, -1.0, 0.5, 2.0, 10.0, 1e-3, 1e-9, 123456.789, -0.000123, 16.0, 256.0,
+        ] {
+            let back = decode_real8(encode_real8(v));
+            assert!(
+                (back - v).abs() <= v.abs() * 1e-14,
+                "{v} round-tripped to {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_encodes_to_zero() {
+        assert_eq!(encode_real8(f64::NAN), [0; 8]);
+        assert_eq!(encode_real8(f64::INFINITY), [0; 8]);
+    }
+
+    #[test]
+    fn huge_value_saturates() {
+        let b = encode_real8(1e80);
+        assert_eq!(b[0] & 0x7F, 0x7F);
+        assert!(decode_real8(b).is_finite());
+    }
+}

@@ -1,0 +1,189 @@
+//! GDSII record headers and the error type shared by reader and writer.
+
+use std::fmt;
+
+/// GDSII record types used by this implementation.
+///
+/// The two-byte discriminant is `record_type << 8 | data_type`, matching the
+/// on-disk header layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum RecordType {
+    Header = 0x0002,
+    BgnLib = 0x0102,
+    LibName = 0x0206,
+    Units = 0x0305,
+    EndLib = 0x0400,
+    BgnStr = 0x0502,
+    StrName = 0x0606,
+    EndStr = 0x0700,
+    Boundary = 0x0800,
+    Path = 0x0900,
+    Sref = 0x0A00,
+    Aref = 0x0B00,
+    Layer = 0x0D02,
+    DataType = 0x0E02,
+    Width = 0x0F03,
+    Xy = 0x1003,
+    EndEl = 0x1100,
+    SName = 0x1206,
+    ColRow = 0x1302,
+    PathType = 0x2102,
+    STrans = 0x1A01,
+    Mag = 0x1B05,
+    Angle = 0x1C05,
+}
+
+impl RecordType {
+    /// Parses the two-byte record/data-type pair from a record header.
+    pub fn from_code(code: u16) -> Option<RecordType> {
+        Some(match code {
+            0x0002 => RecordType::Header,
+            0x0102 => RecordType::BgnLib,
+            0x0206 => RecordType::LibName,
+            0x0305 => RecordType::Units,
+            0x0400 => RecordType::EndLib,
+            0x0502 => RecordType::BgnStr,
+            0x0606 => RecordType::StrName,
+            0x0700 => RecordType::EndStr,
+            0x0800 => RecordType::Boundary,
+            0x0900 => RecordType::Path,
+            0x0A00 => RecordType::Sref,
+            0x0B00 => RecordType::Aref,
+            0x0D02 => RecordType::Layer,
+            0x0E02 => RecordType::DataType,
+            0x0F03 => RecordType::Width,
+            0x1003 => RecordType::Xy,
+            0x1100 => RecordType::EndEl,
+            0x1206 => RecordType::SName,
+            0x1302 => RecordType::ColRow,
+            0x2102 => RecordType::PathType,
+            0x1A01 => RecordType::STrans,
+            0x1B05 => RecordType::Mag,
+            0x1C05 => RecordType::Angle,
+            _ => return None,
+        })
+    }
+
+    /// The two-byte header code.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Error reading or writing a GDSII stream.
+#[derive(Debug)]
+pub enum GdsError {
+    /// The stream ended in the middle of a record.
+    UnexpectedEof,
+    /// A record header declared an invalid length.
+    BadRecordLength(u16),
+    /// An unknown or unsupported record type was encountered.
+    UnsupportedRecord(u16),
+    /// A record appeared out of the expected sequence.
+    UnexpectedRecord(RecordType, &'static str),
+    /// An `XY` record did not describe a closed rectilinear boundary.
+    BadBoundary(String),
+    /// A `PATH` element was malformed or non-Manhattan.
+    BadPath(String),
+    /// A reference named a structure the library does not define.
+    UnknownStructure(String),
+    /// Structure references nest deeper than the flattening limit
+    /// (or form a cycle).
+    RecursionLimit(String),
+    /// A reference uses a transform this subset cannot flatten exactly
+    /// (non-orthogonal angle or magnification ≠ 1).
+    UnsupportedTransform(String),
+    /// A string record contained invalid bytes.
+    BadString,
+    /// An I/O error from the underlying file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::UnexpectedEof => write!(f, "unexpected end of GDSII stream"),
+            GdsError::BadRecordLength(n) => write!(f, "invalid GDSII record length {n}"),
+            GdsError::UnsupportedRecord(c) => {
+                write!(f, "unsupported GDSII record 0x{c:04X}")
+            }
+            GdsError::UnexpectedRecord(r, ctx) => {
+                write!(f, "unexpected GDSII record {r} while {ctx}")
+            }
+            GdsError::BadBoundary(msg) => write!(f, "invalid BOUNDARY element: {msg}"),
+            GdsError::BadPath(msg) => write!(f, "invalid PATH element: {msg}"),
+            GdsError::UnknownStructure(name) => {
+                write!(f, "reference to unknown structure `{name}`")
+            }
+            GdsError::RecursionLimit(name) => {
+                write!(f, "structure nesting too deep (or cyclic) at `{name}`")
+            }
+            GdsError::UnsupportedTransform(msg) => {
+                write!(f, "unsupported reference transform: {msg}")
+            }
+            GdsError::BadString => write!(f, "invalid string payload in GDSII record"),
+            GdsError::Io(e) => write!(f, "gdsii i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GdsError {
+    fn from(e: std::io::Error) -> Self {
+        GdsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for rt in [
+            RecordType::Header,
+            RecordType::BgnLib,
+            RecordType::LibName,
+            RecordType::Units,
+            RecordType::EndLib,
+            RecordType::BgnStr,
+            RecordType::StrName,
+            RecordType::EndStr,
+            RecordType::Boundary,
+            RecordType::Layer,
+            RecordType::DataType,
+            RecordType::Xy,
+            RecordType::EndEl,
+        ] {
+            assert_eq!(RecordType::from_code(rt.code()), Some(rt));
+        }
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        assert_eq!(RecordType::from_code(0xFFFF), None);
+        assert_eq!(RecordType::from_code(0x0003), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GdsError::UnexpectedEof.to_string().contains("end of GDSII"));
+        assert!(GdsError::UnsupportedRecord(0x1234).to_string().contains("1234"));
+    }
+}

@@ -1,0 +1,177 @@
+//! GDSII stream writer.
+
+use super::real::encode_real8;
+use super::records::{GdsError, RecordType};
+use crate::{LayerId, Layout};
+use bytes::{BufMut, BytesMut};
+use std::io::Write;
+use std::path::Path;
+
+/// Serialises a layout into a GDSII byte stream.
+///
+/// The layout becomes one library containing one structure; each polygon is
+/// written as a `BOUNDARY` with `DATATYPE` 0. Coordinates are database units
+/// of 1 nm.
+///
+/// # Errors
+///
+/// Returns [`GdsError::BadBoundary`] if a polygon coordinate does not fit in
+/// the 32-bit signed range GDSII mandates.
+pub fn write_bytes(layout: &Layout) -> Result<Vec<u8>, GdsError> {
+    let mut buf = BytesMut::with_capacity(4096);
+
+    put_record(&mut buf, RecordType::Header, |b| b.put_i16(600)); // release 6
+    put_record(&mut buf, RecordType::BgnLib, |b| {
+        // Twelve i16 timestamp fields (modification + access); fixed epoch
+        // values keep output deterministic.
+        for _ in 0..12 {
+            b.put_i16(0);
+        }
+    });
+    put_string(&mut buf, RecordType::LibName, layout.name());
+    put_record(&mut buf, RecordType::Units, |b| {
+        b.put_slice(&encode_real8(0.001)); // user units per db unit
+        b.put_slice(&encode_real8(1e-9)); // metres per db unit
+    });
+
+    put_record(&mut buf, RecordType::BgnStr, |b| {
+        for _ in 0..12 {
+            b.put_i16(0);
+        }
+    });
+    put_string(&mut buf, RecordType::StrName, layout.name());
+
+    for layer in layout.layers() {
+        for polygon in layout.polygons(layer) {
+            write_boundary(&mut buf, layer, polygon.vertices())?;
+        }
+    }
+
+    put_record(&mut buf, RecordType::EndStr, |_| {});
+    put_record(&mut buf, RecordType::EndLib, |_| {});
+    Ok(buf.to_vec())
+}
+
+/// Writes the layout to a `.gds` file.
+///
+/// # Errors
+///
+/// Propagates serialisation errors and I/O failures.
+pub fn write_file(layout: &Layout, path: impl AsRef<Path>) -> Result<(), GdsError> {
+    let bytes = write_bytes(layout)?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+fn write_boundary(
+    buf: &mut BytesMut,
+    layer: LayerId,
+    vertices: &[hotspot_geom::Point],
+) -> Result<(), GdsError> {
+    put_record(buf, RecordType::Boundary, |_| {});
+    put_record(buf, RecordType::Layer, |b| b.put_i16(layer.number() as i16));
+    put_record(buf, RecordType::DataType, |b| b.put_i16(0));
+    // XY: each vertex as two i32s, with the first vertex repeated at the end
+    // to close the loop (GDSII convention).
+    let mut coords: Vec<i32> = Vec::with_capacity((vertices.len() + 1) * 2);
+    for v in vertices.iter().chain(std::iter::once(&vertices[0])) {
+        coords.push(to_i32(v.x)?);
+        coords.push(to_i32(v.y)?);
+    }
+    // GDSII records carry a u16 byte length including the 4-byte header, so
+    // an XY record holds at most (65534 - 4) / 8 = 8191 vertices — far above
+    // any rectilinear clip polygon we produce.
+    if coords.len() * 4 + 4 > u16::MAX as usize {
+        return Err(GdsError::BadBoundary(format!(
+            "polygon with {} vertices exceeds the XY record size limit",
+            vertices.len()
+        )));
+    }
+    put_record(buf, RecordType::Xy, |b| {
+        for c in &coords {
+            b.put_i32(*c);
+        }
+    });
+    put_record(buf, RecordType::EndEl, |_| {});
+    Ok(())
+}
+
+fn to_i32(v: i64) -> Result<i32, GdsError> {
+    i32::try_from(v).map_err(|_| {
+        GdsError::BadBoundary(format!("coordinate {v} outside the 32-bit GDSII range"))
+    })
+}
+
+/// Appends one record: u16 total length, u16 type code, payload.
+fn put_record(buf: &mut BytesMut, rt: RecordType, fill: impl FnOnce(&mut BytesMut)) {
+    let mut payload = BytesMut::new();
+    fill(&mut payload);
+    debug_assert!(payload.len() + 4 <= u16::MAX as usize);
+    buf.put_u16((payload.len() + 4) as u16);
+    buf.put_u16(rt.code());
+    buf.put_slice(&payload);
+}
+
+/// Appends an ASCII string record, padded to even length per the spec.
+fn put_string(buf: &mut BytesMut, rt: RecordType, s: &str) {
+    let mut bytes = s.as_bytes().to_vec();
+    if bytes.len() % 2 != 0 {
+        bytes.push(0);
+    }
+    put_record(buf, rt, |b| b.put_slice(&bytes));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Rect;
+
+    #[test]
+    fn stream_starts_with_header_record() {
+        let layout = Layout::new("t");
+        let bytes = write_bytes(&layout).unwrap();
+        assert_eq!(&bytes[0..4], &[0x00, 0x06, 0x00, 0x02]);
+    }
+
+    #[test]
+    fn stream_ends_with_endlib() {
+        let layout = Layout::new("t");
+        let bytes = write_bytes(&layout).unwrap();
+        let n = bytes.len();
+        assert_eq!(&bytes[n - 4..], &[0x00, 0x04, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn coordinates_out_of_i32_range_error() {
+        let mut layout = Layout::new("t");
+        layout.add_rect(
+            LayerId::new(1),
+            Rect::from_extents(0, 0, i64::from(i32::MAX) + 10, 10),
+        );
+        assert!(matches!(
+            write_bytes(&layout),
+            Err(GdsError::BadBoundary(_))
+        ));
+    }
+
+    #[test]
+    fn odd_length_names_are_padded() {
+        let layout = Layout::new("abc"); // 3 bytes -> padded to 4
+        let bytes = write_bytes(&layout).unwrap();
+        // LIBNAME record: length 8 (4 header + 4 padded payload).
+        let pos = bytes
+            .windows(2)
+            .position(|w| w == [0x02, 0x06])
+            .expect("libname record present");
+        let len = u16::from_be_bytes([bytes[pos - 2], bytes[pos - 1]]);
+        assert_eq!(len, 8);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut layout = Layout::new("t");
+        layout.add_rect(LayerId::new(1), Rect::from_extents(0, 0, 10, 10));
+        assert_eq!(write_bytes(&layout).unwrap(), write_bytes(&layout).unwrap());
+    }
+}

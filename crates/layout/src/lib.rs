@@ -1,0 +1,36 @@
+//! Layout database and GDSII stream-format I/O.
+//!
+//! The paper reads the ICCAD-2012 benchmarks through the Anuvad GDSII
+//! library; this crate is the from-scratch substitute. It provides:
+//!
+//! - [`Layout`]: a flat, layered layout database of rectilinear polygons,
+//! - [`gdsii`]: a binary GDSII stream-format reader/writer (BOUNDARY subset),
+//! - [`text`]: a line-oriented text format for fixtures and debugging,
+//! - [`clip`]: the core/ambit clip-window geometry of Figs. 1–2, including
+//!   the contest's hit rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspot_layout::{Layout, LayerId};
+//! use hotspot_geom::Rect;
+//!
+//! let mut layout = Layout::new("top");
+//! layout.add_rect(LayerId::new(1), Rect::from_extents(0, 0, 100, 40));
+//! let bytes = hotspot_layout::gdsii::write_bytes(&layout)?;
+//! let back = hotspot_layout::gdsii::read_bytes(&bytes)?;
+//! assert_eq!(back.polygon_count(), 1);
+//! # Ok::<(), hotspot_layout::gdsii::GdsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clip;
+mod db;
+pub mod gdsii;
+pub mod svg;
+pub mod text;
+
+pub use clip::{ClipShape, ClipWindow};
+pub use db::{LayerId, Layout};

@@ -1,0 +1,222 @@
+//! SVG rendering of layouts and detection results.
+//!
+//! Produces self-contained SVG for visual inspection: layer polygons,
+//! ground-truth hotspot windows, and reported clips. Coordinates are
+//! flipped so layout +y points up, matching EDA viewers.
+//!
+//! ```
+//! use hotspot_layout::{svg, LayerId, Layout};
+//! use hotspot_geom::Rect;
+//!
+//! let mut layout = Layout::new("t");
+//! layout.add_rect(LayerId::new(1), Rect::from_extents(0, 0, 100, 40));
+//! let doc = svg::render(&layout, &svg::RenderOptions::default());
+//! assert!(doc.starts_with("<svg"));
+//! ```
+
+use crate::{ClipWindow, Layout};
+use hotspot_geom::Rect;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Visual options for [`render`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width_px: u32,
+    /// Ground-truth hotspot windows, drawn as green outlines.
+    pub actual: Vec<ClipWindow>,
+    /// Reported hotspot windows, drawn as red outlines with hatched cores.
+    pub reported: Vec<ClipWindow>,
+    /// Layer fill colours, cycled by layer index.
+    pub layer_palette: Vec<&'static str>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 1024,
+            actual: Vec::new(),
+            reported: Vec::new(),
+            layer_palette: vec!["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee"],
+        }
+    }
+}
+
+/// Renders a layout (and optional detection overlays) to an SVG document.
+pub fn render(layout: &Layout, options: &RenderOptions) -> String {
+    let bbox = content_bbox(layout, options).unwrap_or(Rect::from_extents(0, 0, 1, 1));
+    let margin = (bbox.width().max(bbox.height()) / 50).max(1);
+    let view = bbox.inflate(margin);
+    let aspect = view.height() as f64 / view.width() as f64;
+    let width_px = options.width_px.max(64);
+    let height_px = ((width_px as f64) * aspect).ceil().max(64.0) as u32;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height_px}\" \
+         viewBox=\"{} {} {} {}\">\n",
+        view.min().x,
+        -view.max().y, // y-flip: SVG y grows downward
+        view.width(),
+        view.height()
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#ffffff\"/>",
+        view.min().x,
+        -view.max().y,
+        view.width(),
+        view.height()
+    );
+
+    // Layer geometry.
+    for (idx, layer) in layout.layers().enumerate() {
+        let color = options.layer_palette[idx % options.layer_palette.len().max(1)];
+        let _ = writeln!(out, "<g fill=\"{color}\" fill-opacity=\"0.8\" data-layer=\"{layer}\">");
+        for poly in layout.polygons(layer) {
+            for r in poly.dissect_horizontal() {
+                push_rect(&mut out, &r, None);
+            }
+        }
+        let _ = writeln!(out, "</g>");
+    }
+
+    // Ground truth: green cores and clips.
+    if !options.actual.is_empty() {
+        let _ = writeln!(
+            out,
+            "<g fill=\"none\" stroke=\"#117733\" stroke-width=\"{}\" data-overlay=\"actual\">",
+            stroke(&view)
+        );
+        for w in &options.actual {
+            push_rect(&mut out, &w.core, Some("actual-core"));
+            push_rect(&mut out, &w.clip, Some("actual-clip"));
+        }
+        let _ = writeln!(out, "</g>");
+    }
+
+    // Reports: red cores.
+    if !options.reported.is_empty() {
+        let _ = writeln!(
+            out,
+            "<g fill=\"#cc3311\" fill-opacity=\"0.15\" stroke=\"#cc3311\" stroke-width=\"{}\" \
+             data-overlay=\"reported\">",
+            stroke(&view)
+        );
+        for w in &options.reported {
+            push_rect(&mut out, &w.core, Some("reported-core"));
+        }
+        let _ = writeln!(out, "</g>");
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders straight to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn render_to_file(
+    layout: &Layout,
+    options: &RenderOptions,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, render(layout, options))
+}
+
+fn content_bbox(layout: &Layout, options: &RenderOptions) -> Option<Rect> {
+    let mut acc = layout.bbox();
+    for w in options.actual.iter().chain(&options.reported) {
+        acc = Some(match acc {
+            Some(a) => a.union_bbox(&w.clip),
+            None => w.clip,
+        });
+    }
+    acc
+}
+
+fn stroke(view: &Rect) -> i64 {
+    (view.width().max(view.height()) / 400).max(1)
+}
+
+fn push_rect(out: &mut String, r: &Rect, class: Option<&str>) {
+    let class_attr = class.map(|c| format!(" class=\"{c}\"")).unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"{}/>",
+        r.min().x,
+        -r.max().y,
+        r.width(),
+        r.height(),
+        class_attr
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClipShape, LayerId};
+    use hotspot_geom::Point;
+
+    fn sample() -> Layout {
+        let mut l = Layout::new("svg");
+        l.add_rect(LayerId::new(1), Rect::from_extents(0, 0, 400, 200));
+        l.add_rect(LayerId::new(2), Rect::from_extents(100, 300, 300, 700));
+        l
+    }
+
+    #[test]
+    fn renders_valid_header_and_footer() {
+        let doc = render(&sample(), &RenderOptions::default());
+        assert!(doc.starts_with("<svg xmlns"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn renders_one_group_per_layer() {
+        let doc = render(&sample(), &RenderOptions::default());
+        assert_eq!(doc.matches("data-layer=").count(), 2);
+        // Background + 2 geometry rects.
+        assert_eq!(doc.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn overlays_appear_when_provided() {
+        let shape = ClipShape::ICCAD2012;
+        let options = RenderOptions {
+            actual: vec![shape.window_centered(Point::new(0, 0))],
+            reported: vec![shape.window_centered(Point::new(100, 0))],
+            ..Default::default()
+        };
+        let doc = render(&sample(), &options);
+        assert!(doc.contains("data-overlay=\"actual\""));
+        assert!(doc.contains("data-overlay=\"reported\""));
+        assert!(doc.contains("class=\"reported-core\""));
+    }
+
+    #[test]
+    fn empty_layout_renders_without_panic() {
+        let doc = render(&Layout::new("empty"), &RenderOptions::default());
+        assert!(doc.starts_with("<svg"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        // A rect with max.y = 700 must be emitted at y = -700.
+        let doc = render(&sample(), &RenderOptions::default());
+        assert!(doc.contains("y=\"-700\""), "{doc}");
+    }
+
+    #[test]
+    fn writes_to_file() {
+        let path = std::env::temp_dir().join("hotspot_svg_test.svg");
+        render_to_file(&sample(), &RenderOptions::default(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(&path).ok();
+    }
+}

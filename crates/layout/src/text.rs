@@ -1,0 +1,196 @@
+//! A line-oriented text format for layouts.
+//!
+//! Used for human-readable fixtures and debugging dumps; GDSII
+//! ([`crate::gdsii`]) is the interchange format. Grammar (one directive per
+//! line, `#` starts a comment):
+//!
+//! ```text
+//! layout <name>
+//! layer <number>
+//! rect <x0> <y0> <x1> <y1>
+//! poly <x0> <y0> <x1> <y1> ... (even count, ≥ 8 numbers)
+//! ```
+
+use crate::{LayerId, Layout};
+use hotspot_geom::{Point, Polygon, Rect};
+use std::fmt;
+
+/// Error parsing the text layout format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+/// Serialises a layout to the text format.
+pub fn to_string(layout: &Layout) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("layout {}\n", layout.name()));
+    for layer in layout.layers() {
+        out.push_str(&format!("layer {}\n", layer.number()));
+        for poly in layout.polygons(layer) {
+            let vs = poly.vertices();
+            if vs.len() == 4 {
+                let b = poly.bbox();
+                if poly.area() == b.area() {
+                    out.push_str(&format!(
+                        "rect {} {} {} {}\n",
+                        b.min().x,
+                        b.min().y,
+                        b.max().x,
+                        b.max().y
+                    ));
+                    continue;
+                }
+            }
+            out.push_str("poly");
+            for v in vs {
+                out.push_str(&format!(" {} {}", v.x, v.y));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the text format into a layout.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError`] with the offending line number for any
+/// malformed directive.
+pub fn from_str(input: &str) -> Result<Layout, ParseLayoutError> {
+    let mut layout = Layout::new("layout");
+    let mut current_layer = LayerId::METAL1;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line has a token");
+        let err = |message: String| ParseLayoutError {
+            line: lineno,
+            message,
+        };
+        match directive {
+            "layout" => {
+                let name = tokens.next().ok_or_else(|| err("missing layout name".into()))?;
+                layout = Layout::new(name);
+            }
+            "layer" => {
+                let n: u16 = tokens
+                    .next()
+                    .ok_or_else(|| err("missing layer number".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad layer number: {e}")))?;
+                current_layer = LayerId::new(n);
+            }
+            "rect" => {
+                let nums = parse_numbers(&mut tokens).map_err(|m| err(m))?;
+                if nums.len() != 4 {
+                    return Err(err(format!("rect needs 4 numbers, got {}", nums.len())));
+                }
+                layout.add_rect(
+                    current_layer,
+                    Rect::from_extents(nums[0], nums[1], nums[2], nums[3]),
+                );
+            }
+            "poly" => {
+                let nums = parse_numbers(&mut tokens).map_err(|m| err(m))?;
+                if nums.len() < 8 || nums.len() % 2 != 0 {
+                    return Err(err(format!(
+                        "poly needs an even count of ≥ 8 numbers, got {}",
+                        nums.len()
+                    )));
+                }
+                let pts: Vec<Point> = nums
+                    .chunks_exact(2)
+                    .map(|c| Point::new(c[0], c[1]))
+                    .collect();
+                let poly = Polygon::new(pts).map_err(|e| err(e.to_string()))?;
+                layout.add_polygon(current_layer, poly);
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(layout)
+}
+
+fn parse_numbers<'a, I: Iterator<Item = &'a str>>(tokens: &mut I) -> Result<Vec<i64>, String> {
+    tokens
+        .map(|t| t.parse::<i64>().map_err(|e| format!("bad number `{t}`: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut l = Layout::new("chip");
+        l.add_rect(LayerId::new(1), Rect::from_extents(0, 0, 10, 10));
+        l.add_polygon(
+            LayerId::new(2),
+            Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(30, 0),
+                Point::new(30, 10),
+                Point::new(10, 10),
+                Point::new(10, 30),
+                Point::new(0, 30),
+            ])
+            .unwrap(),
+        );
+        let s = to_string(&l);
+        let back = from_str(&s).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let l = from_str("# header\n\nlayout t\nlayer 1\nrect 0 0 5 5 # inline\n").unwrap();
+        assert_eq!(l.polygon_count(), 1);
+    }
+
+    #[test]
+    fn default_layer_is_metal1() {
+        let l = from_str("rect 0 0 5 5\n").unwrap();
+        assert_eq!(l.polygons(LayerId::METAL1).len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_str("layout t\nrect 0 0 5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("4 numbers"));
+
+        let e = from_str("bogus 1 2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bogus"));
+
+        let e = from_str("rect a b c d\n").unwrap_err();
+        assert!(e.message.contains("bad number"));
+    }
+
+    #[test]
+    fn poly_validation() {
+        // Odd coordinate count.
+        assert!(from_str("poly 0 0 1 0 1 1 0\n").is_err());
+        // Non-rectilinear polygon rejected through DissectError.
+        let e = from_str("poly 0 0 5 5 5 0 0 5\n").unwrap_err();
+        assert!(e.message.contains("not axis-parallel"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: GDSII and text round-trips over random layouts.
+
+use hotspot_geom::{Point, Rect};
+use hotspot_layout::{gdsii, text, LayerId, Layout};
+use proptest::prelude::*;
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    let rects = proptest::collection::vec(
+        (
+            0u16..4,               // layer
+            -100_000i64..100_000, // x
+            -100_000i64..100_000, // y
+            1i64..5_000,          // w
+            1i64..5_000,          // h
+        ),
+        0..20,
+    );
+    ("[a-zA-Z][a-zA-Z0-9_]{0,12}", rects).prop_map(|(name, rects)| {
+        let mut l = Layout::new(name);
+        for (layer, x, y, w, h) in rects {
+            l.add_rect(
+                LayerId::new(layer),
+                Rect::from_origin_size(Point::new(x, y), w, h),
+            );
+        }
+        l
+    })
+}
+
+proptest! {
+    #[test]
+    fn gdsii_roundtrip(layout in arb_layout()) {
+        let bytes = gdsii::write_bytes(&layout).expect("writable");
+        let back = gdsii::read_bytes(&bytes).expect("readable");
+        prop_assert_eq!(back, layout);
+    }
+
+    #[test]
+    fn text_roundtrip(layout in arb_layout()) {
+        let s = text::to_string(&layout);
+        let back = text::from_str(&s).expect("parsable");
+        prop_assert_eq!(back, layout);
+    }
+
+    #[test]
+    fn gdsii_never_panics_on_truncation(layout in arb_layout(), frac in 0.0f64..1.0) {
+        let bytes = gdsii::write_bytes(&layout).expect("writable");
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        // Truncated streams must error or parse, never panic.
+        let _ = gdsii::read_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn gdsii_never_panics_on_bitflips(
+        layout in arb_layout(),
+        flips in proptest::collection::vec((0usize..10_000, 0u8..8), 1..5)
+    ) {
+        let mut bytes = gdsii::write_bytes(&layout).expect("writable");
+        if bytes.is_empty() { return Ok(()); }
+        for (pos, bit) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        let _ = gdsii::read_bytes(&bytes);
+    }
+}

@@ -1,0 +1,160 @@
+//! Kernel row cache for the SMO solver.
+//!
+//! SMO repeatedly needs full kernel rows `K(i, ·)` for the two working-set
+//! indices and for gradient updates. For the paper's per-cluster training
+//! sets (hundreds of patterns) the whole matrix fits in memory; for larger
+//! sets a bounded LRU of rows keeps memory flat.
+
+use crate::Kernel;
+use std::collections::HashMap;
+
+/// LRU cache of kernel matrix rows over a fixed training set.
+pub struct KernelCache<'a> {
+    kernel: Kernel,
+    x: &'a [Vec<f64>],
+    rows: HashMap<usize, Vec<f64>>,
+    lru: Vec<usize>, // most recent last
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> KernelCache<'a> {
+    /// Creates a cache over training vectors `x` holding at most
+    /// `capacity_rows` rows (at least 2, since SMO touches two rows per
+    /// iteration).
+    pub fn new(kernel: Kernel, x: &'a [Vec<f64>], capacity_rows: usize) -> Self {
+        KernelCache {
+            kernel,
+            x,
+            rows: HashMap::new(),
+            lru: Vec::new(),
+            capacity: capacity_rows.max(2),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of training vectors.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the training set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Returns the kernel row `K(i, ·)`, computing and caching it on miss.
+    pub fn row(&mut self, i: usize) -> &[f64] {
+        if self.rows.contains_key(&i) {
+            self.hits += 1;
+            self.touch(i);
+        } else {
+            self.misses += 1;
+            if self.rows.len() >= self.capacity {
+                // Evict the least recently used row.
+                let victim = self.lru.remove(0);
+                self.rows.remove(&victim);
+            }
+            let xi = &self.x[i];
+            let row: Vec<f64> = self.x.iter().map(|xj| self.kernel.eval(xi, xj)).collect();
+            self.rows.insert(i, row);
+            self.lru.push(i);
+        }
+        &self.rows[&i]
+    }
+
+    /// Diagonal entry `K(i, i)` without caching a full row.
+    pub fn diagonal(&self, i: usize) -> f64 {
+        self.kernel.eval(&self.x[i], &self.x[i])
+    }
+
+    /// `(hits, misses)` counters, for diagnostics and tests.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn touch(&mut self, i: usize) {
+        if let Some(pos) = self.lru.iter().position(|&t| t == i) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Vec<f64>> {
+        (0..6).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn row_values_match_kernel() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::Linear, &x, 4);
+        let row = cache.row(3).to_vec();
+        for (j, v) in row.iter().enumerate() {
+            assert_eq!(*v, (3 * j) as f64);
+        }
+    }
+
+    #[test]
+    fn hit_after_first_access() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::Linear, &x, 4);
+        cache.row(0);
+        cache.row(0);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::Linear, &x, 2);
+        cache.row(0);
+        cache.row(1);
+        cache.row(2); // evicts 0
+        cache.row(0); // miss again
+        let (_, misses) = cache.stats();
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn lru_order_respects_touches() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::Linear, &x, 2);
+        cache.row(0);
+        cache.row(1);
+        cache.row(0); // touch 0, so 1 is LRU
+        cache.row(2); // evicts 1
+        cache.row(0); // still cached -> hit
+        let (hits, _) = cache.stats();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn diagonal_matches_row() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::rbf(0.5), &x, 4);
+        for i in 0..x.len() {
+            let d = cache.diagonal(i);
+            assert!((cache.row(i)[i] - d).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn capacity_floor_is_two() {
+        let x = data();
+        let mut cache = KernelCache::new(Kernel::Linear, &x, 0);
+        cache.row(0);
+        cache.row(1);
+        cache.row(0);
+        let (hits, _) = cache.stats();
+        assert_eq!(hits, 1, "both working-set rows must stay resident");
+    }
+}

@@ -1,0 +1,173 @@
+//! Kernel functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A positive semi-definite kernel function.
+///
+/// The paper uses the Gaussian radial basis function
+/// `k(x, x') = exp(−γ ‖x − x'‖²)`; linear and polynomial kernels are
+/// provided for baselines and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Gaussian RBF with width parameter γ.
+    Rbf {
+        /// Width parameter γ > 0.
+        gamma: f64,
+    },
+    /// Dot product `⟨x, x'⟩`.
+    Linear,
+    /// `(γ ⟨x, x'⟩ + coef0)^degree`.
+    Polynomial {
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+        /// Polynomial degree.
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// Convenience constructor for the RBF kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not finite and positive.
+    pub fn rbf(gamma: f64) -> Kernel {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be positive");
+        Kernel::Rbf { gamma }
+    }
+
+    /// Evaluates the kernel on two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when vector lengths differ.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "feature dimension mismatch");
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let sq: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * sq).exp()
+            }
+            Kernel::Linear => dot(a, b),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(a, b) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// For RBF-family kernels, returns a copy with γ replaced; other kernels
+    /// are returned unchanged. Used by the paper's iterative learning, which
+    /// doubles γ between self-training rounds.
+    pub fn with_gamma(&self, gamma: f64) -> Kernel {
+        match *self {
+            Kernel::Rbf { .. } => Kernel::Rbf { gamma },
+            Kernel::Polynomial { coef0, degree, .. } => Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            },
+            Kernel::Linear => Kernel::Linear,
+        }
+    }
+
+    /// Returns γ for kernels that have one.
+    pub fn gamma(&self) -> Option<f64> {
+        match *self {
+            Kernel::Rbf { gamma } | Kernel::Polynomial { gamma, .. } => Some(gamma),
+            Kernel::Linear => None,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Kernel::Rbf { gamma } => write!(f, "rbf(gamma={gamma})"),
+            Kernel::Linear => write!(f, "linear"),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => write!(f, "poly(gamma={gamma}, coef0={coef0}, degree={degree})"),
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_at_zero_distance_is_one() {
+        let k = Kernel::rbf(0.5);
+        let v = vec![1.0, -2.0, 3.0];
+        assert!((k.eval(&v, &v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::rbf(1.0);
+        let a = vec![0.0];
+        assert!(k.eval(&a, &[1.0]) > k.eval(&a, &[2.0]));
+        assert!((k.eval(&a, &[1.0]) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_is_symmetric() {
+        let k = Kernel::rbf(0.3);
+        let a = vec![1.0, 2.0];
+        let b = vec![-0.5, 0.25];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn polynomial_kernel() {
+        let k = Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
+        // (1*2 + 1)^2 = 9
+        assert_eq!(k.eval(&[1.0], &[2.0]), 9.0);
+    }
+
+    #[test]
+    fn with_gamma_replaces_width() {
+        let k = Kernel::rbf(0.1).with_gamma(0.2);
+        assert_eq!(k.gamma(), Some(0.2));
+        assert_eq!(Kernel::Linear.with_gamma(5.0), Kernel::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn rbf_rejects_bad_gamma() {
+        let _ = Kernel::rbf(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Kernel::rbf(0.25).to_string(), "rbf(gamma=0.25)");
+        assert_eq!(Kernel::Linear.to_string(), "linear");
+    }
+}

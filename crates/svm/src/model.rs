@@ -1,0 +1,461 @@
+//! Trainer builder and the trained SVM model.
+
+use crate::{smo, FeatureScaler, Kernel, SmoParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error training an SVM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// No training vectors were given.
+    EmptyTrainingSet,
+    /// `x` and `y` lengths differ.
+    LengthMismatch {
+        /// Number of feature vectors.
+        x: usize,
+        /// Number of labels.
+        y: usize,
+    },
+    /// Feature vectors have inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first vector.
+        expected: usize,
+        /// Index of the offending vector.
+        index: usize,
+        /// Its dimension.
+        found: usize,
+    },
+    /// A label was not `+1.0` or `−1.0`.
+    BadLabel {
+        /// Index of the offending label.
+        index: usize,
+        /// The label value.
+        value: f64,
+    },
+    /// A feature value was NaN or infinite.
+    NonFiniteFeature {
+        /// Index of the offending vector.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::LengthMismatch { x, y } => {
+                write!(f, "{x} feature vectors but {y} labels")
+            }
+            TrainError::DimensionMismatch {
+                expected,
+                index,
+                found,
+            } => write!(
+                f,
+                "vector {index} has dimension {found}, expected {expected}"
+            ),
+            TrainError::BadLabel { index, value } => {
+                write!(f, "label {index} is {value}, expected +1 or -1")
+            }
+            TrainError::NonFiniteFeature { index } => {
+                write!(f, "vector {index} contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Builder for training a two-class C-SVM.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmTrainer {
+    kernel: Kernel,
+    params: SmoParams,
+    scale: bool,
+}
+
+impl SvmTrainer {
+    /// Starts a trainer with the given kernel, `C = 1`, `eps = 1e-3`, and
+    /// feature scaling enabled.
+    pub fn new(kernel: Kernel) -> Self {
+        SvmTrainer {
+            kernel,
+            params: SmoParams::default(),
+            scale: true,
+        }
+    }
+
+    /// Sets both class penalties to `c`.
+    pub fn c(mut self, c: f64) -> Self {
+        self.params.c_pos = c;
+        self.params.c_neg = c;
+        self
+    }
+
+    /// Sets per-class penalties (`C₊`, `C₋`) for imbalanced data.
+    pub fn class_weights(mut self, c_pos: f64, c_neg: f64) -> Self {
+        self.params.c_pos = c_pos;
+        self.params.c_neg = c_neg;
+        self
+    }
+
+    /// Sets the KKT stopping tolerance.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.params.eps = eps;
+        self
+    }
+
+    /// Caps the number of SMO iterations (0 = automatic).
+    pub fn max_iter(mut self, max_iter: u64) -> Self {
+        self.params.max_iter = max_iter;
+        self
+    }
+
+    /// Enables or disables min-max feature scaling (default on).
+    pub fn scale(mut self, scale: bool) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Trains a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for empty, mismatched, non-finite, or
+    /// incorrectly labelled data. A single-class training set is *not* an
+    /// error: the resulting model classifies everything as that class.
+    pub fn train(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvmModel, TrainError> {
+        if x.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(TrainError::LengthMismatch {
+                x: x.len(),
+                y: y.len(),
+            });
+        }
+        let dim = x[0].len();
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != dim {
+                return Err(TrainError::DimensionMismatch {
+                    expected: dim,
+                    index: i,
+                    found: row.len(),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(TrainError::NonFiniteFeature { index: i });
+            }
+        }
+        for (i, &t) in y.iter().enumerate() {
+            if t != 1.0 && t != -1.0 {
+                return Err(TrainError::BadLabel { index: i, value: t });
+            }
+        }
+
+        let scaler = if self.scale {
+            Some(FeatureScaler::fit(x))
+        } else {
+            None
+        };
+        let scaled: Vec<Vec<f64>>;
+        let xs: &[Vec<f64>] = match &scaler {
+            Some(s) => {
+                scaled = s.transform_all(x);
+                &scaled
+            }
+            None => x,
+        };
+
+        let sol = smo::solve(xs, y, self.kernel, &self.params);
+
+        // Keep only support vectors (α > 0).
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        for ((xi, &yi), &ai) in xs.iter().zip(y).zip(&sol.alpha) {
+            if ai > 0.0 {
+                support.push(xi.clone());
+                coef.push(ai * yi);
+            }
+        }
+
+        Ok(SvmModel {
+            kernel: self.kernel,
+            support,
+            coef,
+            rho: sol.rho,
+            scaler,
+            dim,
+            iterations: sol.iterations,
+            converged: sol.converged,
+        })
+    }
+}
+
+/// A trained two-class SVM.
+///
+/// The decision function is `f(x) = Σᵢ coefᵢ k(svᵢ, x) − ρ`; `predict`
+/// returns its sign as `±1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support: Vec<Vec<f64>>,
+    coef: Vec<f64>, // αᵢ yᵢ
+    rho: f64,
+    scaler: Option<FeatureScaler>,
+    dim: usize,
+    iterations: u64,
+    converged: bool,
+}
+
+impl SvmModel {
+    /// Signed distance-like decision value for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn decision_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let scaled;
+        let xq: &[f64] = match &self.scaler {
+            Some(s) => {
+                scaled = s.transform(x);
+                &scaled
+            }
+            None => x,
+        };
+        self.support
+            .iter()
+            .zip(&self.coef)
+            .map(|(sv, c)| c * self.kernel.eval(sv, xq))
+            .sum::<f64>()
+            - self.rho
+    }
+
+    /// Predicted class: `+1.0` when the decision value is non-negative.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision_value(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Predicts with a shifted decision threshold: positive only when
+    /// `decision_value > threshold`. The paper's `ours_med` / `ours_low`
+    /// operating points raise this threshold to trade hits for extras.
+    pub fn predict_with_threshold(&self, x: &[f64], threshold: f64) -> f64 {
+        if self.decision_value(x) > threshold {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of `(x, y)` pairs predicted correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 1.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(xi, &yi)| self.predict(xi) == yi)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Feature dimension expected by `predict`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// SMO iterations used in training.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// `true` if SMO reached its KKT tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x = vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.2, 0.2],
+            vec![0.9, 1.0],
+            vec![1.0, 0.8],
+            vec![0.8, 0.9],
+        ];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        (x, y)
+    }
+
+    #[test]
+    fn trains_and_separates() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(100.0)
+            .train(&x, &y)
+            .unwrap();
+        assert!(model.converged());
+        assert_eq!(model.accuracy(&x, &y), 1.0);
+        assert_eq!(model.predict(&[0.05, 0.05]), -1.0);
+        assert_eq!(model.predict(&[0.95, 0.95]), 1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = SvmTrainer::new(Kernel::Linear);
+        assert_eq!(t.train(&[], &[]), Err(TrainError::EmptyTrainingSet));
+        assert_eq!(
+            t.train(&[vec![0.0]], &[1.0, -1.0]),
+            Err(TrainError::LengthMismatch { x: 1, y: 2 })
+        );
+        assert_eq!(
+            t.train(&[vec![0.0], vec![0.0, 1.0]], &[1.0, -1.0]),
+            Err(TrainError::DimensionMismatch {
+                expected: 1,
+                index: 1,
+                found: 2
+            })
+        );
+        assert_eq!(
+            t.train(&[vec![0.0], vec![1.0]], &[1.0, 0.5]),
+            Err(TrainError::BadLabel {
+                index: 1,
+                value: 0.5
+            })
+        );
+        assert_eq!(
+            t.train(&[vec![f64::NAN]], &[1.0]),
+            Err(TrainError::NonFiniteFeature { index: 0 })
+        );
+    }
+
+    #[test]
+    fn single_class_predicts_that_class() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1.0, 1.0, 1.0];
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).train(&x, &y).unwrap();
+        assert_eq!(model.predict(&[10.0]), 1.0);
+        assert_eq!(model.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn threshold_shifts_operating_point() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(100.0)
+            .train(&x, &y)
+            .unwrap();
+        let q = [0.95, 0.95];
+        let f = model.decision_value(&q);
+        assert!(f > 0.0);
+        assert_eq!(model.predict_with_threshold(&q, f + 0.1), -1.0);
+        assert_eq!(model.predict_with_threshold(&q, f - 0.1), 1.0);
+    }
+
+    #[test]
+    fn scaling_improves_mixed_magnitudes() {
+        // One feature in nanometres, one in unit densities; without scaling
+        // the nm axis dominates the RBF. The scaled model must separate.
+        let x = vec![
+            vec![1000.0, 0.1],
+            vec![1100.0, 0.15],
+            vec![1000.0, 0.9],
+            vec![1100.0, 0.85],
+        ];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(100.0)
+            .train(&x, &y)
+            .unwrap();
+        assert_eq!(model.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn class_weights_bias_the_boundary() {
+        // Overlapping clouds; penalising negative slack much harder pulls
+        // the boundary toward the positive class.
+        let x = vec![
+            vec![0.4],
+            vec![0.45],
+            vec![0.5],
+            vec![0.55],
+            vec![0.6],
+            vec![0.5],
+        ];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let balanced = SvmTrainer::new(Kernel::Linear)
+            .scale(false)
+            .c(1.0)
+            .train(&x, &y)
+            .unwrap();
+        let neg_heavy = SvmTrainer::new(Kernel::Linear)
+            .scale(false)
+            .class_weights(0.1, 10.0)
+            .train(&x, &y)
+            .unwrap();
+        // With heavy negative penalty the ambiguous 0.5 region leans negative.
+        assert!(neg_heavy.decision_value(&[0.5]) <= balanced.decision_value(&[0.5]));
+    }
+
+    #[test]
+    fn support_vectors_subset_of_training() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(10.0)
+            .train(&x, &y)
+            .unwrap();
+        assert!(model.support_vector_count() >= 2);
+        assert!(model.support_vector_count() <= x.len());
+    }
+
+    #[test]
+    fn serde_roundtrip_is_identical() {
+        // Serialisable via serde derive; spot-check with a JSON-free format:
+        // use bincode-less approach — serde_test is unavailable, so check
+        // Debug equality through clone.
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).train(&x, &y).unwrap();
+        let copy = model.clone();
+        assert_eq!(model, copy);
+        assert_eq!(
+            model.decision_value(&[0.5, 0.5]),
+            copy.decision_value(&[0.5, 0.5])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn predict_rejects_wrong_dimension() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).train(&x, &y).unwrap();
+        let _ = model.predict(&[0.0]);
+    }
+}

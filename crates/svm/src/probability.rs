@@ -1,0 +1,234 @@
+//! Platt scaling: calibrated probability estimates from SVM decision
+//! values.
+//!
+//! LIBSVM's probability outputs fit a sigmoid `P(y=1|f) = 1/(1+e^{Af+B})`
+//! to held-out decision values by regularised maximum likelihood (Platt
+//! 1999, with the numerically robust Newton iteration of Lin, Lin & Weng
+//! 2007). The hotspot framework uses calibrated probabilities to express
+//! operating points (`ours_med`, `ours_low`) as probability cut-offs
+//! instead of raw margins.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted Platt sigmoid.
+///
+/// ```
+/// use hotspot_svm::PlattScaler;
+/// let decisions = vec![-2.0, -1.5, -1.0, 1.0, 1.5, 2.0];
+/// let labels = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+/// let scaler = PlattScaler::fit(&decisions, &labels);
+/// assert!(scaler.probability(2.0) > 0.8);
+/// assert!(scaler.probability(-2.0) < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid to `(decision, label)` pairs with labels `±1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or differ in length.
+    pub fn fit(decisions: &[f64], labels: &[f64]) -> PlattScaler {
+        assert!(!decisions.is_empty(), "cannot fit Platt scaling to no data");
+        assert_eq!(decisions.len(), labels.len(), "length mismatch");
+
+        let prior1 = labels.iter().filter(|&&t| t > 0.0).count() as f64;
+        let prior0 = labels.len() as f64 - prior1;
+        let hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+        let lo_target = 1.0 / (prior0 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&t| if t > 0.0 { hi_target } else { lo_target })
+            .collect();
+
+        let max_iter = 100;
+        let min_step = 1e-10;
+        let sigma = 1e-12;
+        let eps = 1e-5;
+
+        let mut a = 0.0f64;
+        let mut b = ((prior0 + 1.0) / (prior1 + 1.0)).ln();
+
+        let fval = |a: f64, b: f64| -> f64 {
+            let mut f = 0.0;
+            for (&d, &t) in decisions.iter().zip(&targets) {
+                let fapb = d * a + b;
+                // log(1+e^x) computed stably for both signs.
+                f += if fapb >= 0.0 {
+                    t * fapb + (1.0 + (-fapb).exp()).ln()
+                } else {
+                    (t - 1.0) * fapb + (1.0 + fapb.exp()).ln()
+                };
+            }
+            f
+        };
+
+        let mut current = fval(a, b);
+        for _ in 0..max_iter {
+            // Gradient and Hessian.
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0);
+            let (mut g1, mut g2) = (0.0f64, 0.0f64);
+            for (&d, &t) in decisions.iter().zip(&targets) {
+                let fapb = d * a + b;
+                let (p, q) = if fapb >= 0.0 {
+                    let e = (-fapb).exp();
+                    (e / (1.0 + e), 1.0 / (1.0 + e))
+                } else {
+                    let e = fapb.exp();
+                    (1.0 / (1.0 + e), e / (1.0 + e))
+                };
+                let d2 = p * q;
+                h11 += d * d * d2;
+                h22 += d2;
+                h21 += d * d2;
+                let d1 = t - p;
+                g1 += d * d1;
+                g2 += d1;
+            }
+            if g1.abs() < eps && g2.abs() < eps {
+                break;
+            }
+            // Newton direction from the 2×2 system.
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+
+            // Backtracking line search.
+            let mut step = 1.0f64;
+            let mut moved = false;
+            while step >= min_step {
+                let na = a + step * da;
+                let nb = b + step * db;
+                let nf = fval(na, nb);
+                if nf < current + 1e-4 * step * gd {
+                    a = na;
+                    b = nb;
+                    current = nf;
+                    moved = true;
+                    break;
+                }
+                step /= 2.0;
+            }
+            if !moved {
+                break;
+            }
+        }
+        PlattScaler { a, b }
+    }
+
+    /// The calibrated probability that a sample with decision value
+    /// `decision` is a positive (hotspot).
+    pub fn probability(&self, decision: f64) -> f64 {
+        let fapb = decision * self.a + self.b;
+        if fapb >= 0.0 {
+            let e = (-fapb).exp();
+            e / (1.0 + e)
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+
+    /// The decision value at which the calibrated probability crosses
+    /// `p` — the margin threshold equivalent to a probability cut-off.
+    /// Returns `None` when the sigmoid is flat (degenerate fit).
+    pub fn decision_at(&self, p: f64) -> Option<f64> {
+        if self.a.abs() < 1e-12 {
+            return None;
+        }
+        let p = p.clamp(1e-9, 1.0 - 1e-9);
+        // p = 1/(1+e^{Af+B})  =>  f = (ln(1/p − 1) − B)/A
+        Some(((1.0 / p - 1.0).ln() - self.b) / self.a)
+    }
+
+    /// The fitted `(A, B)` coefficients.
+    pub fn coefficients(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<f64>) {
+        let decisions = vec![-3.0, -2.0, -1.2, -0.8, 0.8, 1.2, 2.0, 3.0];
+        let labels = vec![-1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0];
+        (decisions, labels)
+    }
+
+    #[test]
+    fn separable_fit_is_confident_at_extremes() {
+        let (d, y) = separable();
+        let s = PlattScaler::fit(&d, &y);
+        assert!(s.probability(3.0) > 0.85, "p(+3) = {}", s.probability(3.0));
+        assert!(s.probability(-3.0) < 0.15, "p(-3) = {}", s.probability(-3.0));
+        // Near the boundary the probability is uncertain.
+        let p0 = s.probability(0.0);
+        assert!((0.2..=0.8).contains(&p0), "p(0) = {p0}");
+    }
+
+    #[test]
+    fn probability_is_monotone_in_decision() {
+        let (d, y) = separable();
+        let s = PlattScaler::fit(&d, &y);
+        let mut last = 0.0;
+        for i in -30..=30 {
+            let p = s.probability(i as f64 / 10.0);
+            assert!(p >= last - 1e-12, "non-monotone at {i}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn decision_at_inverts_probability() {
+        let (d, y) = separable();
+        let s = PlattScaler::fit(&d, &y);
+        for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let f = s.decision_at(p).expect("non-degenerate");
+            assert!(
+                (s.probability(f) - p).abs() < 1e-9,
+                "round trip failed at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_overlap_gives_soft_probabilities() {
+        // Interleaved labels: nothing should be confidently classified.
+        let decisions = vec![-1.0, -0.5, 0.0, 0.5, 1.0, -0.8, 0.8, 0.2];
+        let labels = vec![-1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0];
+        let s = PlattScaler::fit(&decisions, &labels);
+        let p = s.probability(1.0);
+        assert!((0.05..=0.95).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        let decisions = vec![0.5, 1.0, 1.5];
+        let labels = vec![1.0, 1.0, 1.0];
+        let s = PlattScaler::fit(&decisions, &labels);
+        // All positives: probability should be high everywhere.
+        assert!(s.probability(1.0) > 0.5);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (d, y) = separable();
+        let s = PlattScaler::fit(&d, &y);
+        for i in -100..=100 {
+            let p = s.probability(i as f64);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        let _ = PlattScaler::fit(&[], &[]);
+    }
+}

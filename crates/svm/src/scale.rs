@@ -1,0 +1,131 @@
+//! Min-max feature scaling.
+//!
+//! RBF kernels are sensitive to feature magnitudes; the critical features of
+//! the paper mix nanometre distances (thousands) with densities (≤ 1), so
+//! models scale each dimension to `[0, 1]` based on the training data.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension min-max scaler fitted on training data.
+///
+/// ```
+/// use hotspot_svm::FeatureScaler;
+/// let data = vec![vec![0.0, 100.0], vec![10.0, 300.0]];
+/// let scaler = FeatureScaler::fit(&data);
+/// assert_eq!(scaler.transform(&[5.0, 200.0]), vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    mins: Vec<f64>,
+    spans: Vec<f64>, // max − min, 1.0 for constant dimensions
+}
+
+impl FeatureScaler {
+    /// Fits the scaler to training vectors. Constant dimensions map to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler to no data");
+        let dim = data[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in data {
+            assert_eq!(row.len(), dim, "inconsistent feature dimension");
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        let spans = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| {
+                let s = hi - lo;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        FeatureScaler { mins, spans }
+    }
+
+    /// Feature dimension the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one vector into `[0, 1]` per dimension (values outside the
+    /// training range extrapolate linearly beyond `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the fitted dimension.
+    pub fn transform(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim(), "feature dimension mismatch");
+        v.iter()
+            .zip(self.mins.iter().zip(&self.spans))
+            .map(|(x, (lo, span))| (x - lo) / span)
+            .collect()
+    }
+
+    /// Scales a batch of vectors.
+    pub fn transform_all(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|v| self.transform(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_extremes_to_unit_interval() {
+        let data = vec![vec![-5.0, 2.0], vec![5.0, 4.0], vec![0.0, 3.0]];
+        let s = FeatureScaler::fit(&data);
+        assert_eq!(s.transform(&[-5.0, 2.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[5.0, 4.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[0.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let data = vec![vec![7.0], vec![7.0]];
+        let s = FeatureScaler::fit(&data);
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let data = vec![vec![0.0], vec![10.0]];
+        let s = FeatureScaler::fit(&data);
+        assert_eq!(s.transform(&[20.0]), vec![2.0]);
+        assert_eq!(s.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn transform_all_matches_individual() {
+        let data = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let s = FeatureScaler::fit(&data);
+        assert_eq!(
+            s.transform_all(&data),
+            vec![s.transform(&data[0]), s.transform(&data[1])]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        let _ = FeatureScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let s = FeatureScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform(&[1.0]);
+    }
+}

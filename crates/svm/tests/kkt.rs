@@ -1,0 +1,109 @@
+//! Property tests: KKT conditions and classification sanity of the SMO
+//! solver on randomly generated problems.
+
+use hotspot_svm::{Kernel, SmoParams, SvmTrainer};
+use proptest::prelude::*;
+
+/// Random two-class problems with controllable separation.
+fn arb_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    let point = (0.0f64..1.0, 0.0f64..1.0);
+    proptest::collection::vec((point, proptest::bool::ANY), 4..30).prop_map(|raw| {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for ((a, b), pos) in raw {
+            // Shift positives toward (1, 1) to keep both separable-ish and
+            // overlapping cases in play.
+            if pos {
+                x.push(vec![a * 0.7 + 0.3, b * 0.7 + 0.3]);
+                y.push(1.0);
+            } else {
+                x.push(vec![a * 0.7, b * 0.7]);
+                y.push(-1.0);
+            }
+        }
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kkt_conditions_hold((x, y) in arb_problem(), c in 0.5f64..50.0, gamma in 0.1f64..5.0) {
+        let kernel = Kernel::rbf(gamma);
+        let sol = hotspot_svm_solve(&x, &y, kernel, c);
+
+        // Box constraints.
+        for &a in &sol.alpha {
+            prop_assert!(a >= -1e-9 && a <= c + 1e-6);
+        }
+        // Equality constraint.
+        let s: f64 = sol.alpha.iter().zip(&y).map(|(a, t)| a * t).sum();
+        prop_assert!(s.abs() < 1e-6, "sum alpha*y = {}", s);
+
+        // Free support vectors sit on the margin: y f(x) ≈ 1.
+        let decision = |q: &[f64]| -> f64 {
+            x.iter()
+                .zip(&y)
+                .zip(&sol.alpha)
+                .map(|((xi, yi), ai)| ai * yi * kernel.eval(xi, q))
+                .sum::<f64>()
+                - sol.rho
+        };
+        for i in 0..x.len() {
+            let a = sol.alpha[i];
+            if a > 1e-8 && a < c - 1e-8 {
+                let margin = y[i] * decision(&x[i]);
+                prop_assert!((margin - 1.0).abs() < 5e-3,
+                    "free SV {} has margin {}", i, margin);
+            }
+        }
+    }
+
+    #[test]
+    fn separable_data_reaches_full_training_accuracy(seed in 0u64..1000) {
+        // Deterministic pseudo-random well-separated clusters.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64 / 2.0) % 1.0
+        };
+        for i in 0..20 {
+            let (cx, cy, label) = if i % 2 == 0 { (0.0, 0.0, -1.0) } else { (3.0, 3.0, 1.0) };
+            x.push(vec![cx + next() * 0.5, cy + next() * 0.5]);
+            y.push(label);
+        }
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).c(100.0).train(&x, &y).unwrap();
+        prop_assert_eq!(model.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn prediction_is_deterministic((x, y) in arb_problem()) {
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).c(10.0).train(&x, &y).unwrap();
+        let q = vec![0.5, 0.5];
+        prop_assert_eq!(model.predict(&q), model.predict(&q));
+        prop_assert_eq!(model.decision_value(&q), model.decision_value(&q));
+    }
+}
+
+/// Helper: run the low-level solver with symmetric C (tests the re-exported
+/// `SmoParams`/`solve` path used by iterative learning in the core crate).
+fn hotspot_svm_solve(
+    x: &[Vec<f64>],
+    y: &[f64],
+    kernel: Kernel,
+    c: f64,
+) -> hotspot_svm::SmoSolution {
+    hotspot_svm::solve(
+        x,
+        y,
+        kernel,
+        &SmoParams {
+            c_pos: c,
+            c_neg: c,
+            ..Default::default()
+        },
+    )
+}

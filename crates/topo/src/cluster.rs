@@ -1,0 +1,280 @@
+//! Density-based classification (Section III-B2).
+//!
+//! After string-based classification, patterns sharing a topology may still
+//! differ geometrically. Each pattern is pixelated into a density grid; the
+//! distance between patterns is eq. (1) (orientation-minimised L1), and the
+//! cluster radius is eq. (2):
+//!
+//! ```text
+//! R = max(R₀, max_{i,j} ρ(pᵢ, pⱼ) / K)
+//! ```
+//!
+//! Clustering is incremental: a pattern joins the first cluster whose
+//! centroid is within `R`, recalculating that centroid, and otherwise seeds
+//! a new cluster.
+
+use hotspot_geom::{DensityGrid, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of density-based classification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterParams {
+    /// User-defined radius floor `R₀`.
+    pub radius_floor: f64,
+    /// Expected cluster count `K` (the paper uses 10).
+    pub expected_count: usize,
+    /// Density-grid resolution (pixels per side).
+    pub grid: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            radius_floor: 0.5,
+            expected_count: 10,
+            grid: 8,
+        }
+    }
+}
+
+/// One density cluster: member indices into the input slice, the running
+/// centroid grid, and the medoid (member closest to the centroid).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Indices of member patterns in the order they were added.
+    pub members: Vec<usize>,
+    /// Mean density grid of the members.
+    pub centroid: DensityGrid,
+}
+
+impl Cluster {
+    /// Index (into the original input) of the member whose grid is closest
+    /// to the centroid — the cluster representative the paper selects when
+    /// downsampling nonhotspots.
+    pub fn medoid(&self, grids: &[DensityGrid]) -> usize {
+        *self
+            .members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = self.centroid.distance(&grids[a]).distance;
+                let db = self.centroid.distance(&grids[b]).distance;
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("clusters are never empty")
+    }
+}
+
+/// Runs density-based classification over patterns given as rect sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityClustering {
+    /// The radius actually used (after applying eq. (2)).
+    pub radius: f64,
+    /// The clusters, in creation order.
+    pub clusters: Vec<Cluster>,
+    /// The density grid of every input pattern.
+    pub grids: Vec<DensityGrid>,
+}
+
+impl DensityClustering {
+    /// Clusters `patterns` (each a rect set inside `window`).
+    ///
+    /// Returns an empty clustering for no patterns.
+    pub fn run(window: &Rect, patterns: &[Vec<Rect>], params: &ClusterParams) -> Self {
+        let grids: Vec<DensityGrid> = patterns
+            .iter()
+            .map(|rects| DensityGrid::from_rects(window, rects, params.grid, params.grid))
+            .collect();
+        Self::run_on_grids(grids, params)
+    }
+
+    /// Clusters precomputed density grids (all must share dimensions).
+    pub fn run_on_grids(grids: Vec<DensityGrid>, params: &ClusterParams) -> Self {
+        if grids.is_empty() {
+            return DensityClustering {
+                radius: params.radius_floor,
+                clusters: Vec::new(),
+                grids,
+            };
+        }
+
+        // Eq. (2): R = max(R0, max pairwise distance / K).
+        let mut max_pair = 0.0f64;
+        for i in 0..grids.len() {
+            for j in (i + 1)..grids.len() {
+                let d = grids[i].distance(&grids[j]).distance;
+                if d > max_pair {
+                    max_pair = d;
+                }
+            }
+        }
+        let k = params.expected_count.max(1) as f64;
+        let radius = params.radius_floor.max(max_pair / k);
+
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for (idx, grid) in grids.iter().enumerate() {
+            let mut joined = false;
+            for cluster in &mut clusters {
+                if cluster.centroid.distance(grid).distance <= radius {
+                    // Recalculate the centroid as the running mean.
+                    let n = cluster.members.len();
+                    cluster.centroid.fold_mean(grid, n);
+                    cluster.members.push(idx);
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                clusters.push(Cluster {
+                    members: vec![idx],
+                    centroid: grid.clone(),
+                });
+            }
+        }
+
+        DensityClustering {
+            radius,
+            clusters,
+            grids,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when no patterns were clustered.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster index containing pattern `idx`, if any.
+    pub fn cluster_of(&self, idx: usize) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.members.contains(&idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 100, 100)
+    }
+
+    fn params() -> ClusterParams {
+        ClusterParams {
+            radius_floor: 0.5,
+            expected_count: 10,
+            grid: 6,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = DensityClustering::run(&window(), &[], &params());
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn identical_patterns_form_one_cluster() {
+        let p = vec![Rect::from_extents(0, 0, 50, 100)];
+        let patterns = vec![p.clone(), p.clone(), p];
+        let c = DensityClustering::run(&window(), &patterns, &params());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clusters[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distinct_patterns_split() {
+        let patterns = vec![
+            vec![Rect::from_extents(0, 0, 20, 20)], // sparse corner
+            vec![window()],                          // full coverage
+        ];
+        let c = DensityClustering::run(&window(), &patterns, &params());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rotated_copies_cluster_together() {
+        // Eq. (1) minimises over D8, so rotations are distance 0.
+        let base = vec![
+            Rect::from_extents(0, 0, 30, 100),
+            Rect::from_extents(70, 0, 100, 100),
+        ];
+        let rotated: Vec<Rect> = hotspot_geom::Orientation::R90.apply_rects(&base, 100, 100);
+        let c = DensityClustering::run(&window(), &[base, rotated], &params());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn radius_respects_floor_and_eq2() {
+        let patterns = vec![
+            vec![Rect::from_extents(0, 0, 20, 20)],
+            vec![window()],
+        ];
+        let p = ClusterParams {
+            radius_floor: 0.1,
+            expected_count: 2,
+            grid: 6,
+        };
+        let c = DensityClustering::run(&window(), &patterns, &p);
+        let d = c.grids[0].distance(&c.grids[1]).distance;
+        assert!((c.radius - d / 2.0).abs() < 1e-12, "eq. (2) radius");
+
+        let p_floor = ClusterParams {
+            radius_floor: 1000.0,
+            ..p
+        };
+        let c2 = DensityClustering::run(&window(), &patterns, &p_floor);
+        assert_eq!(c2.radius, 1000.0);
+        // A huge radius collapses everything into one cluster.
+        assert_eq!(c2.len(), 1);
+    }
+
+    #[test]
+    fn medoid_is_closest_to_centroid() {
+        let patterns = vec![
+            vec![Rect::from_extents(0, 0, 50, 100)],
+            vec![Rect::from_extents(0, 0, 52, 100)],
+            vec![Rect::from_extents(0, 0, 80, 100)],
+        ];
+        let p = ClusterParams {
+            radius_floor: 100.0, // force one cluster
+            ..params()
+        };
+        let c = DensityClustering::run(&window(), &patterns, &p);
+        assert_eq!(c.len(), 1);
+        let m = c.clusters[0].medoid(&c.grids);
+        // The middle pattern is nearest the mean of the three.
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn cluster_of_finds_membership() {
+        let patterns = vec![
+            vec![Rect::from_extents(0, 0, 20, 20)],
+            vec![window()],
+        ];
+        let c = DensityClustering::run(&window(), &patterns, &params());
+        assert_eq!(c.cluster_of(0), Some(0));
+        assert_eq!(c.cluster_of(1), Some(1));
+        assert_eq!(c.cluster_of(99), None);
+    }
+
+    #[test]
+    fn every_pattern_lands_in_exactly_one_cluster() {
+        let patterns: Vec<Vec<Rect>> = (0..10)
+            .map(|i| vec![Rect::from_extents(0, 0, 10 + 9 * i, 100)])
+            .collect();
+        let c = DensityClustering::run(&window(), &patterns, &params());
+        let total: usize = c.clusters.iter().map(|cl| cl.members.len()).sum();
+        assert_eq!(total, patterns.len());
+        for i in 0..patterns.len() {
+            assert!(c.cluster_of(i).is_some());
+        }
+    }
+}

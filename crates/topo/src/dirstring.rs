@@ -1,0 +1,444 @@
+//! Directional strings and string-based topological classification
+//! (Section III-B1 and Theorem 1 of the paper).
+//!
+//! A core pattern is sliced along polygon edges in each of the four
+//! directions. Each slice becomes a binary sequence — boundary bit `1`,
+//! polygon blocks `1`, space blocks `0` — read as a number, so each side of
+//! the pattern carries a string of numbers. Two core patterns have the same
+//! topology (up to the eight orientations) iff the concatenation of any two
+//! adjacent side strings of one pattern occurs in the counterclockwise or
+//! clockwise composite string of the other (Theorem 1).
+//!
+//! For clustering, [`TopoSignature`] canonicalises the four side strings
+//! over all eight orientations into a hashable key: two patterns share a
+//! signature exactly when Theorem 1 declares them topologically equal.
+
+use hotspot_geom::{Coord, Orientation, Rect, D8};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sentinel separating side strings inside composite strings, so a match
+/// can never straddle a side boundary incorrectly.
+const SIDE_SEPARATOR: u128 = u128::MAX;
+
+/// The four directional strings of a core pattern.
+///
+/// Sides are stored in counterclockwise order: bottom, right (east), top,
+/// left (west). Each side string is the bottom string of the pattern rotated
+/// so that side faces down.
+///
+/// ```
+/// use hotspot_geom::Rect;
+/// use hotspot_topo::DirectionalStrings;
+///
+/// let window = Rect::from_extents(0, 0, 100, 100);
+/// let rects = [Rect::from_extents(0, 0, 100, 50)];
+/// let s = DirectionalStrings::of(&window, &rects);
+/// // One slice, fully spanning in x: bottom string has a single number.
+/// assert_eq!(s.side(0).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DirectionalStrings {
+    sides: [Vec<u128>; 4], // bottom, east, top, west
+}
+
+impl DirectionalStrings {
+    /// Computes the four directional strings of the pattern `rects` inside
+    /// `window` (rects are clipped to the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn of(window: &Rect, rects: &[Rect]) -> DirectionalStrings {
+        assert!(!window.is_empty(), "window must be non-empty");
+        // Normalise to local coordinates with the window at the origin.
+        let local: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(window))
+            .map(|r| r.translate(-window.min()))
+            .collect();
+        let (w, h) = (window.width(), window.height());
+        // side k faces down after rotating by the inverse of R(90k)… i.e.
+        // bottom: R0, east: R270, top: R180, west: R90 (see module tests).
+        let sides = [
+            bottom_string(&local, w, h, Orientation::R0),
+            bottom_string(&local, w, h, Orientation::R270),
+            bottom_string(&local, w, h, Orientation::R180),
+            bottom_string(&local, w, h, Orientation::R90),
+        ];
+        DirectionalStrings { sides }
+    }
+
+    /// Side string `k` in counterclockwise order (0 = bottom, 1 = east,
+    /// 2 = top, 3 = west).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 4`.
+    pub fn side(&self, k: usize) -> &[u128] {
+        &self.sides[k]
+    }
+
+    /// The counterclockwise composite string: all four sides joined with
+    /// separators, with the beginning side repeated at the end (as the paper
+    /// prescribes) so cyclic matches succeed.
+    pub fn ccw_composite(&self) -> Vec<u128> {
+        let order = [0usize, 1, 2, 3, 0];
+        self.composite(&order, false)
+    }
+
+    /// The clockwise composite string (side order reversed and each side's
+    /// slices reversed) — this is the counterclockwise composite of the
+    /// mirrored pattern.
+    pub fn cw_composite(&self) -> Vec<u128> {
+        let order = [0usize, 3, 2, 1, 0];
+        self.composite(&order, true)
+    }
+
+    fn composite(&self, order: &[usize], reverse_each: bool) -> Vec<u128> {
+        let mut out = Vec::new();
+        for &k in order {
+            out.push(SIDE_SEPARATOR);
+            if reverse_each {
+                out.extend(self.sides[k].iter().rev().copied());
+            } else {
+                out.extend(self.sides[k].iter().copied());
+            }
+        }
+        out.push(SIDE_SEPARATOR);
+        out
+    }
+
+    /// The query string for Theorem 1: two adjacent sides (bottom then
+    /// east), separator-delimited.
+    pub fn adjacent_pair_query(&self) -> Vec<u128> {
+        let mut q = vec![SIDE_SEPARATOR];
+        q.extend(self.sides[0].iter().copied());
+        q.push(SIDE_SEPARATOR);
+        q.extend(self.sides[1].iter().copied());
+        q.push(SIDE_SEPARATOR);
+        q
+    }
+
+    /// Theorem 1: `true` iff the two patterns have the same topology under
+    /// some of the eight orientations.
+    pub fn same_topology(&self, other: &DirectionalStrings) -> bool {
+        let query = self.adjacent_pair_query();
+        contains(&other.ccw_composite(), &query) || contains(&other.cw_composite(), &query)
+    }
+}
+
+impl fmt::Display for DirectionalStrings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["bottom", "east", "top", "west"];
+        for (name, side) in names.iter().zip(&self.sides) {
+            write!(f, "{name}: <")?;
+            for (i, v) in side.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ">")?;
+        }
+        Ok(())
+    }
+}
+
+/// Canonical topology key: the lexicographically smallest flattened side
+/// tuple over all eight orientations.
+///
+/// Two patterns have equal signatures iff [`DirectionalStrings::same_topology`]
+/// holds for them; unlike Theorem-1 matching, the signature is hashable and
+/// gives clustering a direct `HashMap` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopoSignature(Vec<u128>);
+
+impl TopoSignature {
+    /// Computes the canonical signature of a pattern.
+    pub fn of(window: &Rect, rects: &[Rect]) -> TopoSignature {
+        Self::with_orientation(window, rects).0
+    }
+
+    /// Computes the signature together with the canonical orientation — the
+    /// first element of `D8` whose flattened composite attains the
+    /// lexicographic minimum. Aligning every cluster member by its canonical
+    /// orientation puts their critical features in a common frame.
+    pub fn with_orientation(window: &Rect, rects: &[Rect]) -> (TopoSignature, Orientation) {
+        let (w, h) = (window.width(), window.height());
+        let local: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(window))
+            .map(|r| r.translate(-window.min()))
+            .collect();
+        let mut best: Option<(Vec<u128>, Orientation)> = None;
+        for o in D8 {
+            let trects = o.apply_rects(&local, w, h);
+            let (tw, th) = o.window(w, h);
+            let twin = Rect::from_extents(0, 0, tw, th);
+            let s = DirectionalStrings::of(&twin, &trects);
+            let flat = s.ccw_composite();
+            if best.as_ref().map_or(true, |(b, _)| flat < *b) {
+                best = Some((flat, o));
+            }
+        }
+        let (flat, o) = best.expect("D8 is non-empty");
+        (TopoSignature(flat), o)
+    }
+
+    /// The flattened canonical string (for diagnostics).
+    pub fn as_slice(&self) -> &[u128] {
+        &self.0
+    }
+}
+
+/// Subsequence search (naive; strings are tens of numbers long).
+fn contains(haystack: &[u128], needle: &[u128]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if haystack.len() < needle.len() {
+        return false;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|w| w == needle)
+}
+
+/// The bottom string of the pattern after orienting by `o`: slice vertically
+/// along polygon x-edges; per slice, emit the boundary bit then the
+/// bottom-to-top block sequence (polygon = 1, space = 0), read as a number.
+fn bottom_string(rects: &[Rect], w: Coord, h: Coord, o: Orientation) -> Vec<u128> {
+    let oriented = o.apply_rects(rects, w, h);
+    let (ow, oh) = o.window(w, h);
+
+    // Slice boundaries at every vertical edge plus the window sides.
+    let mut xs: Vec<Coord> = vec![0, ow];
+    for r in &oriented {
+        xs.push(r.min().x);
+        xs.push(r.max().x);
+    }
+    xs.sort_unstable();
+    xs.dedup();
+
+    // Collect the merged y-interval set of each slice first; adjacent slices
+    // with *identical* interval sets are one topological slice (abutting
+    // rectangles of the same union create spurious edge events), so they
+    // collapse before bit encoding.
+    let mut slice_intervals: Vec<Vec<(Coord, Coord)>> = Vec::new();
+    for slice in xs.windows(2) {
+        let (x0, x1) = (slice[0], slice[1]);
+        if x0 >= x1 {
+            continue;
+        }
+        // Rects spanning the slice (slice boundaries are at all edges, so
+        // any overlapping rect spans the whole slice horizontally).
+        let mut intervals: Vec<(Coord, Coord)> = oriented
+            .iter()
+            .filter(|r| r.min().x <= x0 && r.max().x >= x1)
+            .map(|r| (r.min().y, r.max().y))
+            .collect();
+        intervals.sort_unstable();
+        // Merge touching/overlapping y-intervals.
+        let mut merged: Vec<(Coord, Coord)> = Vec::new();
+        for (a, b) in intervals {
+            if let Some(last) = merged.last_mut() {
+                if a <= last.1 {
+                    last.1 = last.1.max(b);
+                    continue;
+                }
+            }
+            merged.push((a, b));
+        }
+        if slice_intervals.last() != Some(&merged) {
+            slice_intervals.push(merged);
+        }
+    }
+
+    let mut out = Vec::with_capacity(slice_intervals.len());
+    for merged in &slice_intervals {
+        // Bits: boundary 1, then bottom-to-top alternation.
+        let mut value: u128 = 1;
+        let mut cursor = 0;
+        let push_bit = |v: &mut u128, bit: u128| {
+            debug_assert!(v.leading_zeros() > 0, "slice block count overflow");
+            *v = (*v << 1) | bit;
+        };
+        for (a, b) in merged {
+            if *a > cursor {
+                push_bit(&mut value, 0);
+            }
+            push_bit(&mut value, 1);
+            cursor = *b;
+        }
+        if cursor < oh {
+            push_bit(&mut value, 0);
+        }
+        out.push(value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 100, 100)
+    }
+
+    /// The paper's Fig. 5(a)-style step: left column solid full height,
+    /// right column a floating bar.
+    fn step_pattern() -> Vec<Rect> {
+        vec![
+            Rect::from_extents(0, 0, 50, 100),
+            Rect::from_extents(50, 40, 100, 70),
+        ]
+    }
+
+    #[test]
+    fn fig5a_bottom_string_is_3_10() {
+        let s = DirectionalStrings::of(&window(), &step_pattern());
+        // Slice 1 (solid column): bits 1,1 -> 3. Slice 2 (floating bar):
+        // bits 1,0,1,0 -> 10.
+        assert_eq!(s.side(0), &[3u128, 10]);
+    }
+
+    #[test]
+    fn empty_pattern_single_slice() {
+        let s = DirectionalStrings::of(&window(), &[]);
+        // One slice, boundary + one space block: bits 1,0 -> 2.
+        assert_eq!(s.side(0), &[2u128]);
+        assert_eq!(s.side(2), &[2u128]);
+    }
+
+    #[test]
+    fn full_pattern_single_slice() {
+        let s = DirectionalStrings::of(&window(), &[window()]);
+        // Bits 1,1 -> 3 on every side.
+        for k in 0..4 {
+            assert_eq!(s.side(k), &[3u128], "side {k}");
+        }
+    }
+
+    #[test]
+    fn same_topology_under_all_orientations() {
+        let rects = step_pattern();
+        let base = DirectionalStrings::of(&window(), &rects);
+        for o in D8 {
+            let trects = o.apply_rects(&rects, 100, 100);
+            let rotated = DirectionalStrings::of(&window(), &trects);
+            assert!(
+                base.same_topology(&rotated),
+                "orientation {o} should match\nbase:\n{base}\nrot:\n{rotated}"
+            );
+            assert!(
+                rotated.same_topology(&base),
+                "orientation {o} reverse should match"
+            );
+        }
+    }
+
+    #[test]
+    fn different_topologies_do_not_match() {
+        let a = DirectionalStrings::of(&window(), &[Rect::from_extents(0, 0, 100, 50)]);
+        let b = DirectionalStrings::of(&window(), &step_pattern());
+        assert!(!a.same_topology(&b));
+        assert!(!b.same_topology(&a));
+        let empty = DirectionalStrings::of(&window(), &[]);
+        assert!(!a.same_topology(&empty));
+    }
+
+    #[test]
+    fn scaled_pattern_same_topology() {
+        // Strings capture topology, not dimensions.
+        let big = vec![
+            Rect::from_extents(0, 0, 50, 100),
+            Rect::from_extents(50, 40, 100, 70),
+        ];
+        let small = vec![
+            Rect::from_extents(0, 0, 10, 100),
+            Rect::from_extents(10, 80, 100, 90),
+        ];
+        let a = DirectionalStrings::of(&window(), &big);
+        let b = DirectionalStrings::of(&window(), &small);
+        assert!(a.same_topology(&b));
+    }
+
+    #[test]
+    fn signature_matches_theorem1() {
+        let patterns: Vec<Vec<Rect>> = vec![
+            vec![Rect::from_extents(0, 0, 100, 50)],
+            step_pattern(),
+            vec![Rect::from_extents(20, 20, 80, 80)],
+            vec![
+                Rect::from_extents(0, 40, 100, 60),
+                Rect::from_extents(40, 0, 60, 100),
+            ],
+            vec![],
+        ];
+        for (i, pa) in patterns.iter().enumerate() {
+            for (j, pb) in patterns.iter().enumerate() {
+                let sa = TopoSignature::of(&window(), pa);
+                let sb = TopoSignature::of(&window(), pb);
+                let da = DirectionalStrings::of(&window(), pa);
+                let db = DirectionalStrings::of(&window(), pb);
+                assert_eq!(
+                    sa == sb,
+                    da.same_topology(&db),
+                    "signature vs theorem-1 mismatch for patterns {i}, {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_is_orientation_invariant() {
+        let rects = step_pattern();
+        let base = TopoSignature::of(&window(), &rects);
+        for o in D8 {
+            let trects = o.apply_rects(&rects, 100, 100);
+            assert_eq!(base, TopoSignature::of(&window(), &trects), "{o}");
+        }
+    }
+
+    #[test]
+    fn mirrored_only_pattern_matches_via_cw_composite() {
+        // An asymmetric pattern whose mirror is not any rotation of itself.
+        let rects = vec![
+            Rect::from_extents(0, 0, 30, 100),
+            Rect::from_extents(30, 0, 100, 20),
+            Rect::from_extents(60, 50, 80, 70),
+        ];
+        let mirrored = Orientation::Mx.apply_rects(&rects, 100, 100);
+        let a = DirectionalStrings::of(&window(), &rects);
+        let b = DirectionalStrings::of(&window(), &mirrored);
+        assert!(a.same_topology(&b));
+    }
+
+    #[test]
+    fn composite_contains_repeated_first_side() {
+        let s = DirectionalStrings::of(&window(), &step_pattern());
+        let ccw = s.ccw_composite();
+        // Starts and ends with separator; first side repeated at the end.
+        assert_eq!(ccw.first(), Some(&SIDE_SEPARATOR));
+        assert_eq!(ccw.last(), Some(&SIDE_SEPARATOR));
+        let b = s.side(0);
+        assert_eq!(&ccw[1..1 + b.len()], b);
+        assert_eq!(&ccw[ccw.len() - 1 - b.len()..ccw.len() - 1], b);
+    }
+
+    #[test]
+    fn touching_rects_merge_into_one_block() {
+        // Two stacked rects sharing an edge behave as one block.
+        let merged = DirectionalStrings::of(
+            &window(),
+            &[
+                Rect::from_extents(40, 0, 60, 50),
+                Rect::from_extents(40, 50, 60, 100),
+            ],
+        );
+        let solid = DirectionalStrings::of(&window(), &[Rect::from_extents(40, 0, 60, 100)]);
+        assert_eq!(merged, solid);
+    }
+}

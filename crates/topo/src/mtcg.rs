@@ -1,0 +1,413 @@
+//! The modified transitive closure graph (MTCG) of a tiled pattern.
+//!
+//! Following Fig. 6 and \[6\], each tiling is converted into two constraint
+//! graphs by a sweep-line pass:
+//!
+//! - the **vertical constraint graph** `Cv`: a directed edge runs from a
+//!   tile to any tile directly above it whose x-projection overlaps,
+//! - the **horizontal constraint graph** `Ch`: a directed edge runs from a
+//!   tile to any tile directly to its right whose y-projection overlaps,
+//! - **diagonal edges** (only in the horizontally tiled `Ch`): between two
+//!   same-kind tiles meeting at exactly one corner with an empty corner
+//!   region between them.
+
+use crate::tiling::{Tile, TileKind, Tiling};
+use serde::{Deserialize, Serialize};
+
+/// Kind of MTCG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// `Cv`: source is directly below target.
+    Vertical,
+    /// `Ch`: source is directly left of target.
+    Horizontal,
+    /// Diagonal corner adjacency between same-kind tiles.
+    Diagonal,
+}
+
+/// A directed MTCG edge between tile indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source tile index.
+    pub from: usize,
+    /// Target tile index.
+    pub to: usize,
+    /// Constraint kind.
+    pub kind: EdgeKind,
+}
+
+/// The constraint graphs over one tiling.
+///
+/// ```
+/// use hotspot_geom::Rect;
+/// use hotspot_topo::{Mtcg, Tiling};
+///
+/// let window = Rect::from_extents(0, 0, 100, 100);
+/// let rects = [Rect::from_extents(40, 40, 60, 60)];
+/// let tiling = Tiling::horizontal(&window, &rects);
+/// let g = Mtcg::build(&tiling);
+/// assert!(g.edge_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mtcg {
+    tiles: Vec<Tile>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<usize>>, // edge indices by source
+    in_adj: Vec<Vec<usize>>,  // edge indices by target
+}
+
+impl Mtcg {
+    /// Builds the constraint graphs for a tiling by a sweep over tile
+    /// boundaries. Diagonal edges are added for corner-touching same-kind
+    /// tile pairs with an empty corner region (the adjacency condition of
+    /// Section III-C).
+    pub fn build(tiling: &Tiling) -> Mtcg {
+        let tiles = tiling.tiles().to_vec();
+        let n = tiles.len();
+        let mut edges = Vec::new();
+
+        // Sweep by sorting: for each pair sharing a boundary, add Cv/Ch.
+        // Tile counts per clip are small (tens), so the quadratic pair scan
+        // is cheaper than a full scanline event queue and easier to verify.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (&tiles[i].rect, &tiles[j].rect);
+                // Vertical: a directly below b.
+                if a.max().y == b.min().y && overlaps_1d(a.min().x, a.max().x, b.min().x, b.max().x)
+                {
+                    edges.push(Edge {
+                        from: i,
+                        to: j,
+                        kind: EdgeKind::Vertical,
+                    });
+                }
+                // Horizontal: a directly left of b.
+                if a.max().x == b.min().x && overlaps_1d(a.min().y, a.max().y, b.min().y, b.max().y)
+                {
+                    edges.push(Edge {
+                        from: i,
+                        to: j,
+                        kind: EdgeKind::Horizontal,
+                    });
+                }
+            }
+        }
+
+        // Diagonal edges between same-kind tiles whose projections overlap
+        // on neither axis, provided no same-kind tile lies inside the corner
+        // region between their facing corners (the adjacency condition of
+        // Section III-C). Corner-touching tiles have a degenerate (empty)
+        // corner region and always qualify.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if tiles[i].kind != tiles[j].kind {
+                    continue;
+                }
+                let Some(gap) = diagonal_gap(&tiles[i].rect, &tiles[j].rect) else {
+                    continue;
+                };
+                let blocked = tiles.iter().enumerate().any(|(k, t)| {
+                    k != i && k != j && t.kind == tiles[i].kind && t.rect.overlaps(&gap)
+                });
+                if !blocked {
+                    edges.push(Edge {
+                        from: i,
+                        to: j,
+                        kind: EdgeKind::Diagonal,
+                    });
+                }
+            }
+        }
+
+        let mut out_adj = vec![Vec::new(); n];
+        let mut in_adj = vec![Vec::new(); n];
+        for (e_idx, e) in edges.iter().enumerate() {
+            out_adj[e.from].push(e_idx);
+            in_adj[e.to].push(e_idx);
+        }
+        Mtcg {
+            tiles,
+            edges,
+            out_adj,
+            in_adj,
+        }
+    }
+
+    /// The graph's tiles (indices match edge endpoints).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing neighbours of tile `i` restricted to `kind` edges.
+    pub fn out_neighbors(&self, i: usize, kind: EdgeKind) -> impl Iterator<Item = usize> + '_ {
+        self.out_adj[i]
+            .iter()
+            .map(move |&e| &self.edges[e])
+            .filter(move |e| e.kind == kind)
+            .map(|e| e.to)
+    }
+
+    /// Incoming neighbours of tile `i` restricted to `kind` edges.
+    pub fn in_neighbors(&self, i: usize, kind: EdgeKind) -> impl Iterator<Item = usize> + '_ {
+        self.in_adj[i]
+            .iter()
+            .map(move |&e| &self.edges[e])
+            .filter(move |e| e.kind == kind)
+            .map(|e| e.from)
+    }
+
+    /// Indices of block tiles whose horizontal (or vertical) neighbours are
+    /// all space tiles — the extraction predicate for internal features.
+    pub fn blocks_between_spaces(&self, kind: EdgeKind) -> Vec<usize> {
+        (0..self.tiles.len())
+            .filter(|&i| self.tiles[i].kind == TileKind::Block)
+            .filter(|&i| {
+                // All neighbours along `kind` edges must be space tiles
+                // (vacuously true for an unconnected block).
+                self.out_neighbors(i, kind)
+                    .chain(self.in_neighbors(i, kind))
+                    .all(|n| self.tiles[n].kind == TileKind::Space)
+            })
+            .collect()
+    }
+
+    /// Indices of space tiles lying between exactly two block tiles along
+    /// `kind` edges — the extraction predicate for external features.
+    pub fn spaces_between_two_blocks(&self, kind: EdgeKind) -> Vec<usize> {
+        (0..self.tiles.len())
+            .filter(|&i| self.tiles[i].kind == TileKind::Space)
+            .filter(|&i| {
+                let blocks = self
+                    .out_neighbors(i, kind)
+                    .chain(self.in_neighbors(i, kind))
+                    .filter(|&n| self.tiles[n].kind == TileKind::Block)
+                    .count();
+                blocks == 2
+            })
+            .collect()
+    }
+}
+
+fn overlaps_1d(a0: i64, a1: i64, b0: i64, b1: i64) -> bool {
+    a0 < b1 && b0 < a1
+}
+
+/// The corner region between two diagonally separated rectangles: the
+/// (possibly degenerate) rectangle spanning their facing convex corners.
+/// `None` when the rectangles overlap on either axis.
+pub fn diagonal_gap(a: &hotspot_geom::Rect, b: &hotspot_geom::Rect) -> Option<hotspot_geom::Rect> {
+    use hotspot_geom::Rect;
+    // Determine relative placement on each axis (disjoint or touching).
+    let (x0, x1) = if a.max().x <= b.min().x {
+        (a.max().x, b.min().x)
+    } else if b.max().x <= a.min().x {
+        (b.max().x, a.min().x)
+    } else {
+        return None;
+    };
+    let (y0, y1) = if a.max().y <= b.min().y {
+        (a.max().y, b.min().y)
+    } else if b.max().y <= a.min().y {
+        (b.max().y, a.min().y)
+    } else {
+        return None;
+    };
+    Some(Rect::from_extents(x0, y0, x1, y1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Rect;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 100, 100)
+    }
+
+    #[test]
+    fn centered_block_has_vertical_and_horizontal_edges() {
+        let tiling = Tiling::horizontal(&window(), &[Rect::from_extents(40, 40, 60, 60)]);
+        let g = Mtcg::build(&tiling);
+        let block = g
+            .tiles()
+            .iter()
+            .position(|t| t.kind == TileKind::Block)
+            .unwrap();
+        // The block sees space below/above (Cv) and left/right (Ch).
+        assert_eq!(
+            g.out_neighbors(block, EdgeKind::Vertical).count()
+                + g.in_neighbors(block, EdgeKind::Vertical).count(),
+            2
+        );
+        assert_eq!(
+            g.out_neighbors(block, EdgeKind::Horizontal).count()
+                + g.in_neighbors(block, EdgeKind::Horizontal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn vertical_edges_point_upward() {
+        let tiling = Tiling::horizontal(&window(), &[Rect::from_extents(0, 0, 100, 50)]);
+        let g = Mtcg::build(&tiling);
+        for e in g.edges() {
+            if e.kind == EdgeKind::Vertical {
+                assert!(
+                    g.tiles()[e.from].rect.max().y == g.tiles()[e.to].rect.min().y,
+                    "vertical edge must go bottom to top"
+                );
+            }
+        }
+        // Exactly one vertical edge: block below space.
+        assert_eq!(
+            g.edges()
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Vertical)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn diagonal_edge_between_corner_touching_blocks() {
+        let rects = [
+            Rect::from_extents(0, 0, 40, 40),
+            Rect::from_extents(40, 40, 80, 80),
+        ];
+        let tiling = Tiling::horizontal(&window(), &rects);
+        let g = Mtcg::build(&tiling);
+        let diag: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Diagonal)
+            .filter(|e| {
+                g.tiles()[e.from].kind == TileKind::Block
+                    && g.tiles()[e.to].kind == TileKind::Block
+            })
+            .collect();
+        assert_eq!(diag.len(), 1, "one block-block diagonal expected");
+    }
+
+    #[test]
+    fn separated_blocks_with_empty_corner_are_diagonal() {
+        // Per Section III-C, blocks with disjoint projections on both axes
+        // and an empty corner region are diagonally adjacent.
+        let rects = [
+            Rect::from_extents(0, 0, 20, 20),
+            Rect::from_extents(60, 60, 90, 90),
+        ];
+        let tiling = Tiling::horizontal(&window(), &rects);
+        let g = Mtcg::build(&tiling);
+        assert_eq!(
+            g.edges()
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Diagonal
+                    && g.tiles()[e.from].kind == TileKind::Block)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_inside_corner_region_breaks_diagonal_adjacency() {
+        let rects = [
+            Rect::from_extents(0, 0, 20, 20),
+            Rect::from_extents(60, 60, 90, 90),
+            Rect::from_extents(30, 30, 50, 50), // sits in the corner region
+        ];
+        let tiling = Tiling::horizontal(&window(), &rects);
+        let g = Mtcg::build(&tiling);
+        let block_diags: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.kind == EdgeKind::Diagonal && g.tiles()[e.from].kind == TileKind::Block
+            })
+            .collect();
+        // Corner-to-middle pairs remain adjacent; the outer pair does not.
+        let (lo, hi) = (Rect::from_extents(0, 0, 20, 20), Rect::from_extents(60, 60, 90, 90));
+        for e in &block_diags {
+            let (a, b) = (g.tiles()[e.from].rect, g.tiles()[e.to].rect);
+            let outer = (a == lo && b == hi) || (a == hi && b == lo);
+            assert!(!outer, "outer pair must be blocked by the middle tile");
+        }
+        assert_eq!(block_diags.len(), 2);
+    }
+
+    #[test]
+    fn diagonal_gap_geometry() {
+        use super::diagonal_gap;
+        let a = Rect::from_extents(0, 0, 10, 10);
+        let b = Rect::from_extents(30, 40, 50, 60);
+        assert_eq!(diagonal_gap(&a, &b), Some(Rect::from_extents(10, 10, 30, 40)));
+        assert_eq!(diagonal_gap(&b, &a), Some(Rect::from_extents(10, 10, 30, 40)));
+        // Overlapping x-projections: no diagonal relation.
+        let c = Rect::from_extents(5, 40, 50, 60);
+        assert_eq!(diagonal_gap(&a, &c), None);
+    }
+
+    #[test]
+    fn blocks_between_spaces_finds_isolated_block() {
+        let tiling = Tiling::horizontal(&window(), &[Rect::from_extents(40, 40, 60, 60)]);
+        let g = Mtcg::build(&tiling);
+        let found = g.blocks_between_spaces(EdgeKind::Horizontal);
+        assert_eq!(found.len(), 1);
+        assert_eq!(g.tiles()[found[0]].kind, TileKind::Block);
+    }
+
+    #[test]
+    fn spaces_between_two_blocks_finds_gap() {
+        // Two bars with a gap between them.
+        let rects = [
+            Rect::from_extents(0, 40, 40, 60),
+            Rect::from_extents(60, 40, 100, 60),
+        ];
+        let tiling = Tiling::horizontal(&window(), &rects);
+        let g = Mtcg::build(&tiling);
+        let gaps = g.spaces_between_two_blocks(EdgeKind::Horizontal);
+        assert_eq!(gaps.len(), 1);
+        let gap = g.tiles()[gaps[0]].rect;
+        assert_eq!(gap, Rect::from_extents(40, 40, 60, 60));
+    }
+
+    #[test]
+    fn empty_tiling_has_no_edges() {
+        let tiling = Tiling::horizontal(&window(), &[]);
+        let g = Mtcg::build(&tiling);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.tiles().len(), 1);
+    }
+
+    #[test]
+    fn adjacency_lists_match_edges() {
+        let rects = [
+            Rect::from_extents(0, 0, 30, 100),
+            Rect::from_extents(60, 20, 90, 70),
+        ];
+        let tiling = Tiling::horizontal(&window(), &rects);
+        let g = Mtcg::build(&tiling);
+        for (i, _) in g.tiles().iter().enumerate() {
+            for kind in [EdgeKind::Vertical, EdgeKind::Horizontal, EdgeKind::Diagonal] {
+                for n in g.out_neighbors(i, kind) {
+                    assert!(g
+                        .edges()
+                        .iter()
+                        .any(|e| e.from == i && e.to == n && e.kind == kind));
+                }
+            }
+        }
+    }
+}

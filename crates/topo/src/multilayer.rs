@@ -1,0 +1,143 @@
+//! Multilayer hotspot feature extraction (Section IV-A).
+//!
+//! For a pattern with `m` metal layers, the paper extracts `m` feature sets
+//! (one per layer) plus `m − 1` sets from the overlapped polygons of
+//! adjacent layers; only diagonal and internal features are taken from the
+//! overlaps.
+
+use crate::features::{CriticalFeatures, FeatureConfig, FeatureKind};
+use hotspot_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Feature sets of a multilayer pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultilayerFeatures {
+    /// Per-layer feature sets, in input layer order.
+    pub per_layer: Vec<CriticalFeatures>,
+    /// Feature sets of the overlapped polygons of each adjacent layer pair
+    /// (internal and diagonal rules only).
+    pub overlaps: Vec<CriticalFeatures>,
+}
+
+impl MultilayerFeatures {
+    /// Extracts `layers.len()` per-layer sets plus `layers.len() − 1`
+    /// overlap sets (Fig. 13).
+    pub fn extract(
+        window: &Rect,
+        layers: &[Vec<Rect>],
+        config: &FeatureConfig,
+    ) -> MultilayerFeatures {
+        let per_layer = layers
+            .iter()
+            .map(|rects| CriticalFeatures::extract(window, rects, config))
+            .collect();
+        let overlaps = layers
+            .windows(2)
+            .map(|pair| {
+                let common = intersect_layers(&pair[0], &pair[1]);
+                let mut f = CriticalFeatures::extract(window, &common, config);
+                // Only diagonal and internal features are taken from overlaps.
+                f.rules.retain(|r| {
+                    matches!(r.kind, FeatureKind::Internal | FeatureKind::Diagonal)
+                });
+                f
+            })
+            .collect();
+        MultilayerFeatures {
+            per_layer,
+            overlaps,
+        }
+    }
+
+    /// Flattens all sets into one SVM vector (layer sets in order, then
+    /// overlap sets).
+    pub fn to_vector(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        for f in self.per_layer.iter().chain(&self.overlaps) {
+            v.extend(f.to_vector());
+        }
+        v
+    }
+}
+
+/// Pairwise intersections of two layers' rectangles.
+fn intersect_layers(a: &[Rect], b: &[Rect]) -> Vec<Rect> {
+    let mut out = Vec::new();
+    for ra in a {
+        for rb in b {
+            if let Some(i) = ra.intersection(rb) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 120, 120)
+    }
+
+    #[test]
+    fn two_layers_give_three_sets() {
+        let m1 = vec![Rect::from_extents(0, 40, 120, 60)];
+        let m2 = vec![Rect::from_extents(50, 0, 70, 120)];
+        let f = MultilayerFeatures::extract(&window(), &[m1, m2], &FeatureConfig::default());
+        assert_eq!(f.per_layer.len(), 2);
+        assert_eq!(f.overlaps.len(), 1);
+    }
+
+    #[test]
+    fn overlap_set_covers_via_region() {
+        let m1 = vec![Rect::from_extents(0, 40, 120, 60)];
+        let m2 = vec![Rect::from_extents(50, 0, 70, 120)];
+        let f = MultilayerFeatures::extract(&window(), &[m1, m2], &FeatureConfig::default());
+        // The overlap is the 20×20 via region.
+        let overlap = &f.overlaps[0];
+        assert!((overlap.density - (20.0 * 20.0) / (120.0 * 120.0)).abs() < 1e-12);
+        // Only internal/diagonal rules survive.
+        assert!(overlap
+            .rules
+            .iter()
+            .all(|r| matches!(r.kind, FeatureKind::Internal | FeatureKind::Diagonal)));
+    }
+
+    #[test]
+    fn disjoint_layers_have_empty_overlap() {
+        let m1 = vec![Rect::from_extents(0, 0, 50, 50)];
+        let m2 = vec![Rect::from_extents(60, 60, 110, 110)];
+        let f = MultilayerFeatures::extract(&window(), &[m1, m2], &FeatureConfig::default());
+        assert_eq!(f.overlaps[0].density, 0.0);
+    }
+
+    #[test]
+    fn vector_concatenates_all_sets() {
+        let m1 = vec![Rect::from_extents(0, 40, 120, 60)];
+        let m2 = vec![Rect::from_extents(50, 0, 70, 120)];
+        let f = MultilayerFeatures::extract(
+            &window(),
+            &[m1.clone(), m2.clone()],
+            &FeatureConfig::default(),
+        );
+        let expected: usize = f
+            .per_layer
+            .iter()
+            .chain(&f.overlaps)
+            .map(|s| s.to_vector().len())
+            .sum();
+        assert_eq!(f.to_vector().len(), expected);
+    }
+
+    #[test]
+    fn single_layer_degenerates_to_plain_extraction() {
+        let m1 = vec![Rect::from_extents(10, 10, 60, 30)];
+        let f = MultilayerFeatures::extract(&window(), &[m1.clone()], &FeatureConfig::default());
+        assert_eq!(f.per_layer.len(), 1);
+        assert!(f.overlaps.is_empty());
+        let plain = CriticalFeatures::extract(&window(), &m1, &FeatureConfig::default());
+        assert_eq!(f.per_layer[0], plain);
+    }
+}

@@ -1,0 +1,173 @@
+//! Double-patterning feature extraction (Section IV-B).
+//!
+//! When the foundry provides a mask decomposition, the paper extracts three
+//! feature sets per pattern: one from each mask and one from the combined
+//! pattern. Rules from the mask sets carry mask marks.
+
+use crate::features::{CriticalFeatures, FeatureConfig};
+use hotspot_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A two-mask decomposition of a pattern window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaskDecomposition {
+    /// Rectangles printed by mask 1.
+    pub mask1: Vec<Rect>,
+    /// Rectangles printed by mask 2.
+    pub mask2: Vec<Rect>,
+}
+
+impl MaskDecomposition {
+    /// The combined (target) pattern.
+    pub fn combined(&self) -> Vec<Rect> {
+        self.mask1.iter().chain(&self.mask2).copied().collect()
+    }
+
+    /// Greedy two-colouring decomposition: rectangles closer than
+    /// `min_spacing` must go to different masks; conflicts fall back to
+    /// mask 1 (a real decomposer would report a violation).
+    pub fn decompose(rects: &[Rect], min_spacing: i64) -> MaskDecomposition {
+        let n = rects.len();
+        let mut color = vec![usize::MAX; n];
+        for i in 0..n {
+            // Colours used by already-assigned conflicting neighbours.
+            let mut used = [false; 2];
+            for j in 0..i {
+                if conflict(&rects[i], &rects[j], min_spacing) && color[j] < 2 {
+                    used[color[j]] = true;
+                }
+            }
+            color[i] = if !used[0] { 0 } else if !used[1] { 1 } else { 0 };
+        }
+        let mut d = MaskDecomposition {
+            mask1: Vec::new(),
+            mask2: Vec::new(),
+        };
+        for (r, c) in rects.iter().zip(&color) {
+            if *c == 0 {
+                d.mask1.push(*r);
+            } else {
+                d.mask2.push(*r);
+            }
+        }
+        d
+    }
+}
+
+/// `true` when two rectangles are closer than `min_spacing` (and disjoint).
+fn conflict(a: &Rect, b: &Rect, min_spacing: i64) -> bool {
+    match hotspot_geom::edge_spacing(a, b) {
+        Some(d) => d < min_spacing,
+        None => false, // overlapping rects are the same net, not a conflict
+    }
+}
+
+/// The three feature sets of a double-patterned window (Fig. 14(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatterningFeatures {
+    /// Features of the mask-1 pattern (mask-marked).
+    pub mask1: CriticalFeatures,
+    /// Features of the mask-2 pattern (mask-marked).
+    pub mask2: CriticalFeatures,
+    /// Features of the combined pattern.
+    pub combined: CriticalFeatures,
+}
+
+impl PatterningFeatures {
+    /// Extracts the three feature sets.
+    pub fn extract(
+        window: &Rect,
+        decomposition: &MaskDecomposition,
+        config: &FeatureConfig,
+    ) -> PatterningFeatures {
+        PatterningFeatures {
+            mask1: CriticalFeatures::extract(window, &decomposition.mask1, config),
+            mask2: CriticalFeatures::extract(window, &decomposition.mask2, config),
+            combined: CriticalFeatures::extract(window, &decomposition.combined(), config),
+        }
+    }
+
+    /// Flattens mask 1, mask 2, then combined features into one vector.
+    /// The mask sets are prefixed with their mask number (the paper's "mask
+    /// marks").
+    pub fn to_vector(&self) -> Vec<f64> {
+        let mut v = vec![1.0];
+        v.extend(self.mask1.to_vector());
+        v.push(2.0);
+        v.extend(self.mask2.to_vector());
+        v.extend(self.combined.to_vector());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 120, 120)
+    }
+
+    #[test]
+    fn decompose_splits_close_pairs() {
+        // Two bars 10 apart with min spacing 20: must be on different masks.
+        let rects = [
+            Rect::from_extents(10, 40, 50, 60),
+            Rect::from_extents(60, 40, 100, 60),
+        ];
+        let d = MaskDecomposition::decompose(&rects, 20);
+        assert_eq!(d.mask1.len(), 1);
+        assert_eq!(d.mask2.len(), 1);
+    }
+
+    #[test]
+    fn decompose_keeps_far_pairs_together() {
+        let rects = [
+            Rect::from_extents(0, 0, 20, 20),
+            Rect::from_extents(80, 80, 110, 110),
+        ];
+        let d = MaskDecomposition::decompose(&rects, 20);
+        assert_eq!(d.mask1.len(), 2);
+        assert!(d.mask2.is_empty());
+    }
+
+    #[test]
+    fn combined_restores_all_rects() {
+        let rects = [
+            Rect::from_extents(10, 40, 50, 60),
+            Rect::from_extents(60, 40, 100, 60),
+            Rect::from_extents(0, 100, 120, 110),
+        ];
+        let d = MaskDecomposition::decompose(&rects, 20);
+        assert_eq!(d.combined().len(), rects.len());
+    }
+
+    #[test]
+    fn odd_cycle_falls_back_without_panicking() {
+        // Three mutually conflicting bars (odd cycle): 2-colouring fails,
+        // the greedy decomposer must still terminate.
+        let rects = [
+            Rect::from_extents(0, 0, 10, 30),
+            Rect::from_extents(15, 0, 25, 30),
+            Rect::from_extents(30, 0, 40, 30),
+        ];
+        let d = MaskDecomposition::decompose(&rects, 50);
+        assert_eq!(d.mask1.len() + d.mask2.len(), 3);
+    }
+
+    #[test]
+    fn feature_sets_cover_masks_and_combined() {
+        let rects = [
+            Rect::from_extents(10, 40, 50, 60),
+            Rect::from_extents(60, 40, 100, 60),
+        ];
+        let d = MaskDecomposition::decompose(&rects, 20);
+        let f = PatterningFeatures::extract(&window(), &d, &FeatureConfig::default());
+        // Each mask alone has no external spacing; combined does.
+        assert_eq!(f.combined.min_external, 10);
+        assert!(f.mask1.min_external > 10);
+        let v = f.to_vector();
+        assert_eq!(v[0], 1.0);
+        assert!(v.len() > f.combined.to_vector().len());
+    }
+}

@@ -1,0 +1,388 @@
+//! Horizontal and vertical tiling of a pattern window.
+//!
+//! The MTCG construction (Fig. 6) first tiles the core region: the window is
+//! cut into *block* tiles (covered by polygons) and *space* tiles. The
+//! horizontal tiling cuts at every horizontal polygon edge, producing
+//! horizontally maximal tiles; the vertical tiling is its transpose.
+
+use hotspot_geom::{Coord, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a tile is covered by polygons or empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileKind {
+    /// Covered by layout polygons.
+    Block,
+    /// Empty space.
+    Space,
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileKind::Block => f.write_str("block"),
+            TileKind::Space => f.write_str("space"),
+        }
+    }
+}
+
+/// One tile of a tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// The tile's extent (window coordinates).
+    pub rect: Rect,
+    /// Block or space.
+    pub kind: TileKind,
+}
+
+impl Tile {
+    /// Number of tile sides lying on the window boundary (0–4).
+    pub fn boundary_edges(&self, window: &Rect) -> usize {
+        let mut n = 0;
+        if self.rect.min().x == window.min().x {
+            n += 1;
+        }
+        if self.rect.max().x == window.max().x {
+            n += 1;
+        }
+        if self.rect.min().y == window.min().y {
+            n += 1;
+        }
+        if self.rect.max().y == window.max().y {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Direction of a tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TilingAxis {
+    /// Cut at horizontal edges: tiles are horizontally maximal.
+    Horizontal,
+    /// Cut at vertical edges: tiles are vertically maximal.
+    Vertical,
+}
+
+/// A complete tiling of a window into block and space tiles.
+///
+/// ```
+/// use hotspot_geom::Rect;
+/// use hotspot_topo::{Tiling, TileKind};
+///
+/// let window = Rect::from_extents(0, 0, 100, 100);
+/// let rects = [Rect::from_extents(40, 40, 60, 60)];
+/// let t = Tiling::horizontal(&window, &rects);
+/// let blocks = t.tiles_of_kind(TileKind::Block).count();
+/// assert_eq!(blocks, 1);
+/// // Tiles partition the window exactly.
+/// let area: i64 = t.tiles().iter().map(|t| t.rect.area()).sum();
+/// assert_eq!(area, window.area());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tiling {
+    window: Rect,
+    axis: TilingAxis,
+    tiles: Vec<Tile>,
+}
+
+impl Tiling {
+    /// Horizontally tiles `window` around the given polygon rectangles
+    /// (clipped to the window).
+    pub fn horizontal(window: &Rect, rects: &[Rect]) -> Tiling {
+        let tiles = tile_bands(window, rects, false);
+        Tiling {
+            window: *window,
+            axis: TilingAxis::Horizontal,
+            tiles,
+        }
+    }
+
+    /// Vertically tiles `window` (the transpose construction).
+    pub fn vertical(window: &Rect, rects: &[Rect]) -> Tiling {
+        let tiles = tile_bands(window, rects, true);
+        Tiling {
+            window: *window,
+            axis: TilingAxis::Vertical,
+            tiles,
+        }
+    }
+
+    /// The tiled window.
+    pub fn window(&self) -> &Rect {
+        &self.window
+    }
+
+    /// The tiling direction.
+    pub fn axis(&self) -> TilingAxis {
+        self.axis
+    }
+
+    /// All tiles, bottom-to-top then left-to-right.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Iterator over tiles of one kind.
+    pub fn tiles_of_kind(&self, kind: TileKind) -> impl Iterator<Item = &Tile> {
+        self.tiles.iter().filter(move |t| t.kind == kind)
+    }
+}
+
+/// Tiles the window band by band. With `transpose = true`, the roles of the
+/// axes swap (vertical tiling).
+fn tile_bands(window: &Rect, rects: &[Rect], transpose: bool) -> Vec<Tile> {
+    let (win, clipped): (Rect, Vec<Rect>) = {
+        let clipped: Vec<Rect> = rects.iter().filter_map(|r| r.intersection(window)).collect();
+        if transpose {
+            (
+                transpose_rect(window),
+                clipped.iter().map(transpose_rect).collect(),
+            )
+        } else {
+            (*window, clipped)
+        }
+    };
+
+    // Band boundaries at every horizontal edge.
+    let mut ys: Vec<Coord> = vec![win.min().y, win.max().y];
+    for r in &clipped {
+        ys.push(r.min().y);
+        ys.push(r.max().y);
+    }
+    ys.sort_unstable();
+    ys.dedup();
+
+    let mut tiles: Vec<Tile> = Vec::new();
+    for band in ys.windows(2) {
+        let (y0, y1) = (band[0], band[1]);
+        if y0 >= y1 {
+            continue;
+        }
+        // Covered x-intervals within this band (union of rect projections).
+        let mut xs: Vec<(Coord, Coord)> = clipped
+            .iter()
+            .filter(|r| r.min().y <= y0 && r.max().y >= y1)
+            .map(|r| (r.min().x, r.max().x))
+            .collect();
+        xs.sort_unstable();
+        let mut merged: Vec<(Coord, Coord)> = Vec::new();
+        for (a, b) in xs {
+            if let Some(last) = merged.last_mut() {
+                if a <= last.1 {
+                    last.1 = last.1.max(b);
+                    continue;
+                }
+            }
+            merged.push((a, b));
+        }
+        // Emit alternating space/block tiles across the band.
+        let mut cursor = win.min().x;
+        for (a, b) in &merged {
+            if *a > cursor {
+                tiles.push(Tile {
+                    rect: Rect::from_extents(cursor, y0, *a, y1),
+                    kind: TileKind::Space,
+                });
+            }
+            tiles.push(Tile {
+                rect: Rect::from_extents(*a, y0, *b, y1),
+                kind: TileKind::Block,
+            });
+            cursor = *b;
+        }
+        if cursor < win.max().x {
+            tiles.push(Tile {
+                rect: Rect::from_extents(cursor, y0, win.max().x, y1),
+                kind: TileKind::Space,
+            });
+        }
+    }
+
+    // Merge vertically adjacent tiles with identical x-range and kind, so
+    // tiles are maximal in the band direction.
+    let merged = merge_band_runs(tiles);
+
+    if transpose {
+        merged
+            .into_iter()
+            .map(|t| Tile {
+                rect: transpose_rect(&t.rect),
+                kind: t.kind,
+            })
+            .collect()
+    } else {
+        merged
+    }
+}
+
+fn transpose_rect(r: &Rect) -> Rect {
+    Rect::new(r.min().transpose(), r.max().transpose())
+}
+
+fn merge_band_runs(mut tiles: Vec<Tile>) -> Vec<Tile> {
+    tiles.sort_by_key(|t| (t.rect.min().x, t.rect.max().x, t.rect.min().y));
+    let mut out: Vec<Tile> = Vec::with_capacity(tiles.len());
+    for t in tiles {
+        if let Some(last) = out.last_mut() {
+            if last.kind == t.kind
+                && last.rect.min().x == t.rect.min().x
+                && last.rect.max().x == t.rect.max().x
+                && last.rect.max().y == t.rect.min().y
+            {
+                last.rect = Rect::new(last.rect.min(), t.rect.max());
+                continue;
+            }
+        }
+        out.push(t);
+    }
+    // Restore reading order: bottom-to-top, then left-to-right.
+    out.sort_by_key(|t| (t.rect.min().y, t.rect.min().x));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::from_extents(0, 0, 100, 100)
+    }
+
+    fn tile_area(t: &Tiling) -> i64 {
+        t.tiles().iter().map(|t| t.rect.area()).sum()
+    }
+
+    #[test]
+    fn empty_window_is_one_space_tile() {
+        let t = Tiling::horizontal(&window(), &[]);
+        assert_eq!(t.tiles().len(), 1);
+        assert_eq!(t.tiles()[0].kind, TileKind::Space);
+        assert_eq!(t.tiles()[0].rect, window());
+    }
+
+    #[test]
+    fn full_window_is_one_block_tile() {
+        let t = Tiling::horizontal(&window(), &[window()]);
+        assert_eq!(t.tiles().len(), 1);
+        assert_eq!(t.tiles()[0].kind, TileKind::Block);
+    }
+
+    #[test]
+    fn centered_square_gives_nine_region_tiling() {
+        // Horizontal tiling of a centred square: 3 bands; middle band has
+        // space | block | space; outer bands merge into full-width space.
+        let t = Tiling::horizontal(&window(), &[Rect::from_extents(40, 40, 60, 60)]);
+        assert_eq!(tile_area(&t), window().area());
+        assert_eq!(t.tiles_of_kind(TileKind::Block).count(), 1);
+        assert_eq!(t.tiles_of_kind(TileKind::Space).count(), 4);
+    }
+
+    #[test]
+    fn tiles_partition_without_overlap() {
+        let rects = [
+            Rect::from_extents(0, 0, 30, 100),
+            Rect::from_extents(50, 20, 80, 70),
+            Rect::from_extents(90, 0, 100, 10),
+        ];
+        for t in [
+            Tiling::horizontal(&window(), &rects),
+            Tiling::vertical(&window(), &rects),
+        ] {
+            assert_eq!(tile_area(&t), window().area());
+            let ts = t.tiles();
+            for i in 0..ts.len() {
+                for j in (i + 1)..ts.len() {
+                    assert!(
+                        !ts[i].rect.overlaps(&ts[j].rect),
+                        "{:?} overlaps {:?}",
+                        ts[i],
+                        ts[j]
+                    );
+                }
+            }
+            // Block area equals input polygon area (inputs are disjoint).
+            let block_area: i64 = t
+                .tiles_of_kind(TileKind::Block)
+                .map(|t| t.rect.area())
+                .sum();
+            let input_area: i64 = rects.iter().map(|r| r.area()).sum();
+            assert_eq!(block_area, input_area);
+        }
+    }
+
+    #[test]
+    fn horizontal_tiles_are_horizontally_maximal() {
+        // Space left and right of a block must extend to the window edges.
+        let t = Tiling::horizontal(&window(), &[Rect::from_extents(40, 40, 60, 60)]);
+        for tile in t.tiles_of_kind(TileKind::Space) {
+            let r = tile.rect;
+            // Every space tile in the middle band touches the block or edge;
+            // tiles in outer bands span the full width.
+            if r.min().y < 40 || r.min().y >= 60 {
+                assert_eq!(r.width(), 100, "outer space band must be full width");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_is_transpose_of_horizontal() {
+        let rects = [Rect::from_extents(20, 0, 40, 100), Rect::from_extents(60, 30, 90, 80)];
+        let h = Tiling::horizontal(&window(), &rects);
+        let trects: Vec<Rect> = rects.iter().map(transpose_rect).collect();
+        let v = Tiling::vertical(&window(), &trects);
+        // Transposing the vertical tiling of transposed input gives the
+        // horizontal tiling.
+        let mut vt: Vec<Tile> = v
+            .tiles()
+            .iter()
+            .map(|t| Tile {
+                rect: transpose_rect(&t.rect),
+                kind: t.kind,
+            })
+            .collect();
+        vt.sort_by_key(|t| (t.rect.min().y, t.rect.min().x));
+        let mut ht = h.tiles().to_vec();
+        ht.sort_by_key(|t| (t.rect.min().y, t.rect.min().x));
+        assert_eq!(vt, ht);
+    }
+
+    #[test]
+    fn overlapping_input_rects_merge() {
+        let rects = [
+            Rect::from_extents(10, 10, 50, 50),
+            Rect::from_extents(30, 10, 70, 50),
+        ];
+        let t = Tiling::horizontal(&window(), &rects);
+        assert_eq!(t.tiles_of_kind(TileKind::Block).count(), 1);
+        let block = t.tiles_of_kind(TileKind::Block).next().unwrap();
+        assert_eq!(block.rect, Rect::from_extents(10, 10, 70, 50));
+    }
+
+    #[test]
+    fn boundary_edges_counted() {
+        let w = window();
+        let corner = Tile {
+            rect: Rect::from_extents(0, 0, 10, 10),
+            kind: TileKind::Block,
+        };
+        assert_eq!(corner.boundary_edges(&w), 2);
+        let inner = Tile {
+            rect: Rect::from_extents(40, 40, 60, 60),
+            kind: TileKind::Block,
+        };
+        assert_eq!(inner.boundary_edges(&w), 0);
+        let full = Tile {
+            rect: w,
+            kind: TileKind::Space,
+        };
+        assert_eq!(full.boundary_edges(&w), 4);
+    }
+
+    #[test]
+    fn rects_outside_window_ignored() {
+        let t = Tiling::horizontal(&window(), &[Rect::from_extents(200, 200, 300, 300)]);
+        assert_eq!(t.tiles_of_kind(TileKind::Block).count(), 0);
+    }
+}

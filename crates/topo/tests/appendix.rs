@@ -1,0 +1,156 @@
+//! Tests for the paper's Appendix claims about directional strings:
+//! Lemma 1 (slice codes uniquely represent slice topology) and Theorem 2
+//! (composite-string matching is exact under the eight orientations).
+
+use hotspot_geom::{Orientation, Point, Rect, D8};
+use hotspot_topo::{DirectionalStrings, TopoSignature};
+use proptest::prelude::*;
+
+const W: i64 = 120;
+
+fn window() -> Rect {
+    Rect::from_extents(0, 0, W, W)
+}
+
+/// Lemma 1: two patterns whose bottom strings are equal slice-for-slice
+/// share the bottom-side topology — equal codes for structurally different
+/// slices must not occur. Constructively check distinct block stackings
+/// map to distinct codes.
+#[test]
+fn lemma1_distinct_stackings_have_distinct_codes() {
+    // One block in the middle of the slice: 1|0|1|0 = 10.
+    let one = DirectionalStrings::of(&window(), &[Rect::from_extents(0, 40, W, 80)]);
+    // Two blocks: 1|0|1|0|1|0 = 42.
+    let two = DirectionalStrings::of(
+        &window(),
+        &[
+            Rect::from_extents(0, 20, W, 40),
+            Rect::from_extents(0, 70, W, 90),
+        ],
+    );
+    // Block touching the bottom: 1|1|0 = 6.
+    let grounded = DirectionalStrings::of(&window(), &[Rect::from_extents(0, 0, W, 50)]);
+    assert_eq!(one.side(0), &[10u128]);
+    assert_eq!(two.side(0), &[42u128]);
+    assert_eq!(grounded.side(0), &[6u128]);
+    assert!(!one.same_topology(&two));
+    assert!(!one.same_topology(&grounded));
+    assert!(!two.same_topology(&grounded));
+}
+
+/// Theorem 2 (only-if direction): patterns with different topologies never
+/// match — spot-checked over a catalogue of structurally distinct patterns.
+#[test]
+fn theorem2_distinct_topology_catalogue_never_matches() {
+    let catalogue: Vec<Vec<Rect>> = vec![
+        vec![],
+        vec![Rect::from_extents(0, 0, W, W)],
+        vec![Rect::from_extents(0, 0, W, 60)],
+        vec![Rect::from_extents(20, 20, 100, 100)],
+        vec![
+            Rect::from_extents(0, 0, 50, 50),
+            Rect::from_extents(70, 70, 120, 120),
+        ],
+        vec![
+            Rect::from_extents(0, 50, 120, 70),
+            Rect::from_extents(50, 0, 70, 120),
+        ],
+        vec![
+            Rect::from_extents(0, 0, 30, 120),
+            Rect::from_extents(50, 0, 80, 120),
+            Rect::from_extents(100, 0, 120, 120),
+        ],
+    ];
+    for (i, a) in catalogue.iter().enumerate() {
+        for (j, b) in catalogue.iter().enumerate() {
+            let sa = DirectionalStrings::of(&window(), a);
+            let sb = DirectionalStrings::of(&window(), b);
+            assert_eq!(
+                sa.same_topology(&sb),
+                i == j,
+                "catalogue entries {i} and {j}"
+            );
+        }
+    }
+}
+
+/// Theorem 2 (if direction): matching must hold for every orientation of
+/// the same pattern, including positional translations of the geometry
+/// within the window that preserve the slice structure.
+#[test]
+fn theorem2_orientations_and_dimension_changes_match() {
+    let base = vec![
+        Rect::from_extents(10, 10, 50, 40),
+        Rect::from_extents(70, 10, 110, 40),
+        Rect::from_extents(10, 70, 110, 100),
+    ];
+    let squeezed = vec![
+        Rect::from_extents(5, 20, 55, 45),
+        Rect::from_extents(60, 20, 115, 45),
+        Rect::from_extents(5, 60, 115, 110),
+    ];
+    let sa = DirectionalStrings::of(&window(), &base);
+    for o in D8 {
+        let sb = DirectionalStrings::of(&window(), &o.apply_rects(&squeezed, W, W));
+        assert!(sa.same_topology(&sb), "orientation {o}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matching is an equivalence relation on random patterns: reflexive,
+    /// symmetric, and consistent with the canonical signature (whose
+    /// equality is transitive by construction).
+    #[test]
+    fn matching_is_an_equivalence(
+        a in arb_pattern(), b in arb_pattern(), c in arb_pattern()
+    ) {
+        let (sa, sb, sc) = (
+            DirectionalStrings::of(&window(), &a),
+            DirectionalStrings::of(&window(), &b),
+            DirectionalStrings::of(&window(), &c),
+        );
+        prop_assert!(sa.same_topology(&sa));
+        prop_assert_eq!(sa.same_topology(&sb), sb.same_topology(&sa));
+        // Transitivity via the signature bridge.
+        let (ka, kb, kc) = (
+            TopoSignature::of(&window(), &a),
+            TopoSignature::of(&window(), &b),
+            TopoSignature::of(&window(), &c),
+        );
+        if ka == kb && kb == kc {
+            prop_assert!(sa.same_topology(&sc));
+        }
+    }
+
+    /// The canonical orientation reported by the signature maps the pattern
+    /// onto a representative whose signature is unchanged.
+    #[test]
+    fn canonical_orientation_is_self_consistent(a in arb_pattern()) {
+        let (sig, orientation) = TopoSignature::with_orientation(&window(), &a);
+        let rotated = orientation.apply_rects(&a, W, W);
+        let (tw, th) = orientation.window(W, W);
+        let twin = Rect::from_extents(0, 0, tw, th);
+        prop_assert_eq!(sig, TopoSignature::of(&twin, &rotated));
+    }
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..50, 5i64..50), 1..5)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(x, y, w, h)| {
+                    Rect::from_origin_size(Point::new(x, y), w.min(W - x), h.min(W - y))
+                })
+                .collect()
+        })
+}
+
+#[test]
+fn orientation_sanity() {
+    // Guard: D8 has eight distinct elements (the theorem quantifies over
+    // them).
+    let set: std::collections::HashSet<Orientation> = D8.into_iter().collect();
+    assert_eq!(set.len(), 8);
+}

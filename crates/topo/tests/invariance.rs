@@ -1,0 +1,132 @@
+//! Property tests for topological classification: Theorem-1 orientation
+//! invariance, signature consistency, tiling partition invariants, and
+//! feature-extraction stability.
+
+use hotspot_geom::{Point, Rect, D8};
+use hotspot_topo::{
+    ClusterParams, CriticalFeatures, DensityClustering, DirectionalStrings, FeatureConfig,
+    TileKind, Tiling, TopoSignature,
+};
+use proptest::prelude::*;
+
+const W: i64 = 120;
+
+fn window() -> Rect {
+    Rect::from_extents(0, 0, W, W)
+}
+
+/// Random disjoint-ish rect patterns inside the window.
+fn arb_pattern() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..40, 5i64..40), 1..6)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(x, y, w, h)| {
+                    Rect::from_origin_size(
+                        Point::new(x, y),
+                        w.min(W - x),
+                        h.min(W - y),
+                    )
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem1_holds_for_all_orientations(rects in arb_pattern()) {
+        let base = DirectionalStrings::of(&window(), &rects);
+        for o in D8 {
+            let trects = o.apply_rects(&rects, W, W);
+            let rotated = DirectionalStrings::of(&window(), &trects);
+            prop_assert!(base.same_topology(&rotated), "orientation {}", o);
+            prop_assert!(rotated.same_topology(&base), "reverse, orientation {}", o);
+        }
+    }
+
+    #[test]
+    fn signature_invariant_under_orientations(rects in arb_pattern()) {
+        let base = TopoSignature::of(&window(), &rects);
+        for o in D8 {
+            let trects = o.apply_rects(&rects, W, W);
+            prop_assert_eq!(&base, &TopoSignature::of(&window(), &trects), "{}", o);
+        }
+    }
+
+    #[test]
+    fn signature_agrees_with_theorem1(a in arb_pattern(), b in arb_pattern()) {
+        let sa = TopoSignature::of(&window(), &a);
+        let sb = TopoSignature::of(&window(), &b);
+        let da = DirectionalStrings::of(&window(), &a);
+        let db = DirectionalStrings::of(&window(), &b);
+        prop_assert_eq!(sa == sb, da.same_topology(&db));
+    }
+
+    #[test]
+    fn tilings_partition_the_window(rects in arb_pattern()) {
+        for tiling in [Tiling::horizontal(&window(), &rects), Tiling::vertical(&window(), &rects)] {
+            let total: i64 = tiling.tiles().iter().map(|t| t.rect.area()).sum();
+            prop_assert_eq!(total, window().area());
+            let tiles = tiling.tiles();
+            for i in 0..tiles.len() {
+                for j in (i + 1)..tiles.len() {
+                    prop_assert!(!tiles[i].rect.overlaps(&tiles[j].rect));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_area_equals_union_area(rects in arb_pattern()) {
+        // Block tiles cover exactly the union of the input rects; both
+        // tilings must agree on that area.
+        let h: i64 = Tiling::horizontal(&window(), &rects)
+            .tiles_of_kind(TileKind::Block)
+            .map(|t| t.rect.area())
+            .sum();
+        let v: i64 = Tiling::vertical(&window(), &rects)
+            .tiles_of_kind(TileKind::Block)
+            .map(|t| t.rect.area())
+            .sum();
+        prop_assert_eq!(h, v);
+    }
+
+    #[test]
+    fn feature_vector_deterministic(rects in arb_pattern()) {
+        let cfg = FeatureConfig::default();
+        let a = CriticalFeatures::extract(&window(), &rects, &cfg);
+        let b = CriticalFeatures::extract(&window(), &rects, &cfg);
+        prop_assert_eq!(a.to_vector(), b.to_vector());
+    }
+
+    #[test]
+    fn nontopological_features_orientation_invariant(rects in arb_pattern()) {
+        let cfg = FeatureConfig::default();
+        let base = CriticalFeatures::extract(&window(), &rects, &cfg);
+        for o in D8 {
+            let f = CriticalFeatures::extract_oriented(&window(), &rects, o, &cfg);
+            prop_assert_eq!(f.corner_count, base.corner_count, "{}", o);
+            prop_assert_eq!(f.touch_points, base.touch_points, "{}", o);
+            prop_assert_eq!(f.min_internal, base.min_internal, "{}", o);
+            prop_assert_eq!(f.min_external, base.min_external, "{}", o);
+            prop_assert!((f.density - base.density).abs() < 1e-12, "{}", o);
+        }
+    }
+
+    #[test]
+    fn clustering_covers_all_patterns(patterns in proptest::collection::vec(arb_pattern(), 1..12)) {
+        let c = DensityClustering::run(&window(), &patterns, &ClusterParams::default());
+        let total: usize = c.clusters.iter().map(|cl| cl.members.len()).sum();
+        prop_assert_eq!(total, patterns.len());
+        // Members are within the radius of their (running) centroid is not
+        // guaranteed post-hoc (the centroid moves), but every member must be
+        // assigned to exactly one cluster.
+        let mut seen = std::collections::HashSet::new();
+        for cl in &c.clusters {
+            for &m in &cl.members {
+                prop_assert!(seen.insert(m), "pattern {} in two clusters", m);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! GDSII round trip: build a layout, serialise it to a binary GDSII
+//! stream, read it back, and run clip extraction on the result.
+//!
+//! ```sh
+//! cargo run --release --example gdsii_roundtrip
+//! ```
+
+use hotspot_suite::core::{extract_clips, DetectorConfig};
+use hotspot_suite::geom::{Point, Polygon, Rect};
+use hotspot_suite::layout::{gdsii, LayerId, Layout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a layout with rectangles and a rectilinear polygon.
+    let mut layout = Layout::new("demo_chip");
+    let layer = LayerId::METAL1;
+    layout.add_rect(layer, Rect::from_extents(0, 0, 800, 200));
+    layout.add_rect(layer, Rect::from_extents(900, 0, 1700, 200));
+    layout.add_polygon(
+        layer,
+        Polygon::new(vec![
+            Point::new(0, 400),
+            Point::new(600, 400),
+            Point::new(600, 700),
+            Point::new(300, 700),
+            Point::new(300, 1100),
+            Point::new(0, 1100),
+        ])?,
+    );
+
+    // Serialise to the GDSII stream format and back.
+    let bytes = gdsii::write_bytes(&layout)?;
+    println!("wrote {} bytes of GDSII", bytes.len());
+    let path = std::env::temp_dir().join("hotspot_demo.gds");
+    gdsii::write_file(&layout, &path)?;
+    let restored = gdsii::read_file(&path)?;
+    assert_eq!(restored, layout);
+    println!("round trip OK: {} polygons on {} layer(s)", restored.polygon_count(), restored.layers().count());
+
+    // Dissect polygons into rectangles (Fig. 11(a)) and extract clips.
+    let rects = restored.dissected_rects(layer);
+    println!("dissection: {} rectangles", rects.len());
+    let config = DetectorConfig {
+        distribution: hotspot_suite::core::DistributionFilter {
+            min_core_density: 0.0,
+            min_polygon_count: 1,
+            max_boundary_bbox_distance: 4800,
+        },
+        ..Default::default()
+    };
+    let clips = extract_clips(&restored, layer, &config);
+    println!("extracted {} candidate clips", clips.len());
+    for clip in clips.iter().take(3) {
+        println!(
+            "  clip at {} with {} rects, core density {:.3}",
+            clip.window.core.min(),
+            clip.rects.len(),
+            clip.core_density()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

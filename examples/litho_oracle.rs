@@ -1,0 +1,52 @@
+//! Explore the lithography susceptibility oracle on canonical shapes:
+//! tip-to-tip gaps bridge when narrow, thin lines pinch, solid blocks and
+//! wide gaps print safely.
+//!
+//! ```sh
+//! cargo run --release --example litho_oracle
+//! ```
+
+use hotspot_suite::benchgen::LithoOracle;
+use hotspot_suite::geom::{Point, Rect};
+
+fn main() {
+    let oracle = LithoOracle::default();
+    let window = Rect::centered_square(Point::new(0, 0), 2400);
+    let core = Rect::centered_square(Point::new(0, 0), 1200);
+
+    let score = |name: &str, rects: &[Rect]| {
+        let s = oracle.susceptibility(&core, &window, rects);
+        println!(
+            "{name:<28} score {s:+.4}  -> {}",
+            if s > 0.0 { "HOTSPOT" } else { "safe" }
+        );
+    };
+
+    println!("tip-to-tip bar pairs (bridging):");
+    for gap in [60i64, 100, 140, 200, 320] {
+        let bars = [
+            Rect::from_extents(-500 - gap / 2, -150, -gap / 2, 150),
+            Rect::from_extents(gap / 2, -150, 500 + gap / 2, 150),
+        ];
+        score(&format!("  gap {gap} nm"), &bars);
+    }
+
+    println!("\nisolated lines (pinching):");
+    for width in [60i64, 100, 140, 400] {
+        let line = [Rect::from_extents(-500, -width / 2, 500, width / 2)];
+        score(&format!("  width {width} nm"), &line);
+    }
+
+    println!("\nlarge features (always safe):");
+    score("  solid 900 nm block", &[Rect::centered_square(Point::new(0, 0), 900)]);
+
+    println!("\ncontext dependence (the Fig. 10 effect):");
+    let gap_bars = [
+        Rect::from_extents(-620, -150, -120, 150),
+        Rect::from_extents(120, -150, 620, 150),
+    ];
+    score("  240 nm gap, bare", &gap_bars);
+    let mut crowded = gap_bars.to_vec();
+    crowded.push(Rect::from_extents(-700, 170, 700, 420));
+    score("  240 nm gap, crowded ambit", &crowded);
+}

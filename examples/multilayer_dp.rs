@@ -1,0 +1,101 @@
+//! The Section IV extensions, end to end: multilayer hotspot detection and
+//! double patterning with mask decomposition.
+//!
+//! ```sh
+//! cargo run --release --example multilayer_dp
+//! ```
+
+use hotspot_suite::core::{
+    DecomposedPattern, DetectorConfig, DoublePatterningDetector, MultilayerDetector,
+    MultilayerPattern, MultilayerTrainingSet, Pattern,
+};
+use hotspot_suite::geom::Rect;
+use hotspot_suite::layout::ClipShape;
+use hotspot_suite::topo::multilayer::MultilayerFeatures;
+use hotspot_suite::topo::patterning::MaskDecomposition;
+use hotspot_suite::topo::FeatureConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = ClipShape::ICCAD2012;
+    let window = shape.window_from_core_corner(hotspot_suite::geom::Point::new(0, 0));
+
+    // ------------------------------------------------------------------
+    // Multilayer (Section IV-A): the hotspot exists only when a metal-2
+    // wire crosses the metal-1 gap — single-layer features cannot see it.
+    // ------------------------------------------------------------------
+    let m1 = |gap: i64| {
+        vec![
+            Rect::from_extents(0, 0, 400, 300),
+            Rect::from_extents(400 + gap, 0, 800 + gap, 300),
+        ]
+    };
+    let m2_crossing = vec![Rect::from_extents(350, 0, 550, 1100)];
+
+    let mut training = MultilayerTrainingSet::default();
+    for i in 0..4 {
+        training.hotspots.push(MultilayerPattern::new(
+            window,
+            &[m1(60 + 10 * i), m2_crossing.clone()],
+        ));
+        training
+            .nonhotspots
+            .push(MultilayerPattern::new(window, &[m1(60 + 10 * i), vec![]]));
+        training.nonhotspots.push(MultilayerPattern::new(
+            window,
+            &[m1(450 + 10 * i), m2_crossing.clone()],
+        ));
+    }
+    let detector = MultilayerDetector::train(&training, DetectorConfig::default())?;
+    println!("multilayer detector: {} kernels", detector.kernel_count());
+
+    let risky = MultilayerPattern::new(window, &[m1(75), m2_crossing.clone()]);
+    let safe = MultilayerPattern::new(window, &[m1(75), vec![]]);
+    println!("  narrow m1 gap + crossing m2: {}", verdict(detector.classify(&risky)));
+    println!("  same m1 gap, no m2 wire:     {}", verdict(detector.classify(&safe)));
+
+    // The Fig. 13 feature sets behind the decision:
+    let local = Rect::from_extents(0, 0, 1200, 1200);
+    let fsets = MultilayerFeatures::extract(
+        &local,
+        &[m1(75), m2_crossing.clone()],
+        &FeatureConfig::default(),
+    );
+    println!(
+        "  feature sets: {} per-layer + {} overlap, {} SVM values total",
+        fsets.per_layer.len(),
+        fsets.overlaps.len(),
+        fsets.to_vector().len()
+    );
+
+    // ------------------------------------------------------------------
+    // Double patterning (Section IV-B): three bars at sub-resolution
+    // pitch decompose onto two masks; tight pitches stay risky even after
+    // decomposition.
+    // ------------------------------------------------------------------
+    let bars = |pitch: i64| -> Vec<Rect> {
+        (0..3)
+            .map(|i| Rect::from_extents(i * pitch, 0, i * pitch + 150, 1000))
+            .collect()
+    };
+    let decompose =
+        |pitch: i64| DecomposedPattern::from_pattern(&Pattern::new(window, &bars(pitch)), 250);
+
+    let d = MaskDecomposition::decompose(&bars(240), 250);
+    println!("\ndouble patterning: pitch 240 decomposes to mask1 {} / mask2 {}", d.mask1.len(), d.mask2.len());
+
+    let hotspots: Vec<_> = (0..4).map(|i| decompose(230 + 5 * i)).collect();
+    let safes: Vec<_> = (0..6).map(|i| decompose(450 + 20 * i)).collect();
+    let dp = DoublePatterningDetector::train(&hotspots, &safes, 250, DetectorConfig::default())?;
+    println!("dp detector: {} kernels, spacing rule {} nm", dp.kernel_count(), dp.min_spacing());
+    println!("  pitch 242: {}", verdict(dp.classify(&decompose(242))));
+    println!("  pitch 500: {}", verdict(dp.classify(&decompose(500))));
+    Ok(())
+}
+
+fn verdict(hotspot: bool) -> &'static str {
+    if hotspot {
+        "HOTSPOT"
+    } else {
+        "safe"
+    }
+}

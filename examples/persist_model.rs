@@ -1,0 +1,57 @@
+//! Persist a trained detector to JSON and reload it — the workflow the
+//! `hotspot` CLI wraps (`train` writes the model, `detect` reloads it).
+//!
+//! ```sh
+//! cargo run --release --example persist_model
+//! ```
+
+use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
+use hotspot_suite::core::{DetectorConfig, HotspotDetector};
+use hotspot_suite::layout::ClipShape;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::generate(BenchmarkSpec {
+        name: "persist".into(),
+        process_nm: 32,
+        width: 72_000,
+        height: 72_000,
+        train_hotspots: 20,
+        train_nonhotspots: 70,
+        test_hotspots: 8,
+        seed: 33,
+        clip_shape: ClipShape::ICCAD2012,
+        oracle: LithoOracle::default(),
+        background_fill: 0.5,
+        ambit_filler: true,
+    });
+
+    // Train once…
+    let detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())?;
+    let report_fresh = detector.detect(&benchmark.layout, benchmark.layer);
+
+    // …persist to JSON…
+    let path = std::env::temp_dir().join("hotspot_model.json");
+    serde_json::to_writer(std::io::BufWriter::new(std::fs::File::create(&path)?), &detector)?;
+    let size_kb = std::fs::metadata(&path)?.len() / 1024;
+    println!(
+        "persisted {} kernels (feedback: {}) to {} ({size_kb} KiB)",
+        detector.kernels().len(),
+        detector.feedback().is_some(),
+        path.display()
+    );
+
+    // …and reload: the restored detector reports identically.
+    let restored: HotspotDetector =
+        serde_json::from_reader(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    let report_restored = restored.detect(&benchmark.layout, benchmark.layer);
+    assert_eq!(report_fresh.reported, report_restored.reported);
+    println!(
+        "restored model reproduces the report: {} hotspots, bit-identical",
+        report_restored.reported.len()
+    );
+
+    let eval = report_restored.score_against(&benchmark.actual, 0.2, benchmark.area_um2());
+    println!("{eval}");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

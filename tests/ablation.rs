@@ -1,0 +1,172 @@
+//! Integration tests for the Table II/III orderings: the full framework
+//! versus the single-kernel baseline and the contest-winner proxy, and the
+//! internal ablation invariants.
+
+use hotspot_suite::baselines::{PatternMatcher, SingleKernelSvm};
+use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
+use hotspot_suite::core::{
+    score, AblationSwitches, DetectorConfig, HotspotDetector,
+};
+use hotspot_suite::layout::ClipShape;
+use std::time::Duration;
+
+fn benchmark() -> Benchmark {
+    Benchmark::generate(BenchmarkSpec {
+        name: "ablation".into(),
+        process_nm: 28,
+        width: 72_000,
+        height: 72_000,
+        train_hotspots: 18,
+        train_nonhotspots: 70,
+        test_hotspots: 8,
+        seed: 31,
+        clip_shape: ClipShape::ICCAD2012,
+        oracle: LithoOracle::default(),
+        background_fill: 0.5,
+        ambit_filler: true,
+    })
+}
+
+#[test]
+fn ours_beats_matcher_on_hit_extra_at_similar_accuracy() {
+    // The paper's headline: against the fuzzy pattern-matching winner, our
+    // framework reaches comparable accuracy with a better hit/extra ratio.
+    let bm = benchmark();
+    let ours = HotspotDetector::train(&bm.training, DetectorConfig::default())
+        .expect("framework training");
+    let ours_report = ours.detect(&bm.layout, bm.layer);
+    let ours_eval = ours_report.score_against(&bm.actual, 0.2, bm.area_um2());
+
+    let matcher = PatternMatcher::train(&bm.training, DetectorConfig::default());
+    let match_report = matcher.detect(&bm.layout, bm.layer);
+    let match_eval = score(
+        &match_report.reported,
+        &bm.actual,
+        0.2,
+        bm.area_um2(),
+        Duration::ZERO,
+    );
+
+    assert!(
+        ours_eval.accuracy() + 0.15 >= match_eval.accuracy(),
+        "accuracy regressed: ours {:.2} vs matcher {:.2}",
+        ours_eval.accuracy(),
+        match_eval.accuracy()
+    );
+    assert!(
+        ours_eval.hit_extra_ratio() >= match_eval.hit_extra_ratio(),
+        "hit/extra regressed: ours {:.3} vs matcher {:.3}",
+        ours_eval.hit_extra_ratio(),
+        match_eval.hit_extra_ratio()
+    );
+}
+
+#[test]
+fn topology_beats_single_kernel_on_false_alarm() {
+    // Table III: the single huge kernel ("Basic") produces more extras than
+    // the clustered framework at comparable-or-worse accuracy.
+    let bm = benchmark();
+    let basic = SingleKernelSvm::train(&bm.training, DetectorConfig::default())
+        .expect("basic training");
+    let basic_report = basic.detect(&bm.layout, bm.layer);
+    let basic_eval = score(
+        &basic_report.reported,
+        &bm.actual,
+        0.2,
+        bm.area_um2(),
+        Duration::ZERO,
+    );
+
+    let ours = HotspotDetector::train(&bm.training, DetectorConfig::default())
+        .expect("framework training");
+    let ours_eval = ours
+        .detect(&bm.layout, bm.layer)
+        .score_against(&bm.actual, 0.2, bm.area_um2());
+
+    assert!(
+        ours_eval.hit_extra_ratio() >= basic_eval.hit_extra_ratio(),
+        "clustered framework should win hit/extra: ours {:.3} vs basic {:.3}",
+        ours_eval.hit_extra_ratio(),
+        basic_eval.hit_extra_ratio()
+    );
+}
+
+#[test]
+fn removal_never_reduces_hits() {
+    let bm = benchmark();
+    let with = HotspotDetector::train(
+        &bm.training,
+        DetectorConfig {
+            ablation: AblationSwitches {
+                topology: true,
+                removal: true,
+                feedback: false,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("training");
+    let without = HotspotDetector::train(
+        &bm.training,
+        DetectorConfig {
+            ablation: AblationSwitches {
+                topology: true,
+                removal: false,
+                feedback: false,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("training");
+
+    let with_eval = with
+        .detect(&bm.layout, bm.layer)
+        .score_against(&bm.actual, 0.2, bm.area_um2());
+    let without_eval = without
+        .detect(&bm.layout, bm.layer)
+        .score_against(&bm.actual, 0.2, bm.area_um2());
+
+    assert_eq!(
+        with_eval.hits, without_eval.hits,
+        "removal must not change the hit count"
+    );
+    assert!(
+        with_eval.reported <= without_eval.reported,
+        "removal must not increase the report count"
+    );
+}
+
+#[test]
+fn feedback_never_reduces_hits() {
+    let bm = benchmark();
+    let run = |feedback: bool| {
+        let det = HotspotDetector::train(
+            &bm.training,
+            DetectorConfig {
+                ablation: AblationSwitches {
+                    topology: true,
+                    removal: true,
+                    feedback,
+                },
+                ..Default::default()
+            },
+        )
+        .expect("training");
+        det.detect(&bm.layout, bm.layer)
+            .score_against(&bm.actual, 0.2, bm.area_um2())
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with.hits + 1 >= without.hits,
+        "feedback cost more than one hit: {} vs {}",
+        with.hits,
+        without.hits
+    );
+    assert!(
+        with.extras <= without.extras,
+        "feedback must not increase extras: {} vs {}",
+        with.extras,
+        without.extras
+    );
+}

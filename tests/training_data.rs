@@ -1,0 +1,62 @@
+//! Integration tests for Table IV behaviour (training-data fractions) and
+//! the paper's rapid-convergence claim, plus suite-level sanity.
+
+use hotspot_suite::benchgen::{iccad_suite, Benchmark, SuiteScale};
+use hotspot_suite::core::{DetectorConfig, HotspotDetector};
+
+#[test]
+fn suite_generates_and_labels_consistently() {
+    // Generate the smallest suite end to end; every training label must
+    // agree with the oracle and every benchmark must carry hotspots.
+    let specs = iccad_suite(SuiteScale::Tiny);
+    assert_eq!(specs.len(), 6);
+    let bm = Benchmark::generate(specs[0].clone());
+    assert!(!bm.actual.is_empty());
+    assert!(!bm.training.hotspots.is_empty());
+    for p in bm.training.hotspots.iter().take(3) {
+        assert!(bm
+            .spec
+            .oracle
+            .is_hotspot(&p.window.core, &p.window.clip, &p.rects));
+    }
+}
+
+#[test]
+fn subsampled_training_still_detects_known_patterns() {
+    // Rapid convergence: a modest fraction of the training data should
+    // still catch a solid share of the hotspots.
+    let specs = iccad_suite(SuiteScale::Tiny);
+    let bm = Benchmark::generate(specs[2].clone()); // benchmark3: most data
+    let full = HotspotDetector::train(&bm.training, DetectorConfig::default())
+        .expect("full training");
+    let sub_training = bm.training.subsample(0.5);
+    let sub = HotspotDetector::train(&sub_training, DetectorConfig::default())
+        .expect("subsampled training");
+
+    let full_eval = full
+        .detect(&bm.layout, bm.layer)
+        .score_against(&bm.actual, 0.2, bm.area_um2());
+    let sub_eval = sub
+        .detect(&bm.layout, bm.layer)
+        .score_against(&bm.actual, 0.2, bm.area_um2());
+
+    assert!(full_eval.accuracy() >= 0.7, "full accuracy {:.2}", full_eval.accuracy());
+    assert!(
+        sub_eval.accuracy() >= full_eval.accuracy() * 0.5,
+        "half the data should keep at least half the accuracy ({:.2} vs {:.2})",
+        sub_eval.accuracy(),
+        full_eval.accuracy()
+    );
+}
+
+#[test]
+fn training_set_subsample_counts() {
+    let specs = iccad_suite(SuiteScale::Tiny);
+    let bm = Benchmark::generate(specs[1].clone());
+    for fraction in [1.0, 0.5, 0.25] {
+        let sub = bm.training.subsample(fraction);
+        let expect_h = ((bm.training.hotspots.len() as f64 * fraction).round() as usize).max(1);
+        assert_eq!(sub.hotspots.len(), expect_h);
+        assert!(sub.nonhotspots.len() <= bm.training.nonhotspots.len());
+    }
+}

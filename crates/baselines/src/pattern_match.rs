@@ -217,8 +217,7 @@ mod tests {
         // Eq. (1) distance is orientation-minimised, so rotated instances
         // of a known hotspot match.
         let m = PatternMatcher::train(&training(), DetectorConfig::default());
-        let rotated: Vec<Rect> =
-            hotspot_geom::Orientation::R90.apply_rects(&hs(60), 1200, 1200);
+        let rotated: Vec<Rect> = hotspot_geom::Orientation::R90.apply_rects(&hs(60), 1200, 1200);
         assert!(m.classify(&pattern(&rotated)));
     }
 

@@ -81,10 +81,6 @@ mod tests {
     #[test]
     fn degenerate_layouts() {
         assert_eq!(window_clip_count(500, 500, ClipShape::ICCAD2012), 0);
-        assert!(window_clips(
-            &Rect::from_extents(0, 0, 500, 500),
-            ClipShape::ICCAD2012
-        )
-        .is_empty());
+        assert!(window_clips(&Rect::from_extents(0, 0, 500, 500), ClipShape::ICCAD2012).is_empty());
     }
 }

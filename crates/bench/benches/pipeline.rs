@@ -43,7 +43,11 @@ fn bench_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("detect_full_layout", |b| {
-        b.iter(|| detector.detect(black_box(&bm.layout), bm.layer))
+        b.iter(|| {
+            detector
+                .detect(black_box(&bm.layout), bm.layer)
+                .expect("evaluation")
+        })
     });
     group.finish();
 }
@@ -66,9 +70,7 @@ fn bench_removal(c: &mut Criterion) {
     );
     let config = DetectorConfig::default();
     c.bench_function("redundant_clip_removal", |b| {
-        b.iter(|| {
-            removal::remove_redundant_clips(black_box(cores.clone()), shape, &index, &config)
-        })
+        b.iter(|| removal::remove_redundant_clips(black_box(cores.clone()), shape, &index, &config))
     });
 }
 

@@ -65,5 +65,10 @@ fn bench_mtcg_features(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dirstrings, bench_density, bench_mtcg_features);
+criterion_group!(
+    benches,
+    bench_dirstrings,
+    bench_density,
+    bench_mtcg_features
+);
 criterion_main!(benches);

@@ -29,7 +29,10 @@ fn main() {
     let detector =
         HotspotDetector::train(&pooled, DetectorConfig::default()).expect("pooled training");
 
-    println!("{:>10} {:>9} {:>7} {:>8}", "threshold", "hit rate", "#hit", "#extra");
+    println!(
+        "{:>10} {:>9} {:>7} {:>8}",
+        "threshold", "hit rate", "#hit", "#extra"
+    );
     for threshold in [
         -0.4, -0.2, 0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
     ] {
@@ -37,7 +40,9 @@ fn main() {
         let mut actual = 0usize;
         let mut extras = 0usize;
         for bm in &suite {
-            let report = detector.detect_with_threshold(&bm.layout, bm.layer, threshold);
+            let report = detector
+                .detect_with_threshold(&bm.layout, bm.layer, threshold)
+                .expect("evaluation");
             let eval = report.score_against(&bm.actual, 0.2, bm.area_um2());
             hits += eval.hits;
             actual += eval.actual;

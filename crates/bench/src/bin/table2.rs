@@ -2,7 +2,9 @@
 //! points, with and without multithreading) against the fuzzy
 //! pattern-matching contest-winner proxy.
 
-use hotspot_bench::{generate_suite, print_header, run_matcher, run_ours, scale_from_env};
+use hotspot_bench::{
+    generate_suite, print_breakdown, print_header, run_matcher, run_ours, scale_from_env,
+};
 use hotspot_core::DetectorConfig;
 
 fn main() {
@@ -36,9 +38,12 @@ fn main() {
                 base.decision_threshold,
             ),
         ];
-        for r in rows {
+        for r in &rows {
             println!("{:<22} {}", bm.spec.name, r.row());
         }
+        // Per-stage breakdown of the full framework at the default
+        // operating point.
+        print_breakdown(&rows[1]);
         println!();
     }
 }

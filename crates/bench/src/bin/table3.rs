@@ -2,7 +2,9 @@
 //! Basic (single huge kernel), +Topology, +Removal, and the full framework
 //! (feedback kernel included) — plus the #hs/#nhs balance ratio.
 
-use hotspot_bench::{generate_suite, print_header, run_basic, run_ours, scale_from_env};
+use hotspot_bench::{
+    generate_suite, print_breakdown, print_header, run_basic, run_ours, scale_from_env,
+};
 use hotspot_core::{AblationSwitches, DetectorConfig, HotspotDetector};
 
 fn main() {
@@ -14,8 +16,8 @@ fn main() {
     );
     for bm in generate_suite(scale) {
         // The balance ratio after resampling, from a full training run.
-        let probe = HotspotDetector::train(&bm.training, DetectorConfig::default())
-            .expect("training");
+        let probe =
+            HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training");
         let ratio = probe.summary().balance_ratio();
         let raw_ratio =
             bm.training.hotspots.len() as f64 / bm.training.nonhotspots.len().max(1) as f64;
@@ -62,7 +64,7 @@ fn main() {
                 run_ours(&bm, DetectorConfig::default(), "ours", 0.0),
             ),
         ];
-        for (ratio, r) in rows {
+        for (ratio, r) in &rows {
             println!(
                 "{:<22} {:<12} {:>8} {:>5} {:>7} {:>8.2}% {:>8.1}s",
                 bm.spec.name,
@@ -74,6 +76,8 @@ fn main() {
                 r.eval.runtime.as_secs_f64(),
             );
         }
+        // Per-stage breakdown of the full framework row.
+        print_breakdown(&rows[rows.len() - 1].1);
         println!();
     }
 }

@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
-use hotspot_core::{DetectorConfig, Evaluation, HotspotDetector, TrainingSet};
+use hotspot_core::{DetectorConfig, Evaluation, HotspotDetector, PipelineTelemetry, TrainingSet};
 use std::time::{Duration, Instant};
 
 /// One table row: a method evaluated on a benchmark.
@@ -22,6 +22,8 @@ pub struct MethodResult {
     pub train_time: Duration,
     /// Candidate clip count evaluated.
     pub clips: usize,
+    /// Merged training + evaluation telemetry (framework methods only).
+    pub telemetry: Option<PipelineTelemetry>,
 }
 
 impl MethodResult {
@@ -74,20 +76,23 @@ pub fn run_ours(
     threshold: f64,
 ) -> MethodResult {
     let t0 = Instant::now();
-    let detector =
-        HotspotDetector::train(&benchmark.training, config).expect("framework training");
+    let detector = HotspotDetector::train(&benchmark.training, config).expect("framework training");
     let train_time = t0.elapsed();
-    let report = detector.detect_with_threshold(&benchmark.layout, benchmark.layer, threshold);
+    let report = detector
+        .detect_with_threshold(&benchmark.layout, benchmark.layer, threshold)
+        .expect("framework evaluation");
     let eval = report.score_against(
         &benchmark.actual,
         detector.config().min_hit_clip_overlap,
         benchmark.area_um2(),
     );
+    let telemetry = detector.summary().telemetry.merge(&report.telemetry);
     MethodResult {
         method: method.to_string(),
         eval,
         train_time,
         clips: report.clips_extracted,
+        telemetry: Some(telemetry),
     }
 }
 
@@ -109,6 +114,7 @@ pub fn run_matcher(benchmark: &Benchmark, config: DetectorConfig) -> MethodResul
         eval,
         train_time,
         clips: report.clips_extracted,
+        telemetry: None,
     }
 }
 
@@ -131,12 +137,23 @@ pub fn run_basic(benchmark: &Benchmark, config: DetectorConfig) -> MethodResult 
         eval,
         train_time,
         clips: report.clips_extracted,
+        telemetry: None,
     }
 }
 
 /// Deterministically subsamples a training set to `fraction` (Table IV).
 pub fn subsample_training(training: &TrainingSet, fraction: f64) -> TrainingSet {
     training.subsample(fraction)
+}
+
+/// Prints the per-stage telemetry breakdown of a framework run, when one was
+/// recorded (indented under its table row).
+pub fn print_breakdown(result: &MethodResult) {
+    if let Some(t) = &result.telemetry {
+        for line in t.breakdown().lines() {
+            println!("    {line}");
+        }
+    }
 }
 
 /// Prints a table header naming the experiment.

@@ -170,8 +170,8 @@ impl LithoOracle {
                     const THIN_PX: usize = 6; // ≤ 120 nm wide
                     let (l, r) = (axis_run(px, py, -1, 0), axis_run(px, py, 1, 0));
                     let (d, u) = (axis_run(px, py, 0, -1), axis_run(px, py, 0, 1));
-                    let thin_x = l + r + 1 <= THIN_PX;
-                    let thin_y = d + u + 1 <= THIN_PX;
+                    let thin_x = l + r < THIN_PX;
+                    let thin_y = d + u < THIN_PX;
                     let deep_x = l.min(r) >= PINCH_DEPTH_PX;
                     let deep_y = d.min(u) >= PINCH_DEPTH_PX;
                     if !((thin_y && deep_x) || (thin_x && deep_y)) {
@@ -228,10 +228,11 @@ fn connected_components(rects: &[Rect]) -> Vec<Vec<Rect>> {
             }
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> = std::collections::BTreeMap::new();
-    for i in 0..n {
+    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> =
+        std::collections::BTreeMap::new();
+    for (i, rect) in rects.iter().enumerate() {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(rects[i]);
+        groups.entry(root).or_default().push(*rect);
     }
     groups.into_values().collect()
 }
@@ -383,7 +384,7 @@ mod tests {
         let mut crowded = bars.clone();
         // Bars hugging the core from above and below, inside the ambit.
         crowded.push(Rect::from_extents(-700, 170, 700, 420));
-        crowded.push(Rect::from_extents(-700, -420, -170 - 0, -170));
+        crowded.push(Rect::from_extents(-700, -420, -170, -170));
         let base = o.susceptibility(&core(), &window(), &bars);
         let with_ctx = o.susceptibility(&core(), &window(), &crowded);
         assert!(

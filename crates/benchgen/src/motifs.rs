@@ -140,7 +140,12 @@ impl Motif {
                 Rect::from_extents(0, 0, len, width),
                 // The jog riser narrows to `neck`.
                 Rect::from_extents(len, 0, len + neck, width + len / 2),
-                Rect::from_extents(len, width + len / 2, 2 * len + neck, width + len / 2 + width),
+                Rect::from_extents(
+                    len,
+                    width + len / 2,
+                    2 * len + neck,
+                    width + len / 2 + width,
+                ),
             ],
         }
     }
@@ -198,11 +203,15 @@ impl Motif {
             1 => Motif::ParallelLines {
                 count: rng.random_range(2..4),
                 width: rng.random_range(140..200),
-                spacing: rng.random_range(220..280),
+                // 3 lines at width 199 need spacing < 270 to stay under
+                // the 1150 nm core budget: 3·199 + 2·269 = 1135.
+                spacing: rng.random_range(220..270),
                 len: rng.random_range(600..1100),
             },
             2 => Motif::CornerPair {
-                arm: rng.random_range(300..400),
+                // Width is 2·arm + gap; arm < 390 keeps the worst case at
+                // 2·389 + 359 = 1137 ≤ 1150.
+                arm: rng.random_range(300..390),
                 thick: rng.random_range(160..260),
                 gap: rng.random_range(300..360),
             },

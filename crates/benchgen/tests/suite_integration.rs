@@ -11,7 +11,12 @@ fn tiny_suite_benchmarks_are_internally_consistent() {
     for spec in [specs[1].clone(), specs[5].clone()] {
         let bm = Benchmark::generate(spec.clone());
         // Counts match the spec.
-        assert_eq!(bm.training.hotspots.len(), spec.train_hotspots, "{}", spec.name);
+        assert_eq!(
+            bm.training.hotspots.len(),
+            spec.train_hotspots,
+            "{}",
+            spec.name
+        );
         assert_eq!(
             bm.training.nonhotspots.len(),
             spec.train_nonhotspots,

@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
-use hotspot_core::{DetectorConfig, HotspotDetector, TrainingSet};
+use hotspot_core::{DetectError, DetectorConfig, HotspotDetector, TrainingSet};
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -32,8 +32,22 @@ pub enum CliError {
     Json(serde_json::Error),
     /// GDSII parse/serialise failure.
     Gds(gdsii::GdsError),
-    /// Training failure.
-    Train(hotspot_core::TrainPipelineError),
+    /// Detector pipeline failure (training or evaluation).
+    Pipeline(DetectError),
+}
+
+impl CliError {
+    /// Process exit code for this error: each variant maps to a distinct
+    /// non-zero code so scripts can tell failure classes apart.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Json(_) => 4,
+            CliError::Gds(_) => 5,
+            CliError::Pipeline(_) => 6,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -43,7 +57,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Gds(e) => write!(f, "gdsii error: {e}"),
-            CliError::Train(e) => write!(f, "training error: {e}"),
+            CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
 }
@@ -65,9 +79,9 @@ impl From<gdsii::GdsError> for CliError {
         CliError::Gds(e)
     }
 }
-impl From<hotspot_core::TrainPipelineError> for CliError {
-    fn from(e: hotspot_core::TrainPipelineError) -> Self {
-        CliError::Train(e)
+impl From<DetectError> for CliError {
+    fn from(e: DetectError) -> Self {
+        CliError::Pipeline(e)
     }
 }
 
@@ -78,14 +92,21 @@ hotspot — machine-learning lithography hotspot detection
 USAGE:
   hotspot generate --name <benchmark> [--scale tiny|small|paper] --out <dir>
   hotspot train    --training <training.json> --out <model.json> [--threads N]
+                   [--telemetry <telemetry.json>]
   hotspot detect   --model <model.json> --layout <layout.gds> --out <report.json>
-                   [--layer N] [--threshold X]
+                   [--layer N] [--threshold X] [--threads N] [--json]
+                   [--telemetry <telemetry.json>]
   hotspot score    --report <report.json> --actual <actual.json> --area-um2 <X>
+                   [--min-overlap X] [--json]
   hotspot info     --layout <layout.gds>
   hotspot render   --layout <layout.gds> --out <image.svg>
                    [--report <report.json>] [--actual <actual.json>]
 
-Benchmarks: array_benchmark1..5, mx_blind_partial.";
+Benchmarks: array_benchmark1..5, mx_blind_partial.
+--threads 0 means one worker per core. `detect --telemetry` merges the
+model's training telemetry with the run into a seven-stage record.
+
+Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline.";
 
 /// Runs a CLI invocation (without the program name) and returns its stdout.
 ///
@@ -111,8 +132,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// Flag map: `--key value` pairs.
+/// Flag map: `--key value` pairs, plus valueless boolean switches.
 struct Opts(Vec<(String, String)>);
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["json"];
 
 impl Opts {
     fn get(&self, key: &str) -> Option<&str> {
@@ -120,6 +144,10 @@ impl Opts {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|(k, _)| k == key)
     }
 
     fn require(&self, key: &str) -> Result<&str, CliError> {
@@ -144,6 +172,10 @@ fn parse_flags(args: &[String]) -> Result<Opts, CliError> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(CliError::Usage(format!("expected a --flag, got `{flag}`")));
         };
+        if BOOL_FLAGS.contains(&key) {
+            out.push((key.to_string(), String::new()));
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(CliError::Usage(format!("flag --{key} needs a value")));
         };
@@ -199,6 +231,9 @@ fn cmd_train(opts: &Opts) -> Result<String, CliError> {
     let detector = HotspotDetector::train(&training, config)?;
     write_json(&out, &detector)?;
     let s = detector.summary();
+    if let Some(path) = opts.get("telemetry") {
+        write_json(path, &s.telemetry)?;
+    }
     Ok(format!(
         "trained {} kernels ({} hotspot clusters, {} nonhotspot medoids, feedback: {}) in {:.2?}\nmodel written to {}",
         detector.kernels().len(),
@@ -211,14 +246,29 @@ fn cmd_train(opts: &Opts) -> Result<String, CliError> {
 }
 
 fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
-    let detector: HotspotDetector = read_json(opts.require("model")?)?;
+    let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
     let layout = gdsii::read_file(opts.require("layout")?)?;
     let out = PathBuf::from(opts.require("out")?);
     let layer = LayerId::new(opts.parse("layer", 1u16)?);
     let threshold = opts.parse("threshold", detector.config().decision_threshold)?;
+    if let Some(threads) = opts.get("threads") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{threads}` for --threads")))?;
+        detector = detector.with_threads(threads);
+    }
 
-    let report = detector.detect_with_threshold(&layout, layer, threshold);
+    let report = detector.detect_with_threshold(&layout, layer, threshold)?;
     write_json(&out, &report.reported)?;
+    if let Some(path) = opts.get("telemetry") {
+        // Merge the model's persisted training telemetry with this run so
+        // the file covers all seven pipeline stages.
+        let merged = detector.summary().telemetry.merge(&report.telemetry);
+        write_json(path, &merged)?;
+    }
+    if opts.has("json") {
+        return Ok(serde_json::to_string_pretty(&report)?);
+    }
     Ok(format!(
         "evaluated {} clips, flagged {}, reported {} hotspots in {:.2?}\nreport written to {}",
         report.clips_extracted,
@@ -244,6 +294,9 @@ fn cmd_score(opts: &Opts) -> Result<String, CliError> {
         area,
         std::time::Duration::ZERO,
     );
+    if opts.has("json") {
+        return Ok(serde_json::to_string_pretty(&eval)?);
+    }
     Ok(format!(
         "{eval}\nfalse alarm: {:.6} extras/um^2",
         eval.false_alarm()
@@ -253,10 +306,11 @@ fn cmd_score(opts: &Opts) -> Result<String, CliError> {
 fn cmd_info(opts: &Opts) -> Result<String, CliError> {
     let layout = gdsii::read_file(opts.require("layout")?)?;
     let mut out = format!(
-        "layout `{}`: {} polygons on {} layer(s)\n",
+        "layout `{}`: {} polygons on {} layer(s)\ntelemetry schema: v{}\n",
         layout.name(),
         layout.polygon_count(),
-        layout.layers().count()
+        layout.layers().count(),
+        hotspot_core::TELEMETRY_SCHEMA_VERSION,
     );
     if let Some(bbox) = layout.bbox() {
         out.push_str(&format!(
@@ -386,6 +440,7 @@ mod tests {
         assert!(out.contains("trained"), "{out}");
 
         let report = dir.join("report.json");
+        let telemetry = dir.join("telemetry.json");
         let out = run(&argv(&[
             "detect",
             "--model",
@@ -394,9 +449,21 @@ mod tests {
             dir.join("layout.gds").to_str().unwrap(),
             "--out",
             report.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--telemetry",
+            telemetry.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("reported"), "{out}");
+
+        // The telemetry file is the merged training + detection record:
+        // valid JSON covering all seven pipeline stages.
+        let t: hotspot_core::PipelineTelemetry =
+            serde_json::from_str(&std::fs::read_to_string(&telemetry).unwrap()).unwrap();
+        assert_eq!(t.schema_version, hotspot_core::TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(t.stages.len(), 7, "expected all seven stages: {t:?}");
+        assert!(t.stages.iter().all(|s| s.threads_used >= 1));
 
         let out = run(&argv(&[
             "score",
@@ -409,6 +476,75 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("#hit"), "{out}");
+
+        // --json switches score output to machine-readable form.
+        let out = run(&argv(&[
+            "score",
+            "--json",
+            "--report",
+            report.to_str().unwrap(),
+            "--actual",
+            dir.join("actual.json").to_str().unwrap(),
+            "--area-um2",
+            "207",
+        ]))
+        .unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"hits\""), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exit_codes_distinguish_error_classes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "x")).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::Pipeline(hotspot_core::DetectError::NoHotspots).exit_code(),
+            6
+        );
+        // A missing model file surfaces as an I/O error, not usage.
+        let err = run(&argv(&[
+            "detect",
+            "--model",
+            "/nonexistent/model.json",
+            "--layout",
+            "/nonexistent/layout.gds",
+            "--out",
+            "/tmp/out.json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn info_prints_telemetry_schema_version() {
+        let dir = workdir("schema");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&argv(&[
+            "info",
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains(&format!(
+                "telemetry schema: v{}",
+                hotspot_core::TELEMETRY_SCHEMA_VERSION
+            )),
+            "{out}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

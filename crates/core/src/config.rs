@@ -213,7 +213,12 @@ mod tests {
 
     #[test]
     fn operating_points() {
-        assert!(DetectorConfig::default().medium_accuracy().decision_threshold > 0.0);
+        assert!(
+            DetectorConfig::default()
+                .medium_accuracy()
+                .decision_threshold
+                > 0.0
+        );
         let low = DetectorConfig::default().low_accuracy();
         let med = DetectorConfig::default().medium_accuracy();
         assert!(low.decision_threshold > med.decision_threshold);
@@ -222,20 +227,28 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = DetectorConfig::default();
-        c.reframe_separation = 1200;
+        let c = DetectorConfig {
+            reframe_separation: 1200,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DetectorConfig::default();
-        c.target_training_accuracy = 1.5;
+        let c = DetectorConfig {
+            target_training_accuracy: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DetectorConfig::default();
-        c.initial_gamma = 0.0;
+        let c = DetectorConfig {
+            initial_gamma: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DetectorConfig::default();
-        c.data_shift = -5;
+        let c = DetectorConfig {
+            data_shift: -5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -1,57 +1,68 @@
 //! The end-to-end hotspot detector (Fig. 3).
 
 use crate::balance::upsample_hotspots;
-use crate::config::DetectorConfig;
+use crate::config::{DetectorConfig, DistributionFilter};
+use crate::engine::{Executor, PipelineTelemetry, StageId, StageRecorder};
 use crate::extraction::{extract_clips_indexed, RectIndex};
 use crate::feedback::{flagging_kernels, train_feedback, FeedbackKernel};
 use crate::metrics::{score, Evaluation};
 use crate::pattern::{Pattern, TrainingSet};
 use crate::removal::remove_redundant_clips;
 use crate::training::{
-    classify_patterns, density_grid, train_cluster_kernels, ClusterKernel, PatternCluster, Region,
+    classify_patterns, density_grid, train_cluster_kernels_with, ClusterKernel, PatternCluster,
+    Region,
 };
-use hotspot_layout::{ClipWindow, LayerId, Layout};
+use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
 use hotspot_svm::TrainError;
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Error running the training pipeline.
+/// Error running the detector's training or evaluation pipeline.
 #[derive(Debug)]
-pub enum TrainPipelineError {
+pub enum DetectError {
     /// The training set contains no hotspot patterns.
     NoHotspots,
     /// The configuration failed validation.
     Config(String),
     /// An SVM kernel failed to train.
     Svm(TrainError),
+    /// The evaluated layout has no polygons on the requested layer.
+    EmptyLayer(LayerId),
 }
 
-impl fmt::Display for TrainPipelineError {
+/// Former name of [`DetectError`].
+#[deprecated(since = "0.2.0", note = "renamed to `DetectError`")]
+pub type TrainPipelineError = DetectError;
+
+impl fmt::Display for DetectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TrainPipelineError::NoHotspots => {
+            DetectError::NoHotspots => {
                 write!(f, "training set contains no hotspot patterns")
             }
-            TrainPipelineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
-            TrainPipelineError::Svm(e) => write!(f, "svm training failed: {e}"),
+            DetectError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            DetectError::Svm(e) => write!(f, "svm training failed: {e}"),
+            DetectError::EmptyLayer(layer) => {
+                write!(f, "layout has no polygons on layer {layer}")
+            }
         }
     }
 }
 
-impl std::error::Error for TrainPipelineError {
+impl std::error::Error for DetectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TrainPipelineError::Svm(e) => Some(e),
+            DetectError::Svm(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<TrainError> for TrainPipelineError {
+impl From<TrainError> for DetectError {
     fn from(e: TrainError) -> Self {
-        TrainPipelineError::Svm(e)
+        DetectError::Svm(e)
     }
 }
 
@@ -75,6 +86,8 @@ pub struct DetectionReport {
     /// Wall-clock time of redundant clip removal.
     #[serde(skip)]
     pub removal_time: Duration,
+    /// Per-stage telemetry of the evaluation phase.
+    pub telemetry: PipelineTelemetry,
 }
 
 impl DetectionReport {
@@ -117,6 +130,9 @@ pub struct TrainingSummary {
     /// Wall-clock training time.
     #[serde(skip)]
     pub training_time: Duration,
+    /// Per-stage telemetry of the training phase. Persisted with the model,
+    /// so a later `detect` can merge it into a full seven-stage record.
+    pub telemetry: PipelineTelemetry,
 }
 
 impl TrainingSummary {
@@ -142,60 +158,114 @@ pub struct HotspotDetector {
 }
 
 impl HotspotDetector {
+    /// Starts a [`DetectorBuilder`] with the default (paper) configuration.
+    ///
+    /// This is the preferred way to configure a detector; constructing a
+    /// [`DetectorConfig`] by struct literal is deprecated in favour of the
+    /// builder's validated setters.
+    pub fn builder() -> DetectorBuilder {
+        DetectorBuilder::new()
+    }
+
     /// Runs the full training phase of Fig. 3: upsampling, topological
     /// classification, population balancing, multiple-kernel learning, and
     /// feedback-kernel learning.
     ///
     /// # Errors
     ///
-    /// Returns [`TrainPipelineError`] for invalid configurations, an empty
+    /// Returns [`DetectError`] for invalid configurations, an empty
     /// hotspot set, or SVM failures.
     pub fn train(
         training: &TrainingSet,
         config: DetectorConfig,
-    ) -> Result<HotspotDetector, TrainPipelineError> {
-        config.validate().map_err(TrainPipelineError::Config)?;
+    ) -> Result<HotspotDetector, DetectError> {
+        config.validate().map_err(DetectError::Config)?;
         if training.hotspots.is_empty() {
-            return Err(TrainPipelineError::NoHotspots);
+            return Err(DetectError::NoHotspots);
         }
         let start = Instant::now();
+        let threads = config.effective_threads().max(1);
+        let mut recorder = StageRecorder::new("training", threads);
 
-        let (hotspots, hotspot_clusters, nonhotspot_clusters, medoids) =
-            if config.ablation.topology {
-                // Upsample hotspots by data shifting, classify both classes,
-                // and downsample nonhotspots to cluster medoids.
-                let hotspots = upsample_hotspots(&training.hotspots, config.data_shift);
-                let h_clusters = classify_patterns(&hotspots, Region::Core, &config.cluster);
-                let n_clusters =
-                    classify_patterns(&training.nonhotspots, Region::Core, &config.cluster);
-                let medoids: Vec<Pattern> = n_clusters
-                    .iter()
-                    .map(|c| training.nonhotspots[c.medoid].clone())
-                    .collect();
-                (hotspots, h_clusters, n_clusters, medoids)
-            } else {
-                // Degenerate single-cluster mode (the "Basic" ablation): one
-                // kernel over all hotspots against all nonhotspots.
-                let hotspots = training.hotspots.clone();
-                let cluster = single_cluster(&hotspots, &config);
-                (
-                    hotspots,
-                    vec![cluster],
-                    Vec::new(),
-                    training.nonhotspots.clone(),
-                )
-            };
+        let (hotspots, hotspot_clusters, nonhotspot_clusters, medoids) = if config.ablation.topology
+        {
+            // Upsample hotspots by data shifting, classify both classes,
+            // and downsample nonhotspots to cluster medoids.
+            let hotspots = recorder.time(
+                StageId::PopulationBalancing,
+                training.hotspots.len(),
+                || {
+                    let h = upsample_hotspots(&training.hotspots, config.data_shift);
+                    let n = h.len();
+                    (h, n)
+                },
+            );
+            let (h_clusters, n_clusters) = recorder.time(
+                StageId::TopologicalClassification,
+                hotspots.len() + training.nonhotspots.len(),
+                || {
+                    let h = classify_patterns(&hotspots, Region::Core, &config.cluster);
+                    let n = classify_patterns(&training.nonhotspots, Region::Core, &config.cluster);
+                    let count = h.len() + n.len();
+                    ((h, n), count)
+                },
+            );
+            let medoids = recorder.time(
+                StageId::PopulationBalancing,
+                training.nonhotspots.len(),
+                || {
+                    let m: Vec<Pattern> = n_clusters
+                        .iter()
+                        .map(|c| training.nonhotspots[c.medoid].clone())
+                        .collect();
+                    let n = m.len();
+                    (m, n)
+                },
+            );
+            (hotspots, h_clusters, n_clusters, medoids)
+        } else {
+            // Degenerate single-cluster mode (the "Basic" ablation): one
+            // kernel over all hotspots against all nonhotspots.
+            let hotspots = training.hotspots.clone();
+            let cluster = recorder.time(StageId::TopologicalClassification, hotspots.len(), || {
+                (single_cluster(&hotspots, &config), 1)
+            });
+            (
+                hotspots,
+                vec![cluster],
+                Vec::new(),
+                training.nonhotspots.clone(),
+            )
+        };
 
-        let kernels = train_cluster_kernels(&hotspots, &hotspot_clusters, &medoids, &config)?;
+        let executor = Executor::new(threads);
+        let t_kernels = Instant::now();
+        let (kernels, exec_stats) =
+            train_cluster_kernels_with(&hotspots, &hotspot_clusters, &medoids, &config, &executor)?;
+        recorder.record(
+            StageId::KernelTraining,
+            hotspot_clusters.len(),
+            kernels.len(),
+            t_kernels.elapsed(),
+            Some(&exec_stats),
+        );
 
         let feedback = if config.ablation.feedback && config.ablation.topology {
-            train_feedback(
-                &hotspots,
-                &hotspot_clusters,
-                &kernels,
-                &training.nonhotspots,
-                &nonhotspot_clusters,
-                &config,
+            recorder.time(
+                StageId::FeedbackTraining,
+                nonhotspot_clusters.len(),
+                || -> (Result<Option<FeedbackKernel>, TrainError>, usize) {
+                    let fb = train_feedback(
+                        &hotspots,
+                        &hotspot_clusters,
+                        &kernels,
+                        &training.nonhotspots,
+                        &nonhotspot_clusters,
+                        &config,
+                    );
+                    let n = matches!(&fb, Ok(Some(_))) as usize;
+                    (fb, n)
+                },
             )?
         } else {
             None
@@ -208,6 +278,7 @@ impl HotspotDetector {
             nonhotspot_medoids: medoids.len(),
             feedback_trained: feedback.is_some(),
             training_time: start.elapsed(),
+            telemetry: recorder.finish(),
         };
 
         Ok(HotspotDetector {
@@ -216,6 +287,13 @@ impl HotspotDetector {
             config,
             summary,
         })
+    }
+
+    /// Returns this detector with its worker-thread count overridden
+    /// (0 = one per core), e.g. to re-parallelise a deserialised model.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
     }
 
     /// The trained per-cluster kernels.
@@ -254,8 +332,7 @@ impl HotspotDetector {
             .filter_map(|r| r.intersection(&window))
             .map(|r| r.translate(-window.min()))
             .collect();
-        let local =
-            hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+        let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
         let signature = hotspot_topo::TopoSignature::of(&local, &rects);
         let grid =
             crate::training::density_grid(pattern, crate::training::Region::Core, &self.config);
@@ -276,7 +353,7 @@ impl HotspotDetector {
                 k.feature_len,
             );
             let p = k.platt.probability(k.model.decision_value(&features));
-            if best.map_or(true, |b| p > b) {
+            if best.is_none_or(|b| p > b) {
                 best = Some(p);
             }
         }
@@ -297,50 +374,54 @@ impl HotspotDetector {
     }
 
     /// Runs the full evaluation phase of Fig. 3 on a testing layout.
-    pub fn detect(&self, layout: &Layout, layer: LayerId) -> DetectionReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::EmptyLayer`] when the layout has no polygons
+    /// on `layer`.
+    pub fn detect(&self, layout: &Layout, layer: LayerId) -> Result<DetectionReport, DetectError> {
         self.detect_with_threshold(layout, layer, self.config.decision_threshold)
     }
 
     /// Evaluation with an explicit decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::EmptyLayer`] when the layout has no polygons
+    /// on `layer`.
     pub fn detect_with_threshold(
         &self,
         layout: &Layout,
         layer: LayerId,
         threshold: f64,
-    ) -> DetectionReport {
+    ) -> Result<DetectionReport, DetectError> {
+        let polygons = layout.polygons(layer);
+        if polygons.is_empty() {
+            return Err(DetectError::EmptyLayer(layer));
+        }
+        let polygon_count = polygons.len();
+        let threads = self.config.effective_threads().max(1);
+        let mut recorder = StageRecorder::new("detection", threads);
+
         // 1. Clip extraction over a shared spatial index.
         let t0 = Instant::now();
         let index = RectIndex::from_layout(layout, layer, self.config.clip_shape.clip_side());
-        let clips = extract_clips_indexed(&index, self.config.clip_shape, &self.config.distribution);
+        let clips =
+            extract_clips_indexed(&index, self.config.clip_shape, &self.config.distribution);
         let extraction_time = t0.elapsed();
+        recorder.record(
+            StageId::ClipExtraction,
+            polygon_count,
+            clips.len(),
+            extraction_time,
+            None,
+        );
 
-        // 2. Multiple-kernel (and feedback) evaluation, parallel over clips.
+        // 2. Multiple-kernel (and feedback) evaluation, scheduled on the
+        //    work-stealing executor.
         let t1 = Instant::now();
-        let threads = self.config.effective_threads().max(1);
-        let flags: Vec<(bool, bool)> = if threads <= 1 || clips.len() < 2 {
-            clips
-                .iter()
-                .map(|c| self.flag_pattern(c, threshold))
-                .collect()
-        } else {
-            let chunk = clips.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = clips
-                    .chunks(chunk)
-                    .map(|cs| {
-                        scope.spawn(move || {
-                            cs.iter()
-                                .map(|c| self.flag_pattern(c, threshold))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("classification panicked"))
-                    .collect()
-            })
-        };
+        let (flags, exec_stats) =
+            Executor::new(threads).map(&clips, |_, c| self.flag_pattern(c, threshold));
         let mut flagged_cores = Vec::new();
         let mut clips_flagged = 0usize;
         let mut feedback_reclaimed = 0usize;
@@ -355,9 +436,17 @@ impl HotspotDetector {
             }
         }
         let classification_time = t1.elapsed();
+        recorder.record(
+            StageId::KernelEvaluation,
+            clips.len(),
+            clips_flagged,
+            classification_time,
+            Some(&exec_stats),
+        );
 
         // 3. Redundant clip removal.
         let t2 = Instant::now();
+        let flagged_count = flagged_cores.len();
         let reported = if self.config.ablation.removal {
             remove_redundant_clips(flagged_cores, self.config.clip_shape, &index, &self.config)
         } else {
@@ -370,8 +459,15 @@ impl HotspotDetector {
                 .collect()
         };
         let removal_time = t2.elapsed();
+        recorder.record(
+            StageId::ClipRemoval,
+            flagged_count,
+            reported.len(),
+            removal_time,
+            None,
+        );
 
-        DetectionReport {
+        Ok(DetectionReport {
             reported,
             clips_extracted: clips.len(),
             clips_flagged,
@@ -379,7 +475,8 @@ impl HotspotDetector {
             extraction_time,
             classification_time,
             removal_time,
-        }
+            telemetry: recorder.finish(),
+        })
     }
 
     /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip.
@@ -393,6 +490,144 @@ impl HotspotDetector {
             _ => false,
         };
         (true, reclaimed)
+    }
+}
+
+/// Validated, fluent construction of a [`DetectorConfig`] — and from there a
+/// trained [`HotspotDetector`] — starting from the paper's defaults.
+///
+/// Unlike filling a [`DetectorConfig`] struct literal, the builder checks
+/// every setting at [`build`](DetectorBuilder::build) time and reports the
+/// first violation as [`DetectError::Config`]:
+///
+/// ```
+/// use hotspot_core::HotspotDetector;
+///
+/// let config = HotspotDetector::builder()
+///     .threads(2)
+///     .decision_threshold(0.3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.threads, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DetectorBuilder {
+    config: DetectorConfig,
+    threads: Option<usize>,
+    clip_sides: Option<(i64, i64)>,
+}
+
+impl DetectorBuilder {
+    /// Starts from the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration (still validated at build).
+    pub fn from_config(config: DetectorConfig) -> Self {
+        DetectorBuilder {
+            config,
+            threads: None,
+            clip_sides: None,
+        }
+    }
+
+    /// Sets an explicit worker-thread count. Must be at least 1; use
+    /// [`auto_threads`](Self::auto_threads) for one thread per core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Uses one worker thread per available core (the default).
+    pub fn auto_threads(mut self) -> Self {
+        self.threads = None;
+        self.config.threads = 0;
+        self
+    }
+
+    /// Sets the core and clip side lengths in nanometres; validated at
+    /// build time (`0 < core < clip`, even difference).
+    pub fn clip_shape(mut self, core_side: i64, clip_side: i64) -> Self {
+        self.clip_sides = Some((core_side, clip_side));
+        self
+    }
+
+    /// Sets the initial SVM penalty `C`.
+    pub fn initial_c(mut self, c: f64) -> Self {
+        self.config.initial_c = c;
+        self
+    }
+
+    /// Sets the initial RBF width `γ`.
+    pub fn initial_gamma(mut self, gamma: f64) -> Self {
+        self.config.initial_gamma = gamma;
+        self
+    }
+
+    /// Bounds the iterative `(C, γ)` adaptation rounds.
+    pub fn max_learning_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_learning_rounds = rounds;
+        self
+    }
+
+    /// Sets the SVM decision threshold at evaluation.
+    pub fn decision_threshold(mut self, threshold: f64) -> Self {
+        self.config.decision_threshold = threshold;
+        self
+    }
+
+    /// Sets the data-shifting distance for hotspot upsampling.
+    pub fn data_shift(mut self, shift: i64) -> Self {
+        self.config.data_shift = shift;
+        self
+    }
+
+    /// Sets the polygon-distribution filter for clip extraction.
+    pub fn distribution(mut self, filter: DistributionFilter) -> Self {
+        self.config.distribution = filter;
+        self
+    }
+
+    /// Sets the ablation switches (Table III rows).
+    pub fn ablation(mut self, switches: crate::AblationSwitches) -> Self {
+        self.config.ablation = switches;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Config`] describing the first violated
+    /// constraint — a zero thread count, an invalid clip shape, or anything
+    /// [`DetectorConfig::validate`] rejects.
+    pub fn build(self) -> Result<DetectorConfig, DetectError> {
+        let mut config = self.config;
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(DetectError::Config(
+                    "worker threads must be at least 1; use auto_threads() for one per core".into(),
+                ));
+            }
+            config.threads = threads;
+        }
+        if let Some((core, clip)) = self.clip_sides {
+            config.clip_shape = ClipShape::new(core, clip)
+                .map_err(|e| DetectError::Config(format!("invalid clip shape: {e}")))?;
+        }
+        config.validate().map_err(DetectError::Config)?;
+        Ok(config)
+    }
+
+    /// Validates the configuration and trains a detector on `training`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] for invalid settings, an empty hotspot set,
+    /// or SVM failures.
+    pub fn train(self, training: &TrainingSet) -> Result<HotspotDetector, DetectError> {
+        HotspotDetector::train(training, self.build()?)
     }
 }
 
@@ -505,7 +740,7 @@ mod tests {
         );
         assert!(matches!(
             HotspotDetector::train(&empty, fast_config()),
-            Err(TrainPipelineError::NoHotspots)
+            Err(DetectError::NoHotspots)
         ));
 
         let bad = DetectorConfig {
@@ -514,8 +749,98 @@ mod tests {
         };
         assert!(matches!(
             HotspotDetector::train(&training_set(), bad),
-            Err(TrainPipelineError::Config(_))
+            Err(DetectError::Config(_))
         ));
+    }
+
+    #[test]
+    fn builder_validates_settings() {
+        // Zero threads is rejected with a pointer at auto_threads().
+        let err = HotspotDetector::builder().threads(0).build().unwrap_err();
+        assert!(matches!(&err, DetectError::Config(msg) if msg.contains("auto_threads")));
+
+        // Core must not exceed the clip.
+        assert!(matches!(
+            HotspotDetector::builder().clip_shape(4800, 1200).build(),
+            Err(DetectError::Config(_))
+        ));
+        // Negative (asymmetric / non-positive) geometry is rejected too.
+        assert!(matches!(
+            HotspotDetector::builder().clip_shape(-100, 4800).build(),
+            Err(DetectError::Config(_))
+        ));
+        assert!(matches!(
+            HotspotDetector::builder().clip_shape(1200, 4801).build(),
+            Err(DetectError::Config(_))
+        ));
+
+        // Settings flow through validation into the config.
+        let cfg = HotspotDetector::builder()
+            .threads(3)
+            .clip_shape(1200, 4800)
+            .decision_threshold(0.3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.clip_shape, ClipShape::ICCAD2012);
+        assert_eq!(cfg.decision_threshold, 0.3);
+    }
+
+    #[test]
+    fn builder_trains_a_detector() {
+        let det = DetectorBuilder::from_config(fast_config())
+            .threads(2)
+            .train(&training_set())
+            .unwrap();
+        assert!(!det.kernels().is_empty());
+        assert_eq!(det.config().threads, 2);
+    }
+
+    #[test]
+    fn detect_rejects_empty_layer() {
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let layout = Layout::new("empty");
+        assert!(matches!(
+            det.detect(&layout, LayerId::METAL1),
+            Err(DetectError::EmptyLayer(l)) if l == LayerId::METAL1
+        ));
+    }
+
+    #[test]
+    fn telemetry_covers_both_phases() {
+        use crate::engine::StageId;
+
+        let det = HotspotDetector::train(&training_set(), fast_config()).unwrap();
+        let t = &det.summary().telemetry;
+        assert_eq!(t.phase, "training");
+        for stage in [
+            StageId::PopulationBalancing,
+            StageId::TopologicalClassification,
+            StageId::KernelTraining,
+            StageId::FeedbackTraining,
+        ] {
+            assert!(t.stage(stage).is_some(), "missing training stage {stage}");
+        }
+
+        let mut layout = Layout::new("t");
+        let layer = LayerId::METAL1;
+        for r in hs_rects(70) {
+            layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
+        }
+        let report = det.detect(&layout, layer).unwrap();
+        let d = &report.telemetry;
+        assert_eq!(d.phase, "detection");
+        for stage in [
+            StageId::ClipExtraction,
+            StageId::KernelEvaluation,
+            StageId::ClipRemoval,
+        ] {
+            assert!(d.stage(stage).is_some(), "missing detection stage {stage}");
+        }
+
+        // The merged record always carries all seven canonical stages.
+        let merged = t.merge(d);
+        assert_eq!(merged.stages.len(), 7);
     }
 
     #[test]
@@ -541,7 +866,7 @@ mod tests {
         for r in safe_rects(500) {
             layout.add_rect(layer, r.translate(Point::new(60_000, 60_000)));
         }
-        let report = det.detect(&layout, layer);
+        let report = det.detect(&layout, layer).unwrap();
         assert!(report.clips_extracted > 0);
         let hotspot_window = shape().window_centered(Point::new(20_000, 20_000));
         assert!(
@@ -564,8 +889,8 @@ mod tests {
                 layout.add_rect(layer, r.translate(Point::new(20_000 * (i + 1), 20_000)));
             }
         }
-        let lo = det.detect_with_threshold(&layout, layer, 0.0);
-        let hi = det.detect_with_threshold(&layout, layer, 2.0);
+        let lo = det.detect_with_threshold(&layout, layer, 0.0).unwrap();
+        let hi = det.detect_with_threshold(&layout, layer, 2.0).unwrap();
         assert!(hi.clips_flagged <= lo.clips_flagged);
     }
 
@@ -592,8 +917,8 @@ mod tests {
         for r in hs_rects(70) {
             layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
         }
-        let a = det_seq.detect(&layout, layer);
-        let b = det_par.detect(&layout, layer);
+        let a = det_seq.detect(&layout, layer).unwrap();
+        let b = det_par.detect(&layout, layer).unwrap();
         assert_eq!(a.reported, b.reported);
         assert_eq!(a.clips_extracted, b.clips_extracted);
     }
@@ -610,10 +935,7 @@ mod tests {
             assert!(p_cold < p_hot, "cold {p_cold} >= hot {p_hot}");
         }
         // A pattern far from every cluster routes nowhere.
-        let alien = pattern_at(
-            Point::new(0, 0),
-            &[Rect::from_extents(0, 0, 1100, 1100)],
-        );
+        let alien = pattern_at(Point::new(0, 0), &[Rect::from_extents(0, 0, 1100, 1100)]);
         assert_eq!(det.classify_probability(&alien), None);
     }
 
@@ -651,8 +973,8 @@ mod tests {
                 layout.add_rect(layer, r.translate(Point::new(20_000 + i * 700, 20_000)));
             }
         }
-        let with = det_on.detect(&layout, layer);
-        let without = det_off.detect(&layout, layer);
+        let with = det_on.detect(&layout, layer).unwrap();
+        let without = det_off.detect(&layout, layer).unwrap();
         assert!(
             with.reported.len() <= without.reported.len(),
             "removal must not increase the report count ({} vs {})",
@@ -669,7 +991,7 @@ mod tests {
         for r in hs_rects(70) {
             layout.add_rect(layer, r.translate(Point::new(20_000, 20_000)));
         }
-        let report = det.detect(&layout, layer);
+        let report = det.detect(&layout, layer).unwrap();
         let actual = vec![shape().window_centered(Point::new(20_000, 20_000))];
         let eval = report.score_against(&actual, 0.2, 100.0);
         assert_eq!(eval.actual, 1);

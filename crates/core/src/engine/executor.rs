@@ -1,0 +1,194 @@
+//! Work-stealing task executor for the pipeline's parallel stages.
+//!
+//! Replaces the former fixed-chunk `std::thread::scope` fan-out: items are
+//! dealt round-robin onto per-worker deques, and an idle worker steals from
+//! its neighbours, so a long-running item (a large SVM training, a dense
+//! clip) no longer stalls the whole chunk it happened to land in. Results
+//! are keyed by input index and merged back in input order, so the output
+//! is identical to a sequential map regardless of scheduling.
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+/// Utilisation counters of one [`Executor::map`] run, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutorStats {
+    /// Worker threads that ran.
+    pub threads_used: usize,
+    /// Tasks executed across all workers (= input length).
+    pub tasks_executed: usize,
+    /// Tasks a worker stole from another worker's deque.
+    pub tasks_stolen: usize,
+}
+
+/// A scoped work-stealing executor over a fixed thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor running at most `threads` workers (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order together with utilisation stats.
+    ///
+    /// `f` receives `(index, &item)`. With one thread (or one item) this
+    /// degenerates to a plain sequential map on the calling thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecutorStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            let results = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return (
+                results,
+                ExecutorStats {
+                    threads_used: 1,
+                    tasks_executed: n,
+                    tasks_stolen: 0,
+                },
+            );
+        }
+
+        let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        for i in 0..n {
+            workers[i % threads].push(i);
+        }
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+
+        let f = &f;
+        let stealers = &stealers;
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut stats = ExecutorStats {
+            threads_used: threads,
+            tasks_executed: 0,
+            tasks_stolen: 0,
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(wid, local)| {
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut stolen = 0usize;
+                        loop {
+                            let task = local.pop().or_else(|| {
+                                for k in 1..stealers.len() {
+                                    let victim = &stealers[(wid + k) % stealers.len()];
+                                    if let Steal::Success(t) = victim.steal() {
+                                        stolen += 1;
+                                        return Some(t);
+                                    }
+                                }
+                                None
+                            });
+                            let Some(i) = task else { break };
+                            out.push((i, f(i, &items[i])));
+                        }
+                        (out, stolen)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (out, stolen) = h.join().expect("executor worker panicked");
+                stats.tasks_executed += out.len();
+                stats.tasks_stolen += stolen;
+                for (i, r) in out {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|r| r.expect("every task produces exactly one result"))
+            .collect();
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        for threads in [1, 2, 4, 8] {
+            let (out, stats) = Executor::new(threads).map(&items, |i, &v| {
+                assert_eq!(i, v);
+                v * 2
+            });
+            assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+            assert_eq!(stats.tasks_executed, items.len());
+            assert_eq!(stats.threads_used, threads.min(items.len()));
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_on_caller() {
+        let caller = std::thread::current().id();
+        let items = [1, 2, 3];
+        let (_, stats) = Executor::new(1).map(&items, |_, _| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+        assert_eq!(stats.threads_used, 1);
+        assert_eq!(stats.tasks_stolen, 0);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One pathological item 100× slower than the rest: with fixed
+        // chunking its whole chunk would lag; stealing redistributes it.
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 2_000_000 } else { 20_000 })
+            .collect();
+        let ran = AtomicUsize::new(0);
+        let (out, stats) = Executor::new(4).map(&items, |_, &spins| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            spins
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert_eq!(out, items);
+        assert_eq!(stats.tasks_executed, 64);
+        assert_eq!(stats.threads_used, 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u8; 0] = [];
+        let (out, stats) = Executor::new(4).map(&items, |_, &v| v);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn results_match_sequential_for_any_thread_count() {
+        let items: Vec<i64> = (0..97).map(|i| i * 31 % 17).collect();
+        let (seq, _) = Executor::new(1).map(&items, |i, &v| v * v + i as i64);
+        for threads in [2, 3, 5, 16] {
+            let (par, _) = Executor::new(threads).map(&items, |i, &v| v * v + i as i64);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Instrumented parallel pipeline engine.
+//!
+//! This module factors the mechanics shared by the seven pipeline phases
+//! out of [`crate::detector`] and [`crate::training`]:
+//!
+//! - [`StageId`] / [`StageRecorder`] ([`stage`]) name the seven canonical
+//!   stages (topological classification → population balancing → kernel
+//!   training → feedback training → clip extraction → kernel evaluation →
+//!   clip removal) and time them,
+//! - [`Executor`] ([`executor`]) is the work-stealing task scheduler used
+//!   by kernel training and clip evaluation in place of fixed-chunk
+//!   `thread::scope` fan-out,
+//! - [`PipelineTelemetry`] ([`telemetry`]) is the serialisable record the
+//!   two phases produce, carried on
+//!   [`crate::detector::TrainingSummary`] and
+//!   [`crate::detector::DetectionReport`] and merged by the CLI's
+//!   `detect --telemetry`.
+
+pub mod executor;
+pub mod stage;
+pub mod telemetry;
+
+pub use executor::{Executor, ExecutorStats};
+pub use stage::{StageId, StageRecorder};
+pub use telemetry::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};

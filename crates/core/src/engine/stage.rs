@@ -1,0 +1,219 @@
+//! The seven canonical pipeline stages and the recorder that times them.
+
+use super::executor::ExecutorStats;
+use super::telemetry::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The seven stages of the Fig. 3 pipeline, in canonical order.
+///
+/// The first four run during training, the last three during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// String- then density-based classification of training patterns.
+    TopologicalClassification,
+    /// Hotspot upsampling by data shifting and nonhotspot downsampling to
+    /// cluster medoids.
+    PopulationBalancing,
+    /// Per-cluster SVM training with iterative `(C, γ)` adaptation.
+    KernelTraining,
+    /// Feedback-kernel training on self-evaluation false alarms.
+    FeedbackTraining,
+    /// Clip extraction by polygon dissection with distribution filtering.
+    ClipExtraction,
+    /// Multiple-kernel (and feedback) evaluation of extracted clips.
+    KernelEvaluation,
+    /// Redundant clip removal: merging, reframing, discarding, shifting.
+    ClipRemoval,
+}
+
+impl StageId {
+    /// All stages in canonical pipeline order.
+    pub const ALL: [StageId; 7] = [
+        StageId::TopologicalClassification,
+        StageId::PopulationBalancing,
+        StageId::KernelTraining,
+        StageId::FeedbackTraining,
+        StageId::ClipExtraction,
+        StageId::KernelEvaluation,
+        StageId::ClipRemoval,
+    ];
+
+    /// The stable snake_case name used in telemetry JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::TopologicalClassification => "topological_classification",
+            StageId::PopulationBalancing => "population_balancing",
+            StageId::KernelTraining => "kernel_training",
+            StageId::FeedbackTraining => "feedback_training",
+            StageId::ClipExtraction => "clip_extraction",
+            StageId::KernelEvaluation => "kernel_evaluation",
+            StageId::ClipRemoval => "clip_removal",
+        }
+    }
+
+    /// Position in the canonical order, for sorting telemetry output.
+    fn rank(self) -> usize {
+        StageId::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage is canonical")
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accumulates per-stage timings into a [`PipelineTelemetry`].
+///
+/// Recording the same stage twice accumulates (wall time and item counts
+/// add up) so interleaved stages — e.g. the two halves of population
+/// balancing that bracket topological classification — fold into one entry.
+#[derive(Debug)]
+pub struct StageRecorder {
+    phase: String,
+    threads: usize,
+    stages: Vec<(StageId, StageTelemetry)>,
+    started: Instant,
+}
+
+impl StageRecorder {
+    /// Starts recording a phase (`"training"` or `"detection"`) configured
+    /// with `threads` workers.
+    pub fn new(phase: &str, threads: usize) -> Self {
+        StageRecorder {
+            phase: phase.to_string(),
+            threads,
+            stages: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one stage execution. `stats` carries work-stealing executor
+    /// counters for parallel stages; sequential stages pass `None` and are
+    /// counted as one task on one thread.
+    pub fn record(
+        &mut self,
+        stage: StageId,
+        items_in: usize,
+        items_out: usize,
+        wall: Duration,
+        stats: Option<&ExecutorStats>,
+    ) {
+        let (threads_used, tasks_executed, tasks_stolen) = match stats {
+            Some(s) => (s.threads_used, s.tasks_executed, s.tasks_stolen),
+            None => (1, 1, 0),
+        };
+        let entry = StageTelemetry {
+            stage: stage.name().to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            items_in,
+            items_out,
+            threads_used,
+            tasks_executed,
+            tasks_stolen,
+        };
+        match self.stages.iter_mut().find(|(id, _)| *id == stage) {
+            Some((_, existing)) => {
+                existing.wall_ms += entry.wall_ms;
+                existing.items_in += entry.items_in;
+                existing.items_out += entry.items_out;
+                existing.threads_used = existing.threads_used.max(entry.threads_used);
+                existing.tasks_executed += entry.tasks_executed;
+                existing.tasks_stolen += entry.tasks_stolen;
+            }
+            None => self.stages.push((stage, entry)),
+        }
+    }
+
+    /// Times `f` as one execution of `stage`; the closure returns its value
+    /// together with the stage's output item count.
+    pub fn time<T>(
+        &mut self,
+        stage: StageId,
+        items_in: usize,
+        f: impl FnOnce() -> (T, usize),
+    ) -> T {
+        let start = Instant::now();
+        let (value, items_out) = f();
+        self.record(stage, items_in, items_out, start.elapsed(), None);
+        value
+    }
+
+    /// Finalises the telemetry: stages are sorted into canonical order and
+    /// the phase's total wall time is stamped.
+    pub fn finish(mut self) -> PipelineTelemetry {
+        self.stages.sort_by_key(|(id, _)| id.rank());
+        PipelineTelemetry {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            phase: self.phase,
+            threads: self.threads,
+            stages: self.stages.into_iter().map(|(_, s)| s).collect(),
+            total_wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<&str> = StageId::ALL.iter().map(|s| s.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 7);
+        assert_eq!(StageId::KernelTraining.to_string(), "kernel_training");
+    }
+
+    #[test]
+    fn recorder_accumulates_repeated_stages() {
+        let mut rec = StageRecorder::new("training", 4);
+        rec.record(
+            StageId::PopulationBalancing,
+            10,
+            50,
+            Duration::from_millis(2),
+            None,
+        );
+        rec.record(
+            StageId::PopulationBalancing,
+            30,
+            6,
+            Duration::from_millis(3),
+            None,
+        );
+        let t = rec.finish();
+        let s = t.stage(StageId::PopulationBalancing).unwrap();
+        assert_eq!(s.items_in, 40);
+        assert_eq!(s.items_out, 56);
+        assert!((s.wall_ms - 5.0).abs() < 1.0, "wall {}", s.wall_ms);
+        assert_eq!(s.tasks_executed, 2);
+    }
+
+    #[test]
+    fn finish_sorts_into_canonical_order() {
+        let mut rec = StageRecorder::new("detection", 1);
+        rec.record(StageId::ClipRemoval, 1, 1, Duration::ZERO, None);
+        rec.record(StageId::ClipExtraction, 1, 1, Duration::ZERO, None);
+        let t = rec.finish();
+        assert_eq!(t.stages[0].stage, "clip_extraction");
+        assert_eq!(t.stages[1].stage, "clip_removal");
+        assert_eq!(t.phase, "detection");
+        assert_eq!(t.threads, 1);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut rec = StageRecorder::new("training", 1);
+        let v = rec.time(StageId::KernelTraining, 3, || (vec![1, 2], 2));
+        assert_eq!(v, vec![1, 2]);
+        let t = rec.finish();
+        assert_eq!(t.stage(StageId::KernelTraining).unwrap().items_out, 2);
+    }
+}

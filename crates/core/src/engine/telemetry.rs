@@ -1,0 +1,205 @@
+//! Serializable per-stage pipeline telemetry.
+//!
+//! Every run of the training or evaluation pipeline produces a
+//! [`PipelineTelemetry`] describing, for each of the seven canonical
+//! stages, its wall-clock time, item flow, and thread utilisation. The
+//! structure is serde-serialisable so the CLI can persist it
+//! (`hotspot detect --telemetry out.json`) and the bench binaries can
+//! print per-stage breakdowns.
+
+use super::stage::StageId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Version of the telemetry JSON schema (bump on breaking field changes).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// Telemetry of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTelemetry {
+    /// Canonical stage name (see [`StageId::name`]).
+    pub stage: String,
+    /// Wall-clock time spent in the stage, in milliseconds.
+    pub wall_ms: f64,
+    /// Items entering the stage (patterns, clusters, clips, …).
+    pub items_in: usize,
+    /// Items leaving the stage.
+    pub items_out: usize,
+    /// Worker threads that participated.
+    pub threads_used: usize,
+    /// Tasks executed across all workers (0 for untasked stages).
+    pub tasks_executed: usize,
+    /// Tasks a worker stole from another worker's queue.
+    pub tasks_stolen: usize,
+}
+
+impl StageTelemetry {
+    /// An all-zero entry for a stage that did not run.
+    pub fn empty(stage: StageId) -> Self {
+        StageTelemetry {
+            stage: stage.name().to_string(),
+            wall_ms: 0.0,
+            items_in: 0,
+            items_out: 0,
+            threads_used: 0,
+            tasks_executed: 0,
+            tasks_stolen: 0,
+        }
+    }
+
+    /// The stage wall time as a [`Duration`].
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_secs_f64((self.wall_ms / 1e3).max(0.0))
+    }
+
+    /// Accumulates another record of the same stage into this one.
+    fn absorb(&mut self, other: &StageTelemetry) {
+        self.wall_ms += other.wall_ms;
+        self.items_in += other.items_in;
+        self.items_out += other.items_out;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_stolen += other.tasks_stolen;
+    }
+}
+
+/// Telemetry of one pipeline run (a training phase, an evaluation phase,
+/// or both merged).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTelemetry {
+    /// Telemetry schema version ([`TELEMETRY_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Which phase this telemetry covers (`"training"`, `"detection"`, or
+    /// `"training+detection"` after merging).
+    pub phase: String,
+    /// Worker threads configured for the run.
+    pub threads: usize,
+    /// Per-stage records in canonical pipeline order.
+    pub stages: Vec<StageTelemetry>,
+    /// Total wall-clock time of the phase, in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl Default for PipelineTelemetry {
+    fn default() -> Self {
+        PipelineTelemetry {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            phase: String::new(),
+            threads: 0,
+            stages: Vec::new(),
+            total_wall_ms: 0.0,
+        }
+    }
+}
+
+impl PipelineTelemetry {
+    /// The record for `stage`, when that stage ran.
+    pub fn stage(&self, stage: StageId) -> Option<&StageTelemetry> {
+        self.stages.iter().find(|s| s.stage == stage.name())
+    }
+
+    /// Total wall time as a [`Duration`].
+    pub fn total_wall_time(&self) -> Duration {
+        Duration::from_secs_f64((self.total_wall_ms / 1e3).max(0.0))
+    }
+
+    /// Merges two phases (typically training + detection) into one record
+    /// that carries **all seven** canonical stages, zero-filled where a
+    /// stage ran in neither phase.
+    pub fn merge(&self, other: &PipelineTelemetry) -> PipelineTelemetry {
+        let stages = StageId::ALL
+            .iter()
+            .map(|&id| {
+                let mut entry = StageTelemetry::empty(id);
+                for source in [self, other] {
+                    if let Some(s) = source.stage(id) {
+                        entry.absorb(s);
+                    }
+                }
+                entry
+            })
+            .collect();
+        PipelineTelemetry {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            phase: format!("{}+{}", self.phase, other.phase),
+            threads: self.threads.max(other.threads),
+            stages,
+            total_wall_ms: self.total_wall_ms + other.total_wall_ms,
+        }
+    }
+
+    /// A human-readable per-stage breakdown table, for the bench binaries
+    /// and the CLI.
+    pub fn breakdown(&self) -> String {
+        let mut out = format!(
+            "pipeline telemetry (schema v{}, phase {}, {} thread(s), total {:.2} ms)\n",
+            self.schema_version, self.phase, self.threads, self.total_wall_ms
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7}",
+            "stage", "wall (ms)", "in", "out", "threads", "tasks", "stolen"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7}",
+                s.stage,
+                s.wall_ms,
+                s.items_in,
+                s.items_out,
+                s.threads_used,
+                s.tasks_executed,
+                s.tasks_stolen
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StageRecorder;
+
+    fn sample(phase: &str, stage: StageId) -> PipelineTelemetry {
+        let mut rec = StageRecorder::new(phase, 2);
+        rec.record(stage, 10, 4, Duration::from_millis(3), None);
+        rec.finish()
+    }
+
+    #[test]
+    fn merge_carries_all_seven_stages() {
+        let train = sample("training", StageId::KernelTraining);
+        let detect = sample("detection", StageId::KernelEvaluation);
+        let merged = train.merge(&detect);
+        assert_eq!(merged.stages.len(), StageId::ALL.len());
+        assert_eq!(merged.phase, "training+detection");
+        for (entry, id) in merged.stages.iter().zip(StageId::ALL) {
+            assert_eq!(entry.stage, id.name());
+        }
+        assert!(merged.stage(StageId::KernelTraining).unwrap().wall_ms > 0.0);
+        assert_eq!(merged.stage(StageId::ClipRemoval).unwrap().items_in, 0);
+        assert!((merged.total_wall_ms - train.total_wall_ms - detect.total_wall_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let t = sample("training", StageId::PopulationBalancing);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(json.contains("\"schema_version\":1"), "{json}");
+        assert!(json.contains("population_balancing"), "{json}");
+    }
+
+    #[test]
+    fn wall_time_round_trips_through_ms() {
+        let s = StageTelemetry {
+            wall_ms: 1500.0,
+            ..StageTelemetry::empty(StageId::ClipExtraction)
+        };
+        assert_eq!(s.wall_time(), Duration::from_millis(1500));
+    }
+}

@@ -210,7 +210,9 @@ mod tests {
     fn split_oversized_respects_side() {
         let rects = vec![Rect::from_extents(0, 0, 2500, 800)];
         let pieces = split_oversized(&rects, 1000);
-        assert!(pieces.iter().all(|p| p.width() <= 1000 && p.height() <= 1000));
+        assert!(pieces
+            .iter()
+            .all(|p| p.width() <= 1000 && p.height() <= 1000));
         let total: i64 = pieces.iter().map(|p| p.area()).sum();
         assert_eq!(total, 2500 * 800);
         assert_eq!(pieces.len(), 3);
@@ -229,10 +231,7 @@ mod tests {
         let mut layout = Layout::new("t");
         let layer = LayerId::METAL1;
         for i in 0..5 {
-            layout.add_rect(
-                layer,
-                Rect::from_extents(i * 3000, 0, i * 3000 + 500, 400),
-            );
+            layout.add_rect(layer, Rect::from_extents(i * 3000, 0, i * 3000 + 500, 400));
         }
         let config = DetectorConfig {
             clip_shape: ClipShape::ICCAD2012,

@@ -146,12 +146,18 @@ pub fn train_feedback(
     // Clip-region features; pad everything to the longest vector.
     let raw: Vec<(Vec<f64>, f64)> = hotspot_training
         .iter()
-        .map(|p| (crate::training::feature_vector(p, Region::Clip, config), 1.0))
-        .chain(
-            nonhotspot_training
-                .iter()
-                .map(|p| (crate::training::feature_vector(p, Region::Clip, config), -1.0)),
-        )
+        .map(|p| {
+            (
+                crate::training::feature_vector(p, Region::Clip, config),
+                1.0,
+            )
+        })
+        .chain(nonhotspot_training.iter().map(|p| {
+            (
+                crate::training::feature_vector(p, Region::Clip, config),
+                -1.0,
+            )
+        }))
         .collect();
     let feature_len = raw.iter().map(|(v, _)| v.len()).max().unwrap_or(5).max(5);
     let mut x = Vec::with_capacity(raw.len());
@@ -215,19 +221,19 @@ mod tests {
         }
     }
 
-    fn trained_world() -> (
+    type TrainedWorld = (
         Vec<Pattern>,
         Vec<PatternCluster>,
         Vec<ClusterKernel>,
         Vec<Pattern>,
         Vec<PatternCluster>,
-    ) {
+    );
+
+    fn trained_world() -> TrainedWorld {
         let hotspots: Vec<Pattern> = (0..4)
             .map(|i| pattern(&hotspot_core(60 + i * 10)))
             .collect();
-        let nonhotspots: Vec<Pattern> = (0..4)
-            .map(|i| pattern(&safe_core(700 + i * 40)))
-            .collect();
+        let nonhotspots: Vec<Pattern> = (0..4).map(|i| pattern(&safe_core(700 + i * 40))).collect();
         let cfg = config();
         let h_clusters = classify_patterns(&hotspots, Region::Core, &cfg.cluster);
         let n_clusters = classify_patterns(&nonhotspots, Region::Core, &cfg.cluster);

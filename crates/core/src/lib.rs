@@ -16,20 +16,26 @@
 //! **redundant clip removal** ([`removal`]): merging, reframing, discarding
 //! and shifting. [`metrics`] implements the contest's hit/extra scoring.
 //!
-//! The one-stop API is [`HotspotDetector`]:
+//! The [`engine`] module houses the instrumented pipeline machinery: the
+//! seven canonical stages, the work-stealing executor both phases schedule
+//! on, and the serialisable [`PipelineTelemetry`] they produce.
+//!
+//! The one-stop API is [`HotspotDetector`], configured through its builder:
 //!
 //! ```no_run
-//! use hotspot_core::{DetectorConfig, HotspotDetector, TrainingSet};
+//! use hotspot_core::{HotspotDetector, TrainingSet};
 //! use hotspot_layout::{LayerId, Layout};
 //!
 //! # fn get_training_set() -> TrainingSet { unimplemented!() }
 //! # fn get_layout() -> Layout { unimplemented!() }
 //! let training: TrainingSet = get_training_set();
 //! let layout: Layout = get_layout();
-//! let detector = HotspotDetector::train(&training, DetectorConfig::default())?;
-//! let report = detector.detect(&layout, LayerId::METAL1);
+//! let detector = HotspotDetector::builder()
+//!     .threads(4)
+//!     .train(&training)?;
+//! let report = detector.detect(&layout, LayerId::METAL1)?;
 //! println!("{} hotspots reported", report.reported.len());
-//! # Ok::<(), hotspot_core::TrainPipelineError>(())
+//! # Ok::<(), hotspot_core::DetectError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,6 +44,7 @@
 pub mod balance;
 pub mod config;
 pub mod detector;
+pub mod engine;
 pub mod extraction;
 pub mod feedback;
 pub mod metrics;
@@ -48,7 +55,10 @@ pub mod removal;
 pub mod training;
 
 pub use config::{AblationSwitches, DetectorConfig, DistributionFilter};
-pub use detector::{DetectionReport, HotspotDetector, TrainPipelineError};
+#[allow(deprecated)]
+pub use detector::TrainPipelineError;
+pub use detector::{DetectError, DetectionReport, DetectorBuilder, HotspotDetector};
+pub use engine::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};
 pub use extraction::{extract_clips, RectIndex};
 pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};

@@ -150,7 +150,13 @@ mod tests {
     #[test]
     fn multiple_reports_one_actual() {
         // Two overlapping reports on one hotspot: one hit, no extras.
-        let e = score(&[w(0, 0), w(200, 0)], &[w(0, 0)], 0.2, 100.0, Duration::ZERO);
+        let e = score(
+            &[w(0, 0), w(200, 0)],
+            &[w(0, 0)],
+            0.2,
+            100.0,
+            Duration::ZERO,
+        );
         assert_eq!(e.hits, 1);
         assert_eq!(e.extras, 0);
         assert_eq!(e.reported, 2);
@@ -158,7 +164,13 @@ mod tests {
 
     #[test]
     fn one_report_covering_two_actuals() {
-        let e = score(&[w(0, 0)], &[w(300, 0), w(-300, 0)], 0.2, 100.0, Duration::ZERO);
+        let e = score(
+            &[w(0, 0)],
+            &[w(300, 0), w(-300, 0)],
+            0.2,
+            100.0,
+            Duration::ZERO,
+        );
         assert_eq!(e.hits, 2);
         assert_eq!(e.extras, 0);
     }

@@ -100,11 +100,7 @@ impl Pattern {
         }
         // The core rects may overlap after clipping of overlapping input;
         // overlap is rare and density is a filter heuristic, so sum & clamp.
-        let covered: i64 = self
-            .rects
-            .iter()
-            .map(|r| r.overlap_area(&core))
-            .sum();
+        let covered: i64 = self.rects.iter().map(|r| r.overlap_area(&core)).sum();
         (covered as f64 / core.area() as f64).min(1.0)
     }
 
@@ -197,7 +193,7 @@ mod tests {
         Pattern::new(
             window,
             &[
-                Rect::from_extents(-20, -20, 20, 20),  // in core
+                Rect::from_extents(-20, -20, 20, 20),   // in core
                 Rect::from_extents(100, 100, 140, 140), // in ambit
                 Rect::from_extents(500, 500, 600, 600), // outside, dropped
             ],

@@ -46,7 +46,8 @@ pub fn merge_cores(cores: &[Rect], min_overlap: f64) -> Vec<MergingRegion> {
             }
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for i in 0..n {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(i);
@@ -86,7 +87,11 @@ pub fn reframe_region(region: &MergingRegion, core_side: Coord, separation: Coor
     let mut out = Vec::new();
     for &x in &positions(b.min().x, b.max().x.max(b.min().x + core_side)) {
         for &y in &positions(b.min().y, b.max().y.max(b.min().y + core_side)) {
-            out.push(Rect::from_origin_size(Point::new(x, y), core_side, core_side));
+            out.push(Rect::from_origin_size(
+                Point::new(x, y),
+                core_side,
+                core_side,
+            ));
         }
     }
     out.dedup();
@@ -161,16 +166,16 @@ fn is_redundant(core: &Rect, others: &[&Rect], index: &RectIndex) -> bool {
 /// Shift rule (Fig. 12(e)): when the gap between the clip boundary and the
 /// content bounding box exceeds `max_gap`, the clip centre moves to the
 /// polygons' centre of gravity along the axis with the larger violation.
-pub fn shift_core(
-    core: Rect,
-    shape: ClipShape,
-    index: &RectIndex,
-    max_gap: Coord,
-) -> Rect {
+pub fn shift_core(core: Rect, shape: ClipShape, index: &RectIndex, max_gap: Coord) -> Rect {
     let window = window_for_core(core, shape);
     let content: Vec<Rect> = index.query(&window.clip);
-    let Some(bbox) = Rect::bbox_of(content.iter().filter_map(|r| r.intersection(&window.clip)).collect::<Vec<_>>().iter())
-    else {
+    let Some(bbox) = Rect::bbox_of(
+        content
+            .iter()
+            .filter_map(|r| r.intersection(&window.clip))
+            .collect::<Vec<_>>()
+            .iter(),
+    ) else {
         return core;
     };
     let clip = window.clip;
@@ -251,7 +256,14 @@ pub fn remove_redundant_clips(
     // 4. Shift toward the centre of gravity where the boundary gap is large.
     let cores: Vec<Rect> = cores
         .into_iter()
-        .map(|c| shift_core(c, shape, index, config.distribution.max_boundary_bbox_distance))
+        .map(|c| {
+            shift_core(
+                c,
+                shape,
+                index,
+                config.distribution.max_boundary_bbox_distance,
+            )
+        })
         .collect();
 
     // 5. Merge and reframe once more.

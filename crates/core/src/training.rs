@@ -2,9 +2,10 @@
 //! learning (Sections III-B and III-D, Fig. 9(a)).
 
 use crate::config::DetectorConfig;
+use crate::engine::{Executor, ExecutorStats};
 use crate::pattern::Pattern;
 use hotspot_geom::{DensityGrid, Rect};
-use hotspot_svm::{Kernel, PlattScaler, SvmModel, SvmTrainer, TrainError};
+use hotspot_svm::{Kernel, PlattScaler, SharedKernelCache, SvmModel, SvmTrainer, TrainError};
 use hotspot_topo::{ClusterParams, CriticalFeatures, DensityClustering, TopoSignature};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -173,34 +174,97 @@ pub fn train_iterative(
     y: &[f64],
     config: &DetectorConfig,
 ) -> Result<IterativeFit, TrainError> {
-    let mut c = config.initial_c;
-    let mut gamma = config.initial_gamma;
+    let shared = SharedKernelCache::new(x.len());
+    train_iterative_with(x, y, config, &shared, 1)
+}
+
+/// The `(C, γ)` parameters of 1-based `round`: each round doubles both,
+/// starting from the configured initial values. Doubling is exact in f64,
+/// so recomputing from the round number matches sequential accumulation
+/// bit for bit.
+fn round_params(config: &DetectorConfig, round: usize) -> (f64, f64) {
+    let scale = 2f64.powi(round as i32 - 1);
+    (config.initial_c * scale, config.initial_gamma * scale)
+}
+
+fn train_round(
+    x: &[Vec<f64>],
+    y: &[f64],
+    config: &DetectorConfig,
+    shared: &SharedKernelCache,
+    round: usize,
+) -> Result<(SvmModel, f64), TrainError> {
+    let (c, gamma) = round_params(config, round);
+    let model = SvmTrainer::new(Kernel::rbf(gamma))
+        .c(c)
+        .train_with_cache(x, y, shared)?;
+    let acc = model.accuracy(x, y);
+    Ok((model, acc))
+}
+
+/// Iterative learning with up to `speculation` rounds trained concurrently.
+///
+/// Rounds are independent trainings on the same data with doubled `(C, γ)`,
+/// so when spare threads exist they can be trained speculatively in waves:
+/// all rounds of a wave run in parallel (sharing the γ-independent
+/// squared-distance rows in `shared`), then the sequential stopping rule is
+/// replayed over the wave in round order. Rounds past the stop point are
+/// discarded, so the selected fit — model, kept round, attempted rounds —
+/// is identical to the sequential loop's for every `speculation` width.
+///
+/// # Errors
+///
+/// Propagates [`TrainError`] from the underlying SVM trainer.
+pub fn train_iterative_with(
+    x: &[Vec<f64>],
+    y: &[f64],
+    config: &DetectorConfig,
+    shared: &SharedKernelCache,
+    speculation: usize,
+) -> Result<IterativeFit, TrainError> {
+    let max_rounds = config.max_learning_rounds.max(1);
     let mut best: Option<IterativeFit> = None;
     let mut attempted = 0;
-    for round in 1..=config.max_learning_rounds.max(1) {
-        attempted = round;
-        let model = SvmTrainer::new(Kernel::rbf(gamma)).c(c).train(x, y)?;
-        let acc = model.accuracy(x, y);
-        let fit = IterativeFit {
-            model,
-            rounds: round,
-            rounds_attempted: round,
-            c,
-            gamma,
-            training_accuracy: acc,
+    let mut next_round = 1usize;
+    'waves: while next_round <= max_rounds {
+        let wave: Vec<usize> = (next_round..=max_rounds).take(speculation.max(1)).collect();
+        let fits: Vec<Result<(SvmModel, f64), TrainError>> = if wave.len() == 1 {
+            vec![train_round(x, y, config, shared, wave[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&round| scope.spawn(move || train_round(x, y, config, shared, round)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("round training panicked"))
+                    .collect()
+            })
         };
-        let improved = best
-            .as_ref()
-            .map_or(true, |b| acc > b.training_accuracy);
-        if improved {
-            best = Some(fit);
+        // Selection replay: walk the wave in round order exactly like the
+        // sequential loop would, stopping at the accuracy target.
+        for (&round, fit) in wave.iter().zip(fits) {
+            let (model, acc) = fit?;
+            attempted = round;
+            let (c, gamma) = round_params(config, round);
+            let improved = best.as_ref().is_none_or(|b| acc > b.training_accuracy);
+            if improved {
+                best = Some(IterativeFit {
+                    model,
+                    rounds: round,
+                    rounds_attempted: round,
+                    c,
+                    gamma,
+                    training_accuracy: acc,
+                });
+            }
+            let current_best = best.as_ref().expect("set above");
+            if current_best.training_accuracy >= config.target_training_accuracy {
+                break 'waves;
+            }
         }
-        let current_best = best.as_ref().expect("set above");
-        if current_best.training_accuracy >= config.target_training_accuracy {
-            break;
-        }
-        c *= 2.0;
-        gamma *= 2.0;
+        next_round = wave.last().expect("wave is non-empty") + 1;
     }
     let mut best = best.expect("at least one round runs");
     best.rounds_attempted = attempted;
@@ -249,32 +313,38 @@ pub fn train_cluster_kernels(
     nonhotspot_medoids: &[Pattern],
     config: &DetectorConfig,
 ) -> Result<Vec<ClusterKernel>, TrainError> {
-    let threads = config.effective_threads().clamp(1, clusters.len().max(1));
-    if threads <= 1 || clusters.len() <= 1 {
-        return clusters
-            .iter()
-            .map(|cl| train_one_kernel(hotspots, cl, nonhotspot_medoids, config))
-            .collect();
-    }
-    // All kernels are independent (Section III-G): train them in parallel.
-    let results: Vec<Result<ClusterKernel, TrainError>> = std::thread::scope(|scope| {
-        let chunk = clusters.len().div_ceil(threads);
-        let handles: Vec<_> = clusters
-            .chunks(chunk)
-            .map(|cs| {
-                scope.spawn(move || {
-                    cs.iter()
-                        .map(|cl| train_one_kernel(hotspots, cl, nonhotspot_medoids, config))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("kernel training panicked"))
-            .collect()
+    let executor = Executor::new(config.effective_threads());
+    let (kernels, _) =
+        train_cluster_kernels_with(hotspots, clusters, nonhotspot_medoids, config, &executor)?;
+    Ok(kernels)
+}
+
+/// [`train_cluster_kernels`] on an explicit [`Executor`], returning its
+/// utilisation stats for telemetry.
+///
+/// All kernels are independent (Section III-G): each cluster is one task on
+/// the work-stealing executor. When the executor has more threads than
+/// there are clusters, the surplus is spent *inside* each task training
+/// speculative `(C, γ)` rounds concurrently (see [`train_iterative_with`]),
+/// so both fan-out axes of the paper's parallelisation are covered while
+/// total concurrency stays near the configured thread count.
+///
+/// # Errors
+///
+/// Propagates the first SVM training failure (in cluster order).
+pub fn train_cluster_kernels_with(
+    hotspots: &[Pattern],
+    clusters: &[PatternCluster],
+    nonhotspot_medoids: &[Pattern],
+    config: &DetectorConfig,
+    executor: &Executor,
+) -> Result<(Vec<ClusterKernel>, ExecutorStats), TrainError> {
+    let speculation = (executor.threads() / clusters.len().max(1)).max(1);
+    let (results, stats) = executor.map(clusters, |_, cl| {
+        train_one_kernel(hotspots, cl, nonhotspot_medoids, config, speculation)
     });
-    results.into_iter().collect()
+    let kernels = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((kernels, stats))
 }
 
 fn train_one_kernel(
@@ -282,6 +352,7 @@ fn train_one_kernel(
     cluster: &PatternCluster,
     nonhotspot_medoids: &[Pattern],
     config: &DetectorConfig,
+    speculation: usize,
 ) -> Result<ClusterKernel, TrainError> {
     // Determine the kernel's feature length from the cluster members.
     let member_features: Vec<Vec<f64>> = cluster
@@ -307,7 +378,11 @@ fn train_one_kernel(
         y.push(-1.0);
     }
 
-    let fit = train_iterative(&x, &y, config)?;
+    // One shared distance-row cache per kernel: every (C, γ) round trains
+    // on the same vectors, so the rows are reused across rounds whether the
+    // rounds run sequentially or speculatively in parallel.
+    let shared = SharedKernelCache::new(x.len());
+    let fit = train_iterative_with(&x, &y, config, &shared, speculation)?;
     let decisions: Vec<f64> = x.iter().map(|v| fit.model.decision_value(v)).collect();
     let platt = PlattScaler::fit(&decisions, &y);
     Ok(ClusterKernel {
@@ -431,7 +506,12 @@ mod tests {
     #[test]
     fn iterative_learning_stops_on_target() {
         // Trivially separable data: the first round should hit the target.
-        let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![1.0, 1.0], vec![0.9, 1.0]];
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![1.0, 1.0],
+            vec![0.9, 1.0],
+        ];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let fit = train_iterative(&x, &y, &test_config()).unwrap();
         assert_eq!(fit.rounds, 1);
@@ -452,7 +532,10 @@ mod tests {
         };
         let fit = train_iterative(&x, &y, &config).unwrap();
         assert_eq!(fit.rounds_attempted, 5, "all rounds must be attempted");
-        assert!(fit.training_accuracy < 1.0, "conflicts cannot fully separate");
+        assert!(
+            fit.training_accuracy < 1.0,
+            "conflicts cannot fully separate"
+        );
         assert!(fit.rounds <= fit.rounds_attempted);
     }
 

@@ -2,9 +2,7 @@
 //! extraction coverage, redundant-clip-removal invariants, and scoring
 //! identities.
 
-use hotspot_core::{
-    extract_clips, removal, score, DetectorConfig, DistributionFilter, RectIndex,
-};
+use hotspot_core::{extract_clips, removal, score, DetectorConfig, DistributionFilter, RectIndex};
 use hotspot_geom::{Point, Rect};
 use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
 use proptest::prelude::*;

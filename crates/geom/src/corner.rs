@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn empty_input_and_empty_rects() {
         assert_eq!(CornerSummary::of(&[]), CornerSummary::default());
-        assert_eq!(CornerSummary::of(&[r(5, 5, 5, 9)]), CornerSummary::default());
+        assert_eq!(
+            CornerSummary::of(&[r(5, 5, 5, 9)]),
+            CornerSummary::default()
+        );
     }
 
     #[test]

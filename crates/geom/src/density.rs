@@ -185,7 +185,7 @@ impl DensityGrid {
                 continue;
             }
             let d = self.l1_distance(&t);
-            if best.map_or(true, |b| d < b.distance) {
+            if best.is_none_or(|b| d < b.distance) {
                 best = Some(DensityDistance {
                     distance: d,
                     orientation: o,
@@ -289,12 +289,8 @@ mod tests {
 
     #[test]
     fn rects_outside_window_are_clipped() {
-        let g = DensityGrid::from_rects(
-            &window(),
-            &[Rect::from_extents(-100, -100, -10, -10)],
-            4,
-            4,
-        );
+        let g =
+            DensityGrid::from_rects(&window(), &[Rect::from_extents(-100, -100, -10, -10)], 4, 4);
         assert_eq!(g.mean(), 0.0);
     }
 

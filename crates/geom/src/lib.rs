@@ -39,7 +39,7 @@ mod polygon;
 mod rect;
 
 pub use corner::{corner_count, touch_point_count, CornerKind, CornerSummary};
-pub use density::{DensityGrid, DensityDistance};
+pub use density::{DensityDistance, DensityGrid};
 pub use orientation::{Orientation, D8};
 pub use point::{Coord, Point};
 pub use polygon::{dissect_rects, DissectError, Polygon};

@@ -53,7 +53,10 @@ impl fmt::Display for DissectError {
                 write!(f, "edge {a} -> {b} is not axis-parallel")
             }
             DissectError::OddVertexCount(n) => {
-                write!(f, "rectilinear polygon cannot have an odd vertex count ({n})")
+                write!(
+                    f,
+                    "rectilinear polygon cannot have an odd vertex count ({n})"
+                )
             }
         }
     }
@@ -76,7 +79,7 @@ impl Polygon {
         if normalized.len() < 4 {
             return Err(DissectError::TooFewVertices(normalized.len()));
         }
-        if normalized.len() % 2 != 0 {
+        if !normalized.len().is_multiple_of(2) {
             return Err(DissectError::OddVertexCount(normalized.len()));
         }
         let n = normalized.len();
@@ -180,7 +183,7 @@ impl Polygon {
                 .map(|&(x, _, _)| x)
                 .collect();
             xs.sort_unstable();
-            debug_assert!(xs.len() % 2 == 0, "odd crossing count in band");
+            debug_assert!(xs.len().is_multiple_of(2), "odd crossing count in band");
             for pair in xs.chunks_exact(2) {
                 if pair[0] < pair[1] {
                     out.push(Rect::from_extents(pair[0], y0, pair[1], y1));
@@ -241,8 +244,8 @@ fn normalize_loop(mut vs: Vec<Point>) -> Vec<Point> {
             let prev = vs[(i + n - 1) % n];
             let cur = vs[i];
             let next = vs[(i + 1) % n];
-            let collinear = (prev.x == cur.x && cur.x == next.x)
-                || (prev.y == cur.y && cur.y == next.y);
+            let collinear =
+                (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
             if collinear {
                 removed = true;
             } else {
@@ -263,10 +266,7 @@ fn merge_vertical_runs(mut rects: Vec<Rect>) -> Vec<Rect> {
     let mut out: Vec<Rect> = Vec::with_capacity(rects.len());
     for r in rects {
         if let Some(last) = out.last_mut() {
-            if last.min().x == r.min().x
-                && last.max().x == r.max().x
-                && last.max().y == r.min().y
-            {
+            if last.min().x == r.min().x && last.max().x == r.max().x && last.max().y == r.min().y {
                 *last = Rect::new(last.min(), r.max());
                 continue;
             }

@@ -93,10 +93,7 @@ impl Rect {
 
     /// Geometric centre (rounded toward the bottom-left on odd spans).
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.min.x + self.max.x) / 2,
-            (self.min.y + self.max.y) / 2,
-        )
+        Point::new((self.min.x + self.max.x) / 2, (self.min.y + self.max.y) / 2)
     }
 
     /// The four corners in counterclockwise order starting at the bottom-left.

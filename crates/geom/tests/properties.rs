@@ -4,9 +4,8 @@ use hotspot_geom::{DensityGrid, Orientation, Point, Polygon, Rect, D8};
 use proptest::prelude::*;
 
 fn arb_rect(max: i64) -> impl Strategy<Value = Rect> {
-    (0..max, 0..max, 1..max, 1..max).prop_map(move |(x, y, w, h)| {
-        Rect::from_origin_size(Point::new(x, y), w, h)
-    })
+    (0..max, 0..max, 1..max, 1..max)
+        .prop_map(move |(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
 }
 
 fn arb_rects(max: i64, n: usize) -> impl Strategy<Value = Vec<Rect>> {

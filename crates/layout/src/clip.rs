@@ -244,7 +244,9 @@ mod tests {
     #[test]
     fn translate_moves_both_rects() {
         let s = ClipShape::ICCAD2012;
-        let w = s.window_centered(Point::new(0, 0)).translate(Point::new(10, 20));
+        let w = s
+            .window_centered(Point::new(0, 0))
+            .translate(Point::new(10, 20));
         assert_eq!(w.core.center(), Point::new(10, 20));
         assert_eq!(w.clip.center(), Point::new(10, 20));
     }

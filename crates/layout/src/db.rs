@@ -147,7 +147,10 @@ mod tests {
         l.add_rect(LayerId::new(3), Rect::from_extents(0, 20, 10, 30));
         assert_eq!(l.polygon_count(), 3);
         assert_eq!(l.polygons(LayerId::new(1)).len(), 2);
-        assert_eq!(l.layers().collect::<Vec<_>>(), vec![LayerId::new(1), LayerId::new(3)]);
+        assert_eq!(
+            l.layers().collect::<Vec<_>>(),
+            vec![LayerId::new(1), LayerId::new(3)]
+        );
         assert_eq!(l.bbox(), Some(Rect::from_extents(0, 0, 30, 30)));
         assert_eq!(l.layer_area(LayerId::new(1)), 200);
     }

@@ -33,7 +33,11 @@ pub fn read_bytes(bytes: &[u8]) -> Result<Layout, GdsError> {
     let mut structures: Vec<(String, Vec<Element>)> = Vec::new();
 
     expect(&mut cursor, RecordType::Header, "reading the stream header")?;
-    expect(&mut cursor, RecordType::BgnLib, "reading the library header")?;
+    expect(
+        &mut cursor,
+        RecordType::BgnLib,
+        "reading the library header",
+    )?;
 
     loop {
         let (rt, payload) = cursor.next_record()?;
@@ -56,15 +60,18 @@ pub fn read_bytes(bytes: &[u8]) -> Result<Layout, GdsError> {
                 structures.push((name, elements));
             }
             RecordType::EndLib => break,
-            other => return Err(GdsError::UnexpectedRecord(other, "reading the library body")),
+            other => {
+                return Err(GdsError::UnexpectedRecord(
+                    other,
+                    "reading the library body",
+                ))
+            }
         }
     }
 
     // Flatten every top structure (not referenced by any other structure).
-    let by_name: HashMap<&str, &Vec<Element>> = structures
-        .iter()
-        .map(|(n, e)| (n.as_str(), e))
-        .collect();
+    let by_name: HashMap<&str, &Vec<Element>> =
+        structures.iter().map(|(n, e)| (n.as_str(), e)).collect();
     let mut referenced: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for (_, elements) in &structures {
         for e in elements {
@@ -215,11 +222,8 @@ fn instantiate(
                 for col in 0..r.cols {
                     for row in 0..r.rows {
                         let origin = Point::new(
-                            r.origin.x + col as Coord * r.col_step.x
-                                + row as Coord * r.row_step.x,
-                            r.origin.y
-                                + col as Coord * r.col_step.y
-                                + row as Coord * r.row_step.y,
+                            r.origin.x + col as Coord * r.col_step.x + row as Coord * r.row_step.x,
+                            r.origin.y + col as Coord * r.col_step.y + row as Coord * r.row_step.y,
                         );
                         let child = Transform {
                             mirror: r.mirror,
@@ -240,7 +244,11 @@ fn instantiate(
 ///
 /// Path type 0 (butt ends, the default) and 2 (ends extended by half the
 /// width) are supported.
-fn path_to_rects(points: &[Point], width: Coord, path_type: u16) -> Result<Vec<hotspot_geom::Rect>, GdsError> {
+fn path_to_rects(
+    points: &[Point],
+    width: Coord,
+    path_type: u16,
+) -> Result<Vec<hotspot_geom::Rect>, GdsError> {
     if points.len() < 2 {
         return Err(GdsError::BadPath(format!(
             "path needs at least 2 points, got {}",
@@ -298,7 +306,10 @@ fn read_structure(cursor: &mut Cursor<'_>) -> Result<Vec<Element>, GdsError> {
             RecordType::Aref => elements.push(read_reference(cursor, true)?),
             RecordType::EndStr => return Ok(elements),
             other => {
-                return Err(GdsError::UnexpectedRecord(other, "reading structure elements"))
+                return Err(GdsError::UnexpectedRecord(
+                    other,
+                    "reading structure elements",
+                ))
             }
         }
     }
@@ -342,8 +353,8 @@ fn read_path(cursor: &mut Cursor<'_>) -> Result<Element, GdsError> {
                 if payload.len() != 4 {
                     return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
                 }
-                width = i32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]])
-                    as Coord;
+                width =
+                    i32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as Coord;
             }
             RecordType::PathType => {
                 if payload.len() != 2 {
@@ -472,7 +483,7 @@ fn parse_layer(payload: &[u8]) -> Result<LayerId, GdsError> {
 }
 
 fn parse_points(payload: &[u8]) -> Result<Vec<Point>, GdsError> {
-    if payload.len() % 8 != 0 {
+    if !payload.len().is_multiple_of(8) {
         return Err(GdsError::BadBoundary(format!(
             "XY payload of {} bytes is not a whole number of points",
             payload.len()
@@ -499,11 +510,7 @@ fn parse_real8(payload: &[u8]) -> Result<f64, GdsError> {
 }
 
 fn parse_string(payload: &[u8]) -> Result<String, GdsError> {
-    let trimmed: Vec<u8> = payload
-        .iter()
-        .copied()
-        .take_while(|&b| b != 0)
-        .collect();
+    let trimmed: Vec<u8> = payload.iter().copied().take_while(|&b| b != 0).collect();
     String::from_utf8(trimmed).map_err(|_| GdsError::BadString)
 }
 
@@ -528,7 +535,7 @@ impl<'a> Cursor<'a> {
         }
         let len = u16::from_be_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]) as usize;
         let code = u16::from_be_bytes([self.bytes[self.pos + 2], self.bytes[self.pos + 3]]);
-        if len < 4 || len % 2 != 0 {
+        if len < 4 || !len.is_multiple_of(2) {
             return Err(GdsError::BadRecordLength(len as u16));
         }
         if self.pos + len > self.bytes.len() {
@@ -660,7 +667,7 @@ mod tests {
 
         fn string(&mut self, rt: RecordType, s: &str) -> &mut Self {
             let mut bytes = s.as_bytes().to_vec();
-            if bytes.len() % 2 != 0 {
+            if !bytes.len().is_multiple_of(2) {
                 bytes.push(0);
             }
             self.record(rt, &bytes)

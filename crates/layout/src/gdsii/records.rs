@@ -184,6 +184,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(GdsError::UnexpectedEof.to_string().contains("end of GDSII"));
-        assert!(GdsError::UnsupportedRecord(0x1234).to_string().contains("1234"));
+        assert!(GdsError::UnsupportedRecord(0x1234)
+            .to_string()
+            .contains("1234"));
     }
 }

@@ -116,7 +116,7 @@ fn put_record(buf: &mut BytesMut, rt: RecordType, fill: impl FnOnce(&mut BytesMu
 /// Appends an ASCII string record, padded to even length per the spec.
 fn put_string(buf: &mut BytesMut, rt: RecordType, s: &str) {
     let mut bytes = s.as_bytes().to_vec();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         bytes.push(0);
     }
     put_record(buf, rt, |b| b.put_slice(&bytes));

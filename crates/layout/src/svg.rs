@@ -53,10 +53,10 @@ pub fn render(layout: &Layout, options: &RenderOptions) -> String {
     let height_px = ((width_px as f64) * aspect).ceil().max(64.0) as u32;
 
     let mut out = String::new();
-    let _ = write!(
+    let _ = writeln!(
         out,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height_px}\" \
-         viewBox=\"{} {} {} {}\">\n",
+         viewBox=\"{} {} {} {}\">",
         view.min().x,
         -view.max().y, // y-flip: SVG y grows downward
         view.width(),
@@ -74,7 +74,10 @@ pub fn render(layout: &Layout, options: &RenderOptions) -> String {
     // Layer geometry.
     for (idx, layer) in layout.layers().enumerate() {
         let color = options.layer_palette[idx % options.layer_palette.len().max(1)];
-        let _ = writeln!(out, "<g fill=\"{color}\" fill-opacity=\"0.8\" data-layer=\"{layer}\">");
+        let _ = writeln!(
+            out,
+            "<g fill=\"{color}\" fill-opacity=\"0.8\" data-layer=\"{layer}\">"
+        );
         for poly in layout.polygons(layer) {
             for r in poly.dissect_horizontal() {
                 push_rect(&mut out, &r, None);

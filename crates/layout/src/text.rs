@@ -86,7 +86,9 @@ pub fn from_str(input: &str) -> Result<Layout, ParseLayoutError> {
         };
         match directive {
             "layout" => {
-                let name = tokens.next().ok_or_else(|| err("missing layout name".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err("missing layout name".into()))?;
                 layout = Layout::new(name);
             }
             "layer" => {
@@ -98,7 +100,7 @@ pub fn from_str(input: &str) -> Result<Layout, ParseLayoutError> {
                 current_layer = LayerId::new(n);
             }
             "rect" => {
-                let nums = parse_numbers(&mut tokens).map_err(|m| err(m))?;
+                let nums = parse_numbers(&mut tokens).map_err(&err)?;
                 if nums.len() != 4 {
                     return Err(err(format!("rect needs 4 numbers, got {}", nums.len())));
                 }
@@ -108,7 +110,7 @@ pub fn from_str(input: &str) -> Result<Layout, ParseLayoutError> {
                 );
             }
             "poly" => {
-                let nums = parse_numbers(&mut tokens).map_err(|m| err(m))?;
+                let nums = parse_numbers(&mut tokens).map_err(&err)?;
                 if nums.len() < 8 || nums.len() % 2 != 0 {
                     return Err(err(format!(
                         "poly needs an even count of ≥ 8 numbers, got {}",
@@ -130,7 +132,10 @@ pub fn from_str(input: &str) -> Result<Layout, ParseLayoutError> {
 
 fn parse_numbers<'a, I: Iterator<Item = &'a str>>(tokens: &mut I) -> Result<Vec<i64>, String> {
     tokens
-        .map(|t| t.parse::<i64>().map_err(|e| format!("bad number `{t}`: {e}")))
+        .map(|t| {
+            t.parse::<i64>()
+                .map_err(|e| format!("bad number `{t}`: {e}"))
+        })
         .collect()
 }
 

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 fn arb_layout() -> impl Strategy<Value = Layout> {
     let rects = proptest::collection::vec(
         (
-            0u16..4,               // layer
+            0u16..4,              // layer
             -100_000i64..100_000, // x
             -100_000i64..100_000, // y
             1i64..5_000,          // w

@@ -40,9 +40,9 @@ mod probability;
 mod scale;
 mod smo;
 
-pub use cache::KernelCache;
+pub use cache::{KernelCache, SharedKernelCache};
 pub use kernel::Kernel;
-pub use model::{SvmModel, TrainError, SvmTrainer};
+pub use model::{SvmModel, SvmTrainer, TrainError};
 pub use probability::PlattScaler;
 pub use scale::FeatureScaler;
-pub use smo::{solve, SmoParams, SmoSolution};
+pub use smo::{solve, solve_with_cache, SmoParams, SmoSolution};

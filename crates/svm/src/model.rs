@@ -127,6 +127,33 @@ impl SvmTrainer {
     /// incorrectly labelled data. A single-class training set is *not* an
     /// error: the resulting model classifies everything as that class.
     pub fn train(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvmModel, TrainError> {
+        self.train_impl(x, y, None)
+    }
+
+    /// Like [`train`](SvmTrainer::train), but kernel-row misses inside SMO
+    /// are served from `shared` squared-distance rows. Repeated or
+    /// concurrent trainings on the **same** `x` — the hotspot pipeline's
+    /// iterative `(C, γ)` rounds — then share the `O(n²·dim)` distance work.
+    /// The trained model is identical to [`train`](SvmTrainer::train)'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train`](SvmTrainer::train).
+    pub fn train_with_cache(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        shared: &crate::SharedKernelCache,
+    ) -> Result<SvmModel, TrainError> {
+        self.train_impl(x, y, Some(shared))
+    }
+
+    fn train_impl(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        shared: Option<&crate::SharedKernelCache>,
+    ) -> Result<SvmModel, TrainError> {
         if x.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
         }
@@ -169,7 +196,7 @@ impl SvmTrainer {
             None => x,
         };
 
-        let sol = smo::solve(xs, y, self.kernel, &self.params);
+        let sol = smo::solve_with_cache(xs, y, self.kernel, &self.params, shared);
 
         // Keep only support vectors (α > 0).
         let mut support = Vec::new();
@@ -449,6 +476,22 @@ mod tests {
             model.decision_value(&[0.5, 0.5]),
             copy.decision_value(&[0.5, 0.5])
         );
+    }
+
+    #[test]
+    fn cached_training_matches_uncached() {
+        // Scaling stays on: the scaler is deterministic, so the shared d²
+        // rows are consistent and the models must match exactly.
+        let (x, y) = separable();
+        let shared = crate::SharedKernelCache::new(x.len());
+        let trainer = SvmTrainer::new(Kernel::rbf(1.0)).c(100.0);
+        let plain = trainer.train(&x, &y).unwrap();
+        for _ in 0..3 {
+            let cached = trainer.train_with_cache(&x, &y, &shared).unwrap();
+            assert_eq!(plain, cached);
+        }
+        let (hits, _) = shared.stats();
+        assert!(hits > 0, "later rounds must reuse distance rows");
     }
 
     #[test]

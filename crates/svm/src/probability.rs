@@ -166,7 +166,11 @@ mod tests {
         let (d, y) = separable();
         let s = PlattScaler::fit(&d, &y);
         assert!(s.probability(3.0) > 0.85, "p(+3) = {}", s.probability(3.0));
-        assert!(s.probability(-3.0) < 0.15, "p(-3) = {}", s.probability(-3.0));
+        assert!(
+            s.probability(-3.0) < 0.15,
+            "p(-3) = {}",
+            s.probability(-3.0)
+        );
         // Near the boundary the probability is uncertain.
         let p0 = s.probability(0.0);
         assert!((0.2..=0.8).contains(&p0), "p(0) = {p0}");

@@ -10,7 +10,7 @@
 //! violating pair (working-set selection WSS1 of Fan, Chen & Lin). This is
 //! the optimiser behind eq. (3) of the paper.
 
-use crate::{Kernel, KernelCache};
+use crate::{Kernel, KernelCache, SharedKernelCache};
 
 /// Solver parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +62,20 @@ const TAU: f64 = 1e-12;
 /// `y` must contain only `+1.0` / `−1.0` (validated by the caller,
 /// [`crate::SvmTrainer`]).
 pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: Kernel, params: &SmoParams) -> SmoSolution {
+    solve_with_cache(x, y, kernel, params, None)
+}
+
+/// Like [`solve`], optionally backing kernel-row misses with a shared
+/// squared-distance cache (see [`SharedKernelCache`]); concurrent solves on
+/// the same `x` — the iterative `(C, γ)` rounds — then share the distance
+/// work. The solution is bit-identical to [`solve`]'s.
+pub fn solve_with_cache(
+    x: &[Vec<f64>],
+    y: &[f64],
+    kernel: Kernel,
+    params: &SmoParams,
+    shared: Option<&SharedKernelCache>,
+) -> SmoSolution {
     let n = x.len();
     debug_assert_eq!(n, y.len());
     if n == 0 {
@@ -79,10 +93,19 @@ pub fn solve(x: &[Vec<f64>], y: &[f64], kernel: Kernel, params: &SmoParams) -> S
     } else {
         params.cache_rows
     };
-    let mut cache = KernelCache::new(kernel, x, cap);
+    let mut cache = match shared {
+        Some(sh) => KernelCache::with_shared(kernel, x, cap, sh),
+        None => KernelCache::new(kernel, x, cap),
+    };
     let qd: Vec<f64> = (0..n).map(|i| cache.diagonal(i)).collect();
 
-    let c_of = |i: usize| if y[i] > 0.0 { params.c_pos } else { params.c_neg };
+    let c_of = |i: usize| {
+        if y[i] > 0.0 {
+            params.c_pos
+        } else {
+            params.c_neg
+        }
+    };
 
     let mut alpha = vec![0.0f64; n];
     // G_i = (Qα)_i − 1; starts at −1 since α = 0.
@@ -240,7 +263,11 @@ fn compute_rho(alpha: &[f64], grad: &[f64], y: &[f64], params: &SmoParams) -> f6
     let mut sum_free = 0.0;
     let mut nr_free = 0usize;
     for t in 0..alpha.len() {
-        let c_t = if y[t] > 0.0 { params.c_pos } else { params.c_neg };
+        let c_t = if y[t] > 0.0 {
+            params.c_pos
+        } else {
+            params.c_neg
+        };
         let yg = y[t] * grad[t];
         if (alpha[t] - c_t).abs() < TAU {
             if y[t] < 0.0 {
@@ -336,7 +363,9 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..20)
             .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
             .collect();
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let sol = solve(&x, &y, Kernel::rbf(0.5), &SmoParams::default());
         let sum: f64 = sol.alpha.iter().zip(&y).map(|(a, t)| a * t).sum();
         assert!(sum.abs() < 1e-9, "Σ αᵢ yᵢ = {sum}");
@@ -345,7 +374,9 @@ mod tests {
     #[test]
     fn box_constraints_hold() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64).sin()]).collect();
-        let y: Vec<f64> = (0..30).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let params = SmoParams {
             c_pos: 2.0,
             c_neg: 0.5,
@@ -380,7 +411,9 @@ mod tests {
     fn objective_decreases_with_more_freedom() {
         // Larger C can only lower (or keep) the optimal objective.
         let x: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 5) as f64 / 4.0]).collect();
-        let y: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..12)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let lo = solve(
             &x,
             &y,
@@ -406,8 +439,12 @@ mod tests {
 
     #[test]
     fn iteration_cap_respected() {
-        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 0.7).sin(), (i as f64).cos()]).collect();
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64).cos()])
+            .collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let sol = solve(
             &x,
             &y,

@@ -150,9 +150,7 @@ impl DensityClustering {
 
     /// The cluster index containing pattern `idx`, if any.
     pub fn cluster_of(&self, idx: usize) -> Option<usize> {
-        self.clusters
-            .iter()
-            .position(|c| c.members.contains(&idx))
+        self.clusters.iter().position(|c| c.members.contains(&idx))
     }
 }
 
@@ -192,7 +190,7 @@ mod tests {
     fn distinct_patterns_split() {
         let patterns = vec![
             vec![Rect::from_extents(0, 0, 20, 20)], // sparse corner
-            vec![window()],                          // full coverage
+            vec![window()],                         // full coverage
         ];
         let c = DensityClustering::run(&window(), &patterns, &params());
         assert_eq!(c.len(), 2);
@@ -212,10 +210,7 @@ mod tests {
 
     #[test]
     fn radius_respects_floor_and_eq2() {
-        let patterns = vec![
-            vec![Rect::from_extents(0, 0, 20, 20)],
-            vec![window()],
-        ];
+        let patterns = vec![vec![Rect::from_extents(0, 0, 20, 20)], vec![window()]];
         let p = ClusterParams {
             radius_floor: 0.1,
             expected_count: 2,
@@ -255,10 +250,7 @@ mod tests {
 
     #[test]
     fn cluster_of_finds_membership() {
-        let patterns = vec![
-            vec![Rect::from_extents(0, 0, 20, 20)],
-            vec![window()],
-        ];
+        let patterns = vec![vec![Rect::from_extents(0, 0, 20, 20)], vec![window()]];
         let c = DensityClustering::run(&window(), &patterns, &params());
         assert_eq!(c.cluster_of(0), Some(0));
         assert_eq!(c.cluster_of(1), Some(1));

@@ -178,7 +178,7 @@ impl TopoSignature {
             let twin = Rect::from_extents(0, 0, tw, th);
             let s = DirectionalStrings::of(&twin, &trects);
             let flat = s.ccw_composite();
-            if best.as_ref().map_or(true, |(b, _)| flat < *b) {
+            if best.as_ref().is_none_or(|(b, _)| flat < *b) {
                 best = Some((flat, o));
             }
         }
@@ -200,9 +200,7 @@ fn contains(haystack: &[u128], needle: &[u128]) -> bool {
     if haystack.len() < needle.len() {
         return false;
     }
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// The bottom string of the pattern after orienting by `o`: slice vertically

@@ -143,7 +143,11 @@ impl CriticalFeatures {
             for idx in graph.blocks_between_spaces(kind) {
                 let tile = &graph.tiles()[idx];
                 if tile.boundary_edges(window) <= config.max_boundary_edges {
-                    rules.push(RuleRect::from_rect(FeatureKind::Internal, window, &tile.rect));
+                    rules.push(RuleRect::from_rect(
+                        FeatureKind::Internal,
+                        window,
+                        &tile.rect,
+                    ));
                 }
             }
         }
@@ -153,7 +157,11 @@ impl CriticalFeatures {
             for idx in graph.spaces_between_two_blocks(kind) {
                 let tile = &graph.tiles()[idx];
                 if tile.boundary_edges(window) <= config.max_boundary_edges {
-                    rules.push(RuleRect::from_rect(FeatureKind::External, window, &tile.rect));
+                    rules.push(RuleRect::from_rect(
+                        FeatureKind::External,
+                        window,
+                        &tile.rect,
+                    ));
                 }
             }
         }
@@ -173,7 +181,11 @@ impl CriticalFeatures {
         for tile in horizontal.tiles_of_kind(TileKind::Space) {
             let edges = tile.boundary_edges(window);
             if (2..=3).contains(&edges) {
-                rules.push(RuleRect::from_rect(FeatureKind::Segment, window, &tile.rect));
+                rules.push(RuleRect::from_rect(
+                    FeatureKind::Segment,
+                    window,
+                    &tile.rect,
+                ));
             }
         }
 
@@ -181,13 +193,20 @@ impl CriticalFeatures {
         rules.dedup();
 
         // Nontopological features.
-        let clipped: Vec<Rect> = rects.iter().filter_map(|r| r.intersection(window)).collect();
+        let clipped: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(window))
+            .collect();
         let corners = CornerSummary::of(&clipped);
         let side = window.width().max(window.height());
         let min_internal = horizontal
             .tiles_of_kind(TileKind::Block)
             .map(|t| t.rect.width())
-            .chain(vertical.tiles_of_kind(TileKind::Block).map(|t| t.rect.height()))
+            .chain(
+                vertical
+                    .tiles_of_kind(TileKind::Block)
+                    .map(|t| t.rect.height()),
+            )
             .min()
             .unwrap_or(side);
         let min_external = ch
@@ -272,9 +291,8 @@ impl CriticalFeatures {
         let rules_len = len - 5;
         let mut v = Vec::with_capacity(len);
         let have_rules = full.len() - 5;
-        for i in 0..rules_len {
-            v.push(if i < have_rules { full[i] } else { 0.0 });
-        }
+        v.extend_from_slice(&full[..rules_len.min(have_rules)]);
+        v.resize(rules_len, 0.0);
         v.extend_from_slice(&full[have_rules..]);
         v
     }
@@ -437,15 +455,19 @@ mod tests {
         // A "mountain" in the spirit of Fig. 8: a wide base with a peak,
         // flanked by two towers.
         let rects = [
-            Rect::from_extents(0, 0, 120, 20),   // base
-            Rect::from_extents(45, 20, 75, 60),  // peak
-            Rect::from_extents(5, 40, 25, 110),  // left tower
+            Rect::from_extents(0, 0, 120, 20),    // base
+            Rect::from_extents(45, 20, 75, 60),   // peak
+            Rect::from_extents(5, 40, 25, 110),   // left tower
             Rect::from_extents(95, 40, 115, 110), // right tower
         ];
         let f = CriticalFeatures::extract(&window(), &rects, &cfg());
         let kinds: std::collections::BTreeSet<_> = f.rules.iter().map(|r| r.kind).collect();
         assert!(kinds.contains(&FeatureKind::Internal), "kinds: {kinds:?}");
         assert!(kinds.contains(&FeatureKind::External), "kinds: {kinds:?}");
-        assert!(f.rules.len() >= 5, "expected several features, got {}", f.rules.len());
+        assert!(
+            f.rules.len() >= 5,
+            "expected several features, got {}",
+            f.rules.len()
+        );
     }
 }

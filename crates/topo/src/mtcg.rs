@@ -294,8 +294,7 @@ mod tests {
             .iter()
             .filter(|e| e.kind == EdgeKind::Diagonal)
             .filter(|e| {
-                g.tiles()[e.from].kind == TileKind::Block
-                    && g.tiles()[e.to].kind == TileKind::Block
+                g.tiles()[e.from].kind == TileKind::Block && g.tiles()[e.to].kind == TileKind::Block
             })
             .collect();
         assert_eq!(diag.len(), 1, "one block-block diagonal expected");
@@ -314,8 +313,9 @@ mod tests {
         assert_eq!(
             g.edges()
                 .iter()
-                .filter(|e| e.kind == EdgeKind::Diagonal
-                    && g.tiles()[e.from].kind == TileKind::Block)
+                .filter(
+                    |e| e.kind == EdgeKind::Diagonal && g.tiles()[e.from].kind == TileKind::Block
+                )
                 .count(),
             1
         );
@@ -333,12 +333,13 @@ mod tests {
         let block_diags: Vec<_> = g
             .edges()
             .iter()
-            .filter(|e| {
-                e.kind == EdgeKind::Diagonal && g.tiles()[e.from].kind == TileKind::Block
-            })
+            .filter(|e| e.kind == EdgeKind::Diagonal && g.tiles()[e.from].kind == TileKind::Block)
             .collect();
         // Corner-to-middle pairs remain adjacent; the outer pair does not.
-        let (lo, hi) = (Rect::from_extents(0, 0, 20, 20), Rect::from_extents(60, 60, 90, 90));
+        let (lo, hi) = (
+            Rect::from_extents(0, 0, 20, 20),
+            Rect::from_extents(60, 60, 90, 90),
+        );
         for e in &block_diags {
             let (a, b) = (g.tiles()[e.from].rect, g.tiles()[e.to].rect);
             let outer = (a == lo && b == hi) || (a == hi && b == lo);
@@ -352,8 +353,14 @@ mod tests {
         use super::diagonal_gap;
         let a = Rect::from_extents(0, 0, 10, 10);
         let b = Rect::from_extents(30, 40, 50, 60);
-        assert_eq!(diagonal_gap(&a, &b), Some(Rect::from_extents(10, 10, 30, 40)));
-        assert_eq!(diagonal_gap(&b, &a), Some(Rect::from_extents(10, 10, 30, 40)));
+        assert_eq!(
+            diagonal_gap(&a, &b),
+            Some(Rect::from_extents(10, 10, 30, 40))
+        );
+        assert_eq!(
+            diagonal_gap(&b, &a),
+            Some(Rect::from_extents(10, 10, 30, 40))
+        );
         // Overlapping x-projections: no diagonal relation.
         let c = Rect::from_extents(5, 40, 50, 60);
         assert_eq!(diagonal_gap(&a, &c), None);

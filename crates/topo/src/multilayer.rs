@@ -37,9 +37,8 @@ impl MultilayerFeatures {
                 let common = intersect_layers(&pair[0], &pair[1]);
                 let mut f = CriticalFeatures::extract(window, &common, config);
                 // Only diagonal and internal features are taken from overlaps.
-                f.rules.retain(|r| {
-                    matches!(r.kind, FeatureKind::Internal | FeatureKind::Diagonal)
-                });
+                f.rules
+                    .retain(|r| matches!(r.kind, FeatureKind::Internal | FeatureKind::Diagonal));
                 f
             })
             .collect();
@@ -134,7 +133,11 @@ mod tests {
     #[test]
     fn single_layer_degenerates_to_plain_extraction() {
         let m1 = vec![Rect::from_extents(10, 10, 60, 30)];
-        let f = MultilayerFeatures::extract(&window(), &[m1.clone()], &FeatureConfig::default());
+        let f = MultilayerFeatures::extract(
+            &window(),
+            std::slice::from_ref(&m1),
+            &FeatureConfig::default(),
+        );
         assert_eq!(f.per_layer.len(), 1);
         assert!(f.overlaps.is_empty());
         let plain = CriticalFeatures::extract(&window(), &m1, &FeatureConfig::default());

@@ -37,7 +37,13 @@ impl MaskDecomposition {
                     used[color[j]] = true;
                 }
             }
-            color[i] = if !used[0] { 0 } else if !used[1] { 1 } else { 0 };
+            color[i] = if !used[0] {
+                0
+            } else if !used[1] {
+                1
+            } else {
+                0
+            };
         }
         let mut d = MaskDecomposition {
             mask1: Vec::new(),

@@ -134,7 +134,10 @@ impl Tiling {
 /// axes swap (vertical tiling).
 fn tile_bands(window: &Rect, rects: &[Rect], transpose: bool) -> Vec<Tile> {
     let (win, clipped): (Rect, Vec<Rect>) = {
-        let clipped: Vec<Rect> = rects.iter().filter_map(|r| r.intersection(window)).collect();
+        let clipped: Vec<Rect> = rects
+            .iter()
+            .filter_map(|r| r.intersection(window))
+            .collect();
         if transpose {
             (
                 transpose_rect(window),
@@ -328,7 +331,10 @@ mod tests {
 
     #[test]
     fn vertical_is_transpose_of_horizontal() {
-        let rects = [Rect::from_extents(20, 0, 40, 100), Rect::from_extents(60, 30, 90, 80)];
+        let rects = [
+            Rect::from_extents(20, 0, 40, 100),
+            Rect::from_extents(60, 30, 90, 80),
+        ];
         let h = Tiling::horizontal(&window(), &rects);
         let trects: Vec<Rect> = rects.iter().map(transpose_rect).collect();
         let v = Tiling::vertical(&window(), &trects);

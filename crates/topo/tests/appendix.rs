@@ -137,14 +137,15 @@ proptest! {
 }
 
 fn arb_pattern() -> impl Strategy<Value = Vec<Rect>> {
-    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..50, 5i64..50), 1..5)
-        .prop_map(|raw| {
+    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..50, 5i64..50), 1..5).prop_map(
+        |raw| {
             raw.into_iter()
                 .map(|(x, y, w, h)| {
                     Rect::from_origin_size(Point::new(x, y), w.min(W - x), h.min(W - y))
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 #[test]

@@ -17,18 +17,15 @@ fn window() -> Rect {
 
 /// Random disjoint-ish rect patterns inside the window.
 fn arb_pattern() -> impl Strategy<Value = Vec<Rect>> {
-    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..40, 5i64..40), 1..6)
-        .prop_map(|raw| {
+    proptest::collection::vec((0i64..(W - 10), 0i64..(W - 10), 5i64..40, 5i64..40), 1..6).prop_map(
+        |raw| {
             raw.into_iter()
                 .map(|(x, y, w, h)| {
-                    Rect::from_origin_size(
-                        Point::new(x, y),
-                        w.min(W - x),
-                        h.min(W - y),
-                    )
+                    Rect::from_origin_size(Point::new(x, y), w.min(W - x), h.min(W - y))
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 proptest! {

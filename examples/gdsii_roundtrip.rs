@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     gdsii::write_file(&layout, &path)?;
     let restored = gdsii::read_file(&path)?;
     assert_eq!(restored, layout);
-    println!("round trip OK: {} polygons on {} layer(s)", restored.polygon_count(), restored.layers().count());
+    println!(
+        "round trip OK: {} polygons on {} layer(s)",
+        restored.polygon_count(),
+        restored.layers().count()
+    );
 
     // Dissect polygons into rectangles (Fig. 11(a)) and extract clips.
     let rects = restored.dissected_rects(layer);

@@ -38,7 +38,10 @@ fn main() {
     }
 
     println!("\nlarge features (always safe):");
-    score("  solid 900 nm block", &[Rect::centered_square(Point::new(0, 0), 900)]);
+    score(
+        "  solid 900 nm block",
+        &[Rect::centered_square(Point::new(0, 0), 900)],
+    );
 
     println!("\ncontext dependence (the Fig. 10 effect):");
     let gap_bars = [

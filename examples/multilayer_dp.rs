@@ -50,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let risky = MultilayerPattern::new(window, &[m1(75), m2_crossing.clone()]);
     let safe = MultilayerPattern::new(window, &[m1(75), vec![]]);
-    println!("  narrow m1 gap + crossing m2: {}", verdict(detector.classify(&risky)));
-    println!("  same m1 gap, no m2 wire:     {}", verdict(detector.classify(&safe)));
+    println!(
+        "  narrow m1 gap + crossing m2: {}",
+        verdict(detector.classify(&risky))
+    );
+    println!(
+        "  same m1 gap, no m2 wire:     {}",
+        verdict(detector.classify(&safe))
+    );
 
     // The Fig. 13 feature sets behind the decision:
     let local = Rect::from_extents(0, 0, 1200, 1200);
@@ -81,12 +87,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         |pitch: i64| DecomposedPattern::from_pattern(&Pattern::new(window, &bars(pitch)), 250);
 
     let d = MaskDecomposition::decompose(&bars(240), 250);
-    println!("\ndouble patterning: pitch 240 decomposes to mask1 {} / mask2 {}", d.mask1.len(), d.mask2.len());
+    println!(
+        "\ndouble patterning: pitch 240 decomposes to mask1 {} / mask2 {}",
+        d.mask1.len(),
+        d.mask2.len()
+    );
 
     let hotspots: Vec<_> = (0..4).map(|i| decompose(230 + 5 * i)).collect();
     let safes: Vec<_> = (0..6).map(|i| decompose(450 + 20 * i)).collect();
     let dp = DoublePatterningDetector::train(&hotspots, &safes, 250, DetectorConfig::default())?;
-    println!("dp detector: {} kernels, spacing rule {} nm", dp.kernel_count(), dp.min_spacing());
+    println!(
+        "dp detector: {} kernels, spacing rule {} nm",
+        dp.kernel_count(),
+        dp.min_spacing()
+    );
     println!("  pitch 242: {}", verdict(dp.classify(&decompose(242))));
     println!("  pitch 500: {}", verdict(dp.classify(&decompose(500))));
     Ok(())

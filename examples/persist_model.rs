@@ -27,11 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train once…
     let detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())?;
-    let report_fresh = detector.detect(&benchmark.layout, benchmark.layer);
+    let report_fresh = detector.detect(&benchmark.layout, benchmark.layer)?;
 
     // …persist to JSON…
     let path = std::env::temp_dir().join("hotspot_model.json");
-    serde_json::to_writer(std::io::BufWriter::new(std::fs::File::create(&path)?), &detector)?;
+    serde_json::to_writer(
+        std::io::BufWriter::new(std::fs::File::create(&path)?),
+        &detector,
+    )?;
     let size_kb = std::fs::metadata(&path)?.len() / 1024;
     println!(
         "persisted {} kernels (feedback: {}) to {} ({size_kb} KiB)",
@@ -43,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // …and reload: the restored detector reports identically.
     let restored: HotspotDetector =
         serde_json::from_reader(std::io::BufReader::new(std::fs::File::open(&path)?))?;
-    let report_restored = restored.detect(&benchmark.layout, benchmark.layer);
+    let report_restored = restored.detect(&benchmark.layout, benchmark.layer)?;
     assert_eq!(report_fresh.reported, report_restored.reported);
     println!(
         "restored model reproduces the report: {} hotspots, bit-identical",

@@ -6,7 +6,7 @@
 //! ```
 
 use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
-use hotspot_suite::core::{DetectorConfig, HotspotDetector};
+use hotspot_suite::core::HotspotDetector;
 use hotspot_suite::layout::ClipShape;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,8 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train the full framework of the paper: topological classification,
     //    population balancing, per-cluster SVM kernels with iterative
-    //    (C, γ) learning, and the feedback kernel.
-    let detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())?;
+    //    (C, γ) learning, and the feedback kernel. The builder validates
+    //    every setting before training starts.
+    let detector = HotspotDetector::builder()
+        .auto_threads()
+        .train(&benchmark.training)?;
     let summary = detector.summary();
     println!(
         "trained {} kernels from {} upsampled hotspots / {} nonhotspot medoids (feedback: {})",
@@ -49,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Evaluate the testing layout: density-filtered clip extraction,
     //    multiple-kernel + feedback evaluation, redundant clip removal.
-    let report = detector.detect(&benchmark.layout, benchmark.layer);
+    let report = detector.detect(&benchmark.layout, benchmark.layer)?;
     println!(
         "evaluated {} clips, flagged {}, reported {} hotspots in {:.2?}",
         report.clips_extracted,
@@ -57,6 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.reported.len(),
         report.total_time()
     );
+
+    // The merged telemetry covers all seven pipeline stages.
+    let telemetry = detector.summary().telemetry.merge(&report.telemetry);
+    println!("{}", telemetry.breakdown());
 
     // 4. Score against the ground truth with the contest's hit rule.
     let eval = report.score_against(&benchmark.actual, 0.2, benchmark.area_um2());

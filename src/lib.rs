@@ -21,14 +21,14 @@
 //!
 //! ```no_run
 //! use hotspot_suite::benchgen::{Benchmark, iccad_suite, SuiteScale};
-//! use hotspot_suite::core::{DetectorConfig, HotspotDetector};
+//! use hotspot_suite::core::HotspotDetector;
 //!
 //! let spec = iccad_suite(SuiteScale::Tiny).remove(0);
 //! let bm = Benchmark::generate(spec);
-//! let detector = HotspotDetector::train(&bm.training, DetectorConfig::default())?;
-//! let report = detector.detect(&bm.layout, bm.layer);
+//! let detector = HotspotDetector::builder().auto_threads().train(&bm.training)?;
+//! let report = detector.detect(&bm.layout, bm.layer)?;
 //! println!("{} hotspots reported", report.reported.len());
-//! # Ok::<(), hotspot_suite::core::TrainPipelineError>(())
+//! # Ok::<(), hotspot_suite::core::DetectError>(())
 //! ```
 
 #![forbid(unsafe_code)]

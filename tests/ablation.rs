@@ -4,9 +4,7 @@
 
 use hotspot_suite::baselines::{PatternMatcher, SingleKernelSvm};
 use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
-use hotspot_suite::core::{
-    score, AblationSwitches, DetectorConfig, HotspotDetector,
-};
+use hotspot_suite::core::{score, AblationSwitches, DetectorConfig, HotspotDetector};
 use hotspot_suite::layout::ClipShape;
 use std::time::Duration;
 
@@ -34,7 +32,7 @@ fn ours_beats_matcher_on_hit_extra_at_similar_accuracy() {
     let bm = benchmark();
     let ours = HotspotDetector::train(&bm.training, DetectorConfig::default())
         .expect("framework training");
-    let ours_report = ours.detect(&bm.layout, bm.layer);
+    let ours_report = ours.detect(&bm.layout, bm.layer).expect("evaluation");
     let ours_eval = ours_report.score_against(&bm.actual, 0.2, bm.area_um2());
 
     let matcher = PatternMatcher::train(&bm.training, DetectorConfig::default());
@@ -66,8 +64,8 @@ fn topology_beats_single_kernel_on_false_alarm() {
     // Table III: the single huge kernel ("Basic") produces more extras than
     // the clustered framework at comparable-or-worse accuracy.
     let bm = benchmark();
-    let basic = SingleKernelSvm::train(&bm.training, DetectorConfig::default())
-        .expect("basic training");
+    let basic =
+        SingleKernelSvm::train(&bm.training, DetectorConfig::default()).expect("basic training");
     let basic_report = basic.detect(&bm.layout, bm.layer);
     let basic_eval = score(
         &basic_report.reported,
@@ -81,6 +79,7 @@ fn topology_beats_single_kernel_on_false_alarm() {
         .expect("framework training");
     let ours_eval = ours
         .detect(&bm.layout, bm.layer)
+        .expect("evaluation")
         .score_against(&bm.actual, 0.2, bm.area_um2());
 
     assert!(
@@ -121,9 +120,11 @@ fn removal_never_reduces_hits() {
 
     let with_eval = with
         .detect(&bm.layout, bm.layer)
+        .expect("evaluation")
         .score_against(&bm.actual, 0.2, bm.area_um2());
     let without_eval = without
         .detect(&bm.layout, bm.layer)
+        .expect("evaluation")
         .score_against(&bm.actual, 0.2, bm.area_um2());
 
     assert_eq!(
@@ -153,6 +154,7 @@ fn feedback_never_reduces_hits() {
         )
         .expect("training");
         det.detect(&bm.layout, bm.layer)
+            .expect("evaluation")
             .score_against(&bm.actual, 0.2, bm.area_um2())
     };
     let with = run(true);

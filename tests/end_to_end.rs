@@ -25,9 +25,9 @@ fn small_benchmark(seed: u64) -> Benchmark {
 #[test]
 fn framework_reaches_high_accuracy() {
     let bm = small_benchmark(11);
-    let detector = HotspotDetector::train(&bm.training, DetectorConfig::default())
-        .expect("training succeeds");
-    let report = detector.detect(&bm.layout, bm.layer);
+    let detector =
+        HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training succeeds");
+    let report = detector.detect(&bm.layout, bm.layer).expect("evaluation");
     let eval = report.score_against(&bm.actual, 0.2, bm.area_um2());
     assert!(
         eval.accuracy() >= 0.75,
@@ -53,7 +53,10 @@ fn detection_is_deterministic_across_runs() {
             },
         )
         .expect("training succeeds");
-        detector.detect(&bm.layout, bm.layer).reported
+        detector
+            .detect(&bm.layout, bm.layer)
+            .expect("evaluation")
+            .reported
     };
     assert_eq!(run(), run());
 }
@@ -77,8 +80,8 @@ fn parallel_and_sequential_agree_end_to_end() {
         },
     )
     .expect("parallel training");
-    let a = seq.detect(&bm.layout, bm.layer);
-    let b = par.detect(&bm.layout, bm.layer);
+    let a = seq.detect(&bm.layout, bm.layer).expect("evaluation");
+    let b = par.detect(&bm.layout, bm.layer).expect("evaluation");
     assert_eq!(a.reported, b.reported);
     assert_eq!(a.clips_extracted, b.clips_extracted);
     assert_eq!(a.clips_flagged, b.clips_flagged);
@@ -89,23 +92,25 @@ fn gdsii_roundtrip_preserves_detection() {
     // Writing the testing layout through the GDSII codec must not change
     // the detector's output.
     let bm = small_benchmark(14);
-    let detector = HotspotDetector::train(&bm.training, DetectorConfig::default())
-        .expect("training succeeds");
+    let detector =
+        HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training succeeds");
     let bytes = hotspot_suite::layout::gdsii::write_bytes(&bm.layout).expect("serialise");
     let restored = hotspot_suite::layout::gdsii::read_bytes(&bytes).expect("parse");
-    let a = detector.detect(&bm.layout, bm.layer);
-    let b = detector.detect(&restored, bm.layer);
+    let a = detector.detect(&bm.layout, bm.layer).expect("evaluation");
+    let b = detector.detect(&restored, bm.layer).expect("evaluation");
     assert_eq!(a.reported, b.reported);
 }
 
 #[test]
 fn raising_threshold_never_raises_flag_count() {
     let bm = small_benchmark(15);
-    let detector = HotspotDetector::train(&bm.training, DetectorConfig::default())
-        .expect("training succeeds");
+    let detector =
+        HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training succeeds");
     let mut last = usize::MAX;
     for threshold in [-0.5, 0.0, 0.5, 1.0, 2.0] {
-        let report = detector.detect_with_threshold(&bm.layout, bm.layer, threshold);
+        let report = detector
+            .detect_with_threshold(&bm.layout, bm.layer, threshold)
+            .expect("evaluation");
         assert!(
             report.clips_flagged <= last,
             "flag count rose from {last} at threshold {threshold}"

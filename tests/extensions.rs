@@ -43,9 +43,8 @@ fn multilayer_training() -> MultilayerTrainingSet {
 
 #[test]
 fn multilayer_detection_survives_gdsii_roundtrip() {
-    let detector =
-        MultilayerDetector::train(&multilayer_training(), DetectorConfig::default())
-            .expect("multilayer training");
+    let detector = MultilayerDetector::train(&multilayer_training(), DetectorConfig::default())
+        .expect("multilayer training");
 
     // Two sites: one with the m2 crossing (hotspot), one without (safe).
     let mut layout = Layout::new("ml");
@@ -66,8 +65,7 @@ fn multilayer_detection_survives_gdsii_roundtrip() {
     }
 
     // Round-trip the layout through the binary GDSII codec first.
-    let restored = gdsii::read_bytes(&gdsii::write_bytes(&layout).expect("write"))
-        .expect("read");
+    let restored = gdsii::read_bytes(&gdsii::write_bytes(&layout).expect("write")).expect("read");
     assert_eq!(restored, layout);
 
     let reported = detector.detect(&restored, &[l1, l2]);
@@ -90,13 +88,13 @@ fn double_patterning_detector_end_to_end() {
             .map(|i| Rect::from_extents(i * pitch, 0, i * pitch + 150, 1000))
             .collect()
     };
-    let decomposed = |pitch: i64| {
-        DecomposedPattern::from_pattern(&Pattern::new(window(), &bars(pitch)), 250)
-    };
+    let decomposed =
+        |pitch: i64| DecomposedPattern::from_pattern(&Pattern::new(window(), &bars(pitch)), 250);
     let hotspots: Vec<_> = (0..4).map(|i| decomposed(230 + 5 * i)).collect();
     let safes: Vec<_> = (0..6).map(|i| decomposed(450 + 20 * i)).collect();
-    let detector = DoublePatterningDetector::train(&hotspots, &safes, 250, DetectorConfig::default())
-        .expect("dp training");
+    let detector =
+        DoublePatterningDetector::train(&hotspots, &safes, 250, DetectorConfig::default())
+            .expect("dp training");
 
     let mut layout = Layout::new("dp");
     let hot_at = Point::new(24_000, 24_000);
@@ -127,9 +125,8 @@ fn double_patterning_detector_end_to_end() {
 
 #[test]
 fn multilayer_model_serialisation_roundtrip() {
-    let detector =
-        MultilayerDetector::train(&multilayer_training(), DetectorConfig::default())
-            .expect("multilayer training");
+    let detector = MultilayerDetector::train(&multilayer_training(), DetectorConfig::default())
+        .expect("multilayer training");
     let json = serde_json::to_string(&detector).expect("serialise");
     let restored: MultilayerDetector = serde_json::from_str(&json).expect("parse");
     let probe = MultilayerPattern::new(window(), &[m1(75), m2_crossing()]);

@@ -27,20 +27,26 @@ fn subsampled_training_still_detects_known_patterns() {
     // still catch a solid share of the hotspots.
     let specs = iccad_suite(SuiteScale::Tiny);
     let bm = Benchmark::generate(specs[2].clone()); // benchmark3: most data
-    let full = HotspotDetector::train(&bm.training, DetectorConfig::default())
-        .expect("full training");
+    let full =
+        HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("full training");
     let sub_training = bm.training.subsample(0.5);
     let sub = HotspotDetector::train(&sub_training, DetectorConfig::default())
         .expect("subsampled training");
 
     let full_eval = full
         .detect(&bm.layout, bm.layer)
+        .expect("evaluation")
         .score_against(&bm.actual, 0.2, bm.area_um2());
     let sub_eval = sub
         .detect(&bm.layout, bm.layer)
+        .expect("evaluation")
         .score_against(&bm.actual, 0.2, bm.area_um2());
 
-    assert!(full_eval.accuracy() >= 0.7, "full accuracy {:.2}", full_eval.accuracy());
+    assert!(
+        full_eval.accuracy() >= 0.7,
+        "full accuracy {:.2}",
+        full_eval.accuracy()
+    );
     assert!(
         sub_eval.accuracy() >= full_eval.accuracy() * 0.5,
         "half the data should keep at least half the accuracy ({:.2} vs {:.2})",

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `crossbeam` facade, providing the
+//! [`deque`] work-stealing primitives the hotspot engine's executor uses.
+//!
+//! The real crossbeam-deque is a lock-free Chase–Lev deque; this vendored
+//! version provides the same `Worker` / `Stealer` / `Injector` / `Steal`
+//! API over locked `VecDeque`s. Semantics match (LIFO owner pops, FIFO
+//! steals, shared injector); only raw contention behaviour differs, which
+//! is irrelevant at the task granularity this workspace schedules (clip
+//! batches and whole SVM trainings).
+
+#![forbid(unsafe_code)]
+
+/// Work-stealing double-ended queues.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; the caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, when any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner side of a work-stealing deque (LIFO for the owner).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new FIFO-stealing deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A new LIFO deque (same implementation here).
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pops from the owner's end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_back()
+        }
+
+        /// `true` when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+
+        /// A stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// The thief side of a deque: steals from the opposite end.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the queue was empty at the time of observation.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    /// A shared FIFO injector queue feeding all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Attempts to take the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the queue was empty at the time of observation.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_feeds_many_threads() {
+        let inj = Injector::new();
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let taken: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut n = 0;
+                        while inj.steal().success().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(taken, 1000);
+        assert!(inj.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Streaming-scan throughput benchmark.
+//!
+//! Trains the framework on benchmark 1 of the suite and stream-scans its
+//! testing layout tile by tile, then writes `BENCH_scan.json` (schema in
+//! `DESIGN.md`): clips/second, tiles scanned vs prefiltered, the observed
+//! peak in-flight window, a peak-RSS proxy, and the per-stage breakdown.
+//!
+//! ```sh
+//! HOTSPOT_SCALE=huge cargo run --release --bin scan
+//! ```
+//!
+//! Environment knobs: `HOTSPOT_SCALE` (suite scale; `huge` quadruples the
+//! Table-I area), `HOTSPOT_TILE_CORES`, `HOTSPOT_MAX_IN_FLIGHT`, and
+//! `HOTSPOT_BENCH_OUT` (output path, default `BENCH_scan.json`).
+
+use hotspot_bench::{print_header, scale_from_env, ScanBenchReport};
+use hotspot_benchgen::{iccad_suite, Benchmark};
+use hotspot_core::{DetectorConfig, HotspotDetector, ScanConfig};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Streaming scan — throughput & memory bound", scale);
+
+    let spec = iccad_suite(scale).remove(0);
+    let name = spec.name.clone();
+    println!(
+        "generating {name} at {:?} scale ({} x {} um)...",
+        scale,
+        spec.width / 1000,
+        spec.height / 1000
+    );
+    let benchmark = Benchmark::generate(spec);
+
+    let t0 = Instant::now();
+    let detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())
+        .expect("framework training");
+    println!(
+        "trained {} kernels in {:.1?}",
+        detector.kernels().len(),
+        t0.elapsed()
+    );
+
+    let defaults = ScanConfig::default();
+    let scan = ScanConfig {
+        tile_cores: env_usize("HOTSPOT_TILE_CORES", defaults.tile_cores),
+        max_in_flight: env_usize("HOTSPOT_MAX_IN_FLIGHT", defaults.max_in_flight),
+        tile_density: None,
+    };
+    let report = detector
+        .scan_layout(&benchmark.layout, benchmark.layer, &scan)
+        .expect("streaming scan");
+
+    println!(
+        "scanned {} of {} tiles ({} prefiltered) in {:.2?}: {} clips ({:.0} clips/s), flagged {}, reported {}",
+        report.tiles_scanned,
+        report.tiles_total,
+        report.tiles_prefiltered,
+        report.scan_time,
+        report.clips_extracted,
+        report.clips_per_second(),
+        report.clips_flagged,
+        report.reported.len(),
+    );
+    println!(
+        "peak in flight: {} tiles (window {})",
+        report.peak_in_flight,
+        scan.effective_in_flight(detector.config().effective_threads().max(1))
+    );
+    for line in report.telemetry.breakdown().lines() {
+        println!("    {line}");
+    }
+
+    let threads = detector.config().effective_threads().max(1);
+    let bench = ScanBenchReport::from_scan(&report, &name, scale, threads, &scan);
+    if let Some(bytes) = bench.peak_rss_bytes {
+        println!("peak RSS: {:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
+    }
+    let out = std::env::var("HOTSPOT_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".into());
+    let json = serde_json::to_string_pretty(&bench).expect("serialise BENCH_scan.json");
+    std::fs::write(&out, json).expect("write BENCH_scan.json");
+    println!("wrote {out}");
+}

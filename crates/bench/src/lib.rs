@@ -1,14 +1,20 @@
 //! Shared harness code for the experiment binaries (`table1`–`table5`,
-//! `fig15`) that regenerate the paper's evaluation tables and figure.
+//! `fig15`, `scan`) that regenerate the paper's evaluation tables and
+//! figure, plus the streaming-scan throughput benchmark.
 //!
-//! Scale selection: set `HOTSPOT_SCALE=tiny|small|paper` (default `small`).
+//! Scale selection: set `HOTSPOT_SCALE=tiny|small|paper|huge` (default
+//! `small`; `huge` quadruples the Table-I areas for the scan benchmark).
 //! `EXPERIMENTS.md` documents how the scaled suite maps to Table I.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
-use hotspot_core::{DetectorConfig, Evaluation, HotspotDetector, PipelineTelemetry, TrainingSet};
+use hotspot_core::{
+    DetectorConfig, Evaluation, HotspotDetector, PipelineTelemetry, ScanConfig, ScanReport,
+    TrainingSet,
+};
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// One table row: a method evaluated on a benchmark.
@@ -49,6 +55,7 @@ pub fn scale_from_env() -> SuiteScale {
     match std::env::var("HOTSPOT_SCALE").as_deref() {
         Ok("tiny") => SuiteScale::Tiny,
         Ok("paper") => SuiteScale::Paper,
+        Ok("huge") => SuiteScale::Huge,
         _ => SuiteScale::Small,
     }
 }
@@ -141,6 +148,100 @@ pub fn run_basic(benchmark: &Benchmark, config: DetectorConfig) -> MethodResult 
     }
 }
 
+/// Version of the `BENCH_scan.json` schema (bump on breaking changes; the
+/// field-by-field layout is documented in `DESIGN.md`).
+pub const SCAN_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The `BENCH_scan.json` record written by the `scan` benchmark binary:
+/// streaming-scan throughput, prefilter effectiveness, the memory bound
+/// actually observed, and the per-stage breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanBenchReport {
+    /// Schema version ([`SCAN_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark name the scan ran on.
+    pub benchmark: String,
+    /// Suite scale (`tiny`/`small`/`paper`/`huge`).
+    pub scale: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Tile stride in core sides ([`ScanConfig::tile_cores`]).
+    pub tile_cores: usize,
+    /// Configured in-flight tile window after resolving `0`.
+    pub max_in_flight: usize,
+    /// Tiles in the scan grid, including empty ones.
+    pub tiles_total: usize,
+    /// Non-empty tiles examined.
+    pub tiles_scanned: usize,
+    /// Tiles discarded by the density prefilter.
+    pub tiles_prefiltered: usize,
+    /// Candidate clips extracted from surviving tiles.
+    pub clips_extracted: usize,
+    /// Clips flagged hotspot.
+    pub clips_flagged: usize,
+    /// Hotspot clips reported after removal.
+    pub reported: usize,
+    /// Clips classified per second of scan wall time.
+    pub clips_per_second: f64,
+    /// Most tiles simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// Peak resident set size of the process in bytes (`VmHWM`), `None`
+    /// when procfs is unavailable.
+    pub peak_rss_bytes: Option<u64>,
+    /// Total scan wall time in milliseconds.
+    pub scan_wall_ms: f64,
+    /// Per-stage telemetry of the scan phase.
+    pub telemetry: PipelineTelemetry,
+}
+
+impl ScanBenchReport {
+    /// Builds the record from a finished [`ScanReport`] plus run metadata.
+    pub fn from_scan(
+        report: &ScanReport,
+        benchmark: &str,
+        scale: SuiteScale,
+        threads: usize,
+        scan: &ScanConfig,
+    ) -> ScanBenchReport {
+        ScanBenchReport {
+            schema_version: SCAN_BENCH_SCHEMA_VERSION,
+            benchmark: benchmark.to_string(),
+            scale: format!("{scale:?}").to_lowercase(),
+            threads,
+            tile_cores: scan.tile_cores,
+            max_in_flight: scan.effective_in_flight(threads),
+            tiles_total: report.tiles_total,
+            tiles_scanned: report.tiles_scanned,
+            tiles_prefiltered: report.tiles_prefiltered,
+            clips_extracted: report.clips_extracted,
+            clips_flagged: report.clips_flagged,
+            reported: report.reported.len(),
+            clips_per_second: report.clips_per_second(),
+            peak_in_flight: report.peak_in_flight,
+            peak_rss_bytes: peak_rss_bytes(),
+            scan_wall_ms: report.scan_time.as_secs_f64() * 1e3,
+            telemetry: report.telemetry.clone(),
+        }
+    }
+}
+
+/// Best-effort peak resident set size of this process in bytes, parsed
+/// from `/proc/self/status` (`VmHWM`). Returns `None` where procfs is
+/// unavailable (non-Linux hosts) — the scan benchmark then omits the
+/// memory column rather than failing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 /// Deterministically subsamples a training set to `fraction` (Table IV).
 pub fn subsample_training(training: &TrainingSet, fraction: f64) -> TrainingSet {
     training.subsample(fraction)
@@ -224,5 +325,45 @@ mod tests {
         let bm = tiny_benchmark();
         let half = subsample_training(&bm.training, 0.5);
         assert_eq!(half.hotspots.len(), 5);
+    }
+
+    #[test]
+    fn peak_rss_reads_procfs_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A live process has touched at least a page.
+            assert!(bytes > 4096, "peak RSS {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn scan_bench_report_round_trips_through_json() {
+        let bm = tiny_benchmark();
+        let detector =
+            HotspotDetector::train(&bm.training, DetectorConfig::default()).expect("training");
+        let scan = ScanConfig::default();
+        let report = detector
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("scan");
+        let threads = detector.config().effective_threads().max(1);
+        let bench =
+            ScanBenchReport::from_scan(&report, &bm.spec.name, SuiteScale::Tiny, threads, &scan);
+        assert_eq!(bench.schema_version, SCAN_BENCH_SCHEMA_VERSION);
+        assert_eq!(bench.scale, "tiny");
+        assert_eq!(bench.tiles_scanned, report.tiles_scanned);
+        assert!(bench.max_in_flight >= 1);
+        let json = serde_json::to_string_pretty(&bench).expect("serialise");
+        let back: ScanBenchReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, bench);
+        for field in [
+            "\"schema_version\"",
+            "\"tiles_scanned\"",
+            "\"tiles_prefiltered\"",
+            "\"clips_per_second\"",
+            "\"peak_in_flight\"",
+            "\"peak_rss_bytes\"",
+            "\"telemetry\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 }

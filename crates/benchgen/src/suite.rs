@@ -21,6 +21,10 @@ pub enum SuiteScale {
     Small,
     /// Full Table-I areas.
     Paper,
+    /// 2× linear (4× Table-I area) with 1/4 training counts — a
+    /// "huge layout" mode for stressing the streaming scan's throughput
+    /// and memory bound, not for accuracy experiments.
+    Huge,
 }
 
 impl SuiteScale {
@@ -30,15 +34,18 @@ impl SuiteScale {
             SuiteScale::Tiny => 0.125,
             SuiteScale::Small => 0.25,
             SuiteScale::Paper => 1.0,
+            SuiteScale::Huge => 2.0,
         }
     }
 
     /// Scale factor applied to pattern counts (linear, not area, so the
-    /// training sets stay statistically meaningful).
+    /// training sets stay statistically meaningful). `Huge` keeps the small
+    /// training set — the point of that scale is layout area, not model
+    /// quality.
     pub fn count(self) -> f64 {
         match self {
             SuiteScale::Tiny => 0.08,
-            SuiteScale::Small => 0.25,
+            SuiteScale::Small | SuiteScale::Huge => 0.25,
             SuiteScale::Paper => 1.0,
         }
     }
@@ -201,6 +208,19 @@ mod tests {
     fn scales_are_ordered() {
         assert!(SuiteScale::Tiny.linear() < SuiteScale::Small.linear());
         assert!(SuiteScale::Small.linear() < SuiteScale::Paper.linear());
+        assert!(SuiteScale::Paper.linear() < SuiteScale::Huge.linear());
         assert_eq!(SuiteScale::Paper.count(), 1.0);
+    }
+
+    #[test]
+    fn huge_scale_grows_area_not_training() {
+        let small = iccad_suite(SuiteScale::Small);
+        let huge = iccad_suite(SuiteScale::Huge);
+        for (s, h) in small.iter().zip(&huge) {
+            assert!(h.width >= 8 * s.width - s.clip_shape.clip_side() * 8);
+            assert_eq!(h.train_hotspots, s.train_hotspots);
+            assert_eq!(h.train_nonhotspots, s.train_nonhotspots);
+            assert!(h.test_hotspots > s.test_hotspots);
+        }
     }
 }

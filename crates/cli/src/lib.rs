@@ -6,6 +6,7 @@
 //!   (`layout.gds`, `training.json`, `actual.json`, `spec.json`),
 //! - `train` — train the framework on a training set and persist the model,
 //! - `detect` — run a trained model on a GDSII layout and write the report,
+//! - `scan` — stream a layout through the tiled, density-prefiltered scan,
 //! - `score` — score a report against ground truth,
 //! - `info` — print layout statistics.
 //!
@@ -16,7 +17,7 @@
 #![warn(missing_docs)]
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
-use hotspot_core::{DetectError, DetectorConfig, HotspotDetector, TrainingSet};
+use hotspot_core::{DetectError, DetectorConfig, HotspotDetector, ScanConfig, TrainingSet};
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -90,11 +91,15 @@ pub const USAGE: &str = "\
 hotspot — machine-learning lithography hotspot detection
 
 USAGE:
-  hotspot generate --name <benchmark> [--scale tiny|small|paper] --out <dir>
+  hotspot generate --name <benchmark> [--scale tiny|small|paper|huge] --out <dir>
   hotspot train    --training <training.json> --out <model.json> [--threads N]
                    [--telemetry <telemetry.json>]
   hotspot detect   --model <model.json> --layout <layout.gds> --out <report.json>
                    [--layer N] [--threshold X] [--threads N] [--json]
+                   [--telemetry <telemetry.json>]
+  hotspot scan     --model <model.json> --layout <layout.gds> --out <report.json>
+                   [--layer N] [--threshold X] [--threads N] [--tile-cores N]
+                   [--max-in-flight N] [--tile-density X] [--json]
                    [--telemetry <telemetry.json>]
   hotspot score    --report <report.json> --actual <actual.json> --area-um2 <X>
                    [--min-overlap X] [--json]
@@ -103,8 +108,11 @@ USAGE:
                    [--report <report.json>] [--actual <actual.json>]
 
 Benchmarks: array_benchmark1..5, mx_blind_partial.
---threads 0 means one worker per core. `detect --telemetry` merges the
-model's training telemetry with the run into a seven-stage record.
+--threads 0 means one worker per core. `detect`/`scan` `--telemetry` merges
+the model's training telemetry with the run into an eight-stage record.
+`scan` streams the layout tile by tile: --max-in-flight bounds memory
+(0 = 2x threads), --tile-cores sets the tile stride in core sides, and
+--tile-density enables the aggressive mean-coverage prefilter.
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline.";
 
@@ -122,6 +130,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&opts),
         "train" => cmd_train(&opts),
         "detect" => cmd_detect(&opts),
+        "scan" => cmd_scan(&opts),
         "score" => cmd_score(&opts),
         "info" => cmd_info(&opts),
         "render" => cmd_render(&opts),
@@ -191,9 +200,10 @@ fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
         "tiny" => SuiteScale::Tiny,
         "small" => SuiteScale::Small,
         "paper" => SuiteScale::Paper,
+        "huge" => SuiteScale::Huge,
         other => {
             return Err(CliError::Usage(format!(
-                "unknown scale `{other}` (tiny|small|paper)"
+                "unknown scale `{other}` (tiny|small|paper|huge)"
             )))
         }
     };
@@ -262,7 +272,7 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
     write_json(&out, &report.reported)?;
     if let Some(path) = opts.get("telemetry") {
         // Merge the model's persisted training telemetry with this run so
-        // the file covers all seven pipeline stages.
+        // the file covers all eight pipeline stages.
         let merged = detector.summary().telemetry.merge(&report.telemetry);
         write_json(path, &merged)?;
     }
@@ -275,6 +285,55 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
         report.clips_flagged,
         report.reported.len(),
         report.total_time(),
+        out.display(),
+    ))
+}
+
+fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
+    let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
+    let layout = gdsii::read_file(opts.require("layout")?)?;
+    let out = PathBuf::from(opts.require("out")?);
+    let layer = LayerId::new(opts.parse("layer", 1u16)?);
+    let threshold = opts.parse("threshold", detector.config().decision_threshold)?;
+    if let Some(threads) = opts.get("threads") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{threads}` for --threads")))?;
+        detector = detector.with_threads(threads);
+    }
+    let defaults = ScanConfig::default();
+    let scan =
+        ScanConfig {
+            tile_cores: opts.parse("tile-cores", defaults.tile_cores)?,
+            max_in_flight: opts.parse("max-in-flight", defaults.max_in_flight)?,
+            tile_density: match opts.get("tile-density") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid value `{v}` for --tile-density"))
+                })?),
+            },
+        };
+
+    let report = detector.scan_layout_with_threshold(&layout, layer, &scan, threshold)?;
+    write_json(&out, &report.reported)?;
+    if let Some(path) = opts.get("telemetry") {
+        let merged = detector.summary().telemetry.merge(&report.telemetry);
+        write_json(path, &merged)?;
+    }
+    if opts.has("json") {
+        return Ok(serde_json::to_string_pretty(&report)?);
+    }
+    Ok(format!(
+        "scanned {} of {} tiles ({} prefiltered), {} clips, flagged {}, reported {} hotspots in {:.2?} ({:.0} clips/s, peak {} tiles in flight)\nreport written to {}",
+        report.tiles_scanned,
+        report.tiles_total,
+        report.tiles_prefiltered,
+        report.clips_extracted,
+        report.clips_flagged,
+        report.reported.len(),
+        report.scan_time,
+        report.clips_per_second(),
+        report.peak_in_flight,
         out.display(),
     ))
 }
@@ -457,13 +516,59 @@ mod tests {
         .unwrap();
         assert!(out.contains("reported"), "{out}");
 
+        // The streaming scan reports the same hotspot set through the CLI.
+        let scan_report = dir.join("scan_report.json");
+        let out = run(&argv(&[
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            scan_report.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--tile-cores",
+            "8",
+            "--max-in-flight",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("scanned"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&report).unwrap(),
+            std::fs::read_to_string(&scan_report).unwrap(),
+            "scan and detect must write identical reports"
+        );
+
+        // --json emits the full machine-readable scan report.
+        let out = run(&argv(&[
+            "scan",
+            "--json",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            scan_report.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"tiles_scanned\""), "{out}");
+        assert!(out.contains("\"peak_in_flight\""), "{out}");
+
         // The telemetry file is the merged training + detection record:
-        // valid JSON covering all seven pipeline stages.
+        // valid JSON covering all eight pipeline stages (the density
+        // prefilter is zero-filled — it only does work in `scan`).
         let t: hotspot_core::PipelineTelemetry =
             serde_json::from_str(&std::fs::read_to_string(&telemetry).unwrap()).unwrap();
         assert_eq!(t.schema_version, hotspot_core::TELEMETRY_SCHEMA_VERSION);
-        assert_eq!(t.stages.len(), 7, "expected all seven stages: {t:?}");
-        assert!(t.stages.iter().all(|s| s.threads_used >= 1));
+        assert_eq!(t.stages.len(), 8, "expected all eight stages: {t:?}");
+        assert!(t
+            .stages
+            .iter()
+            .all(|s| s.threads_used >= 1 || s.items_in == 0));
 
         let out = run(&argv(&[
             "score",

@@ -131,7 +131,7 @@ pub struct TrainingSummary {
     #[serde(skip)]
     pub training_time: Duration,
     /// Per-stage telemetry of the training phase. Persisted with the model,
-    /// so a later `detect` can merge it into a full seven-stage record.
+    /// so a later `detect` can merge it into a full eight-stage record.
     pub telemetry: PipelineTelemetry,
 }
 
@@ -479,8 +479,9 @@ impl HotspotDetector {
         })
     }
 
-    /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip.
-    fn flag_pattern(&self, pattern: &Pattern, threshold: f64) -> (bool, bool) {
+    /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip. Shared
+    /// by `detect` and the streaming `scan_layout`.
+    pub(crate) fn flag_pattern(&self, pattern: &Pattern, threshold: f64) -> (bool, bool) {
         let flags = flagging_kernels(&self.kernels, pattern, &self.config, threshold);
         if flags.is_empty() {
             return (false, false);
@@ -838,9 +839,9 @@ mod tests {
             assert!(d.stage(stage).is_some(), "missing detection stage {stage}");
         }
 
-        // The merged record always carries all seven canonical stages.
+        // The merged record always carries all eight canonical stages.
         let merged = t.merge(d);
-        assert_eq!(merged.stages.len(), 7);
+        assert_eq!(merged.stages.len(), 8);
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Instrumented parallel pipeline engine.
 //!
-//! This module factors the mechanics shared by the seven pipeline phases
+//! This module factors the mechanics shared by the pipeline phases
 //! out of [`crate::detector`] and [`crate::training`]:
 //!
-//! - [`StageId`] / [`StageRecorder`] ([`stage`]) name the seven canonical
+//! - [`StageId`] / [`StageRecorder`] ([`stage`]) name the eight canonical
 //!   stages (topological classification → population balancing → kernel
-//!   training → feedback training → clip extraction → kernel evaluation →
-//!   clip removal) and time them,
+//!   training → feedback training → density prefilter → clip extraction →
+//!   kernel evaluation → clip removal) and time them,
 //! - [`Executor`] ([`executor`]) is the work-stealing task scheduler used
 //!   by kernel training and clip evaluation in place of fixed-chunk
 //!   `thread::scope` fan-out,

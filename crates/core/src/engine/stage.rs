@@ -1,13 +1,15 @@
-//! The seven canonical pipeline stages and the recorder that times them.
+//! The eight canonical pipeline stages and the recorder that times them.
 
 use super::executor::ExecutorStats;
 use super::telemetry::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// The seven stages of the Fig. 3 pipeline, in canonical order.
+/// The stages of the Fig. 3 pipeline, in canonical order.
 ///
-/// The first four run during training, the last three during evaluation.
+/// The first four run during training, the rest during evaluation. The
+/// density-prefilter stage only does work in the streaming layout scan
+/// (`scan_layout`); clip-list detection records it with zero items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageId {
     /// String- then density-based classification of training patterns.
@@ -19,6 +21,8 @@ pub enum StageId {
     KernelTraining,
     /// Feedback-kernel training on self-evaluation false alarms.
     FeedbackTraining,
+    /// Density-based tile prefiltering during a streaming layout scan.
+    DensityPrefilter,
     /// Clip extraction by polygon dissection with distribution filtering.
     ClipExtraction,
     /// Multiple-kernel (and feedback) evaluation of extracted clips.
@@ -29,11 +33,12 @@ pub enum StageId {
 
 impl StageId {
     /// All stages in canonical pipeline order.
-    pub const ALL: [StageId; 7] = [
+    pub const ALL: [StageId; 8] = [
         StageId::TopologicalClassification,
         StageId::PopulationBalancing,
         StageId::KernelTraining,
         StageId::FeedbackTraining,
+        StageId::DensityPrefilter,
         StageId::ClipExtraction,
         StageId::KernelEvaluation,
         StageId::ClipRemoval,
@@ -46,6 +51,7 @@ impl StageId {
             StageId::PopulationBalancing => "population_balancing",
             StageId::KernelTraining => "kernel_training",
             StageId::FeedbackTraining => "feedback_training",
+            StageId::DensityPrefilter => "density_prefilter",
             StageId::ClipExtraction => "clip_extraction",
             StageId::KernelEvaluation => "kernel_evaluation",
             StageId::ClipRemoval => "clip_removal",
@@ -167,7 +173,7 @@ mod tests {
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 7);
+        assert_eq!(unique.len(), 8);
         assert_eq!(StageId::KernelTraining.to_string(), "kernel_training");
     }
 

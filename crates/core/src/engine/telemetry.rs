@@ -1,7 +1,7 @@
 //! Serializable per-stage pipeline telemetry.
 //!
 //! Every run of the training or evaluation pipeline produces a
-//! [`PipelineTelemetry`] describing, for each of the seven canonical
+//! [`PipelineTelemetry`] describing, for each of the eight canonical
 //! stages, its wall-clock time, item flow, and thread utilisation. The
 //! structure is serde-serialisable so the CLI can persist it
 //! (`hotspot detect --telemetry out.json`) and the bench binaries can
@@ -13,7 +13,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Version of the telemetry JSON schema (bump on breaking field changes).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `density_prefilter` stage to the canonical stage list
+/// (merged records therefore carry eight stages instead of seven).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,7 +108,7 @@ impl PipelineTelemetry {
     }
 
     /// Merges two phases (typically training + detection) into one record
-    /// that carries **all seven** canonical stages, zero-filled where a
+    /// that carries **all eight** canonical stages, zero-filled where a
     /// stage ran in neither phase.
     pub fn merge(&self, other: &PipelineTelemetry) -> PipelineTelemetry {
         let stages = StageId::ALL
@@ -170,7 +173,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_carries_all_seven_stages() {
+    fn merge_carries_all_canonical_stages() {
         let train = sample("training", StageId::KernelTraining);
         let detect = sample("detection", StageId::KernelEvaluation);
         let merged = train.merge(&detect);
@@ -190,7 +193,7 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":1"), "{json}");
+        assert!(json.contains("\"schema_version\":2"), "{json}");
         assert!(json.contains("population_balancing"), "{json}");
     }
 

@@ -8,20 +8,17 @@
 
 use crate::config::{DetectorConfig, DistributionFilter};
 use crate::pattern::Pattern;
-use hotspot_geom::{Coord, Point, Rect};
+use hotspot_geom::{Coord, GridIndex, Point, Rect};
 use hotspot_layout::{ClipShape, LayerId, Layout};
-use std::collections::HashMap;
 
 /// A uniform-grid spatial index over layout rectangles.
 ///
-/// Buckets rectangles by grid cell for fast window queries during clip
-/// extraction and redundant clip removal.
+/// A thin wrapper around [`hotspot_geom::GridIndex`] that remembers how the
+/// detector builds its index (dissected layer rectangles, clip-sized
+/// cells). Used for fast window queries during clip extraction, redundant
+/// clip removal, and the streaming layout scan.
 #[derive(Debug, Clone)]
-pub struct RectIndex {
-    cell: Coord,
-    buckets: HashMap<(Coord, Coord), Vec<usize>>,
-    rects: Vec<Rect>,
-}
+pub struct RectIndex(GridIndex);
 
 impl RectIndex {
     /// Builds an index with the given cell size (typically the clip side).
@@ -30,30 +27,7 @@ impl RectIndex {
     ///
     /// Panics if `cell` is not positive.
     pub fn build(rects: Vec<Rect>, cell: Coord) -> RectIndex {
-        assert!(cell > 0, "cell size must be positive");
-        let mut buckets: HashMap<(Coord, Coord), Vec<usize>> = HashMap::new();
-        for (i, r) in rects.iter().enumerate() {
-            if r.is_empty() {
-                continue;
-            }
-            let (cx0, cy0) = (r.min().x.div_euclid(cell), r.min().y.div_euclid(cell));
-            // Inclusive top-right cell: subtract 1 so edge-aligned rects do
-            // not spill into the next cell.
-            let (cx1, cy1) = (
-                (r.max().x - 1).div_euclid(cell),
-                (r.max().y - 1).div_euclid(cell),
-            );
-            for cx in cx0..=cx1 {
-                for cy in cy0..=cy1 {
-                    buckets.entry((cx, cy)).or_default().push(i);
-                }
-            }
-        }
-        RectIndex {
-            cell,
-            buckets,
-            rects,
-        }
+        RectIndex(GridIndex::build(rects, cell))
     }
 
     /// Builds an index over a dissected layout layer.
@@ -61,44 +35,25 @@ impl RectIndex {
         RectIndex::build(layout.dissected_rects(layer), cell)
     }
 
-    /// All rectangles overlapping `window` (deduplicated, arbitrary order).
+    /// All rectangles overlapping `window`, deduplicated, in deterministic
+    /// first-encounter order.
     pub fn query(&self, window: &Rect) -> Vec<Rect> {
-        let mut seen: Vec<usize> = Vec::new();
-        let (cx0, cy0) = (
-            window.min().x.div_euclid(self.cell),
-            window.min().y.div_euclid(self.cell),
-        );
-        let (cx1, cy1) = (
-            (window.max().x - 1).div_euclid(self.cell),
-            (window.max().y - 1).div_euclid(self.cell),
-        );
-        for cx in cx0..=cx1 {
-            for cy in cy0..=cy1 {
-                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
-                    for &i in bucket {
-                        if self.rects[i].overlaps(window) && !seen.contains(&i) {
-                            seen.push(i);
-                        }
-                    }
-                }
-            }
-        }
-        seen.into_iter().map(|i| self.rects[i]).collect()
+        self.0.query(window)
     }
 
     /// Number of indexed rectangles.
     pub fn len(&self) -> usize {
-        self.rects.len()
+        self.0.len()
     }
 
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.rects.is_empty()
+        self.0.is_empty()
     }
 
     /// The indexed rectangles.
     pub fn rects(&self) -> &[Rect] {
-        &self.rects
+        self.0.rects()
     }
 }
 

@@ -17,8 +17,11 @@
 //! and shifting. [`metrics`] implements the contest's hit/extra scoring.
 //!
 //! The [`engine`] module houses the instrumented pipeline machinery: the
-//! seven canonical stages, the work-stealing executor both phases schedule
-//! on, and the serialisable [`PipelineTelemetry`] they produce.
+//! eight canonical stages, the work-stealing executor both phases schedule
+//! on, and the serialisable [`PipelineTelemetry`] they produce. For
+//! production-scale layouts, [`scan`] streams tiles through the evaluation
+//! pipeline with a density prefilter and bounded memory
+//! ([`HotspotDetector::scan_layout`](detector::HotspotDetector::scan_layout)).
 //!
 //! The one-stop API is [`HotspotDetector`], configured through its builder:
 //!
@@ -39,7 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod balance;
 pub mod config;
@@ -52,6 +55,7 @@ pub mod multilayer;
 pub mod pattern;
 pub mod patterning;
 pub mod removal;
+pub mod scan;
 pub mod training;
 
 pub use config::{AblationSwitches, DetectorConfig, DistributionFilter};
@@ -64,4 +68,5 @@ pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
 pub use pattern::{Label, Pattern, TrainingSet};
 pub use patterning::{DecomposedPattern, DoublePatterningDetector};
+pub use scan::{ScanConfig, ScanReport};
 pub use training::{ClusterKernel, PatternCluster};

@@ -224,13 +224,18 @@ fn window_for_core(core: Rect, shape: ClipShape) -> ClipWindow {
 /// The full redundant-clip-removal pipeline of Fig. 12.
 ///
 /// Takes the reported hotspot cores, the clip shape, and the layout's
-/// rectangle index; returns the reduced clip windows.
+/// rectangle index; returns the reduced clip windows. The input is
+/// canonicalised (sorted, deduplicated) on entry, so the result depends
+/// only on the *set* of reported cores — whole-layout detection and the
+/// tiled streaming scan therefore produce identical reports.
 pub fn remove_redundant_clips(
-    reported_cores: Vec<Rect>,
+    mut reported_cores: Vec<Rect>,
     shape: ClipShape,
     index: &RectIndex,
     config: &DetectorConfig,
 ) -> Vec<ClipWindow> {
+    reported_cores.sort_by_key(|r| (r.min().x, r.min().y, r.max().x, r.max().y));
+    reported_cores.dedup();
     if reported_cores.is_empty() {
         return Vec::new();
     }

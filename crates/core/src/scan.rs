@@ -1,0 +1,482 @@
+//! Streaming full-layout scan with density prefiltering (§IV-E).
+//!
+//! [`HotspotDetector::detect`] materialises every candidate clip of the
+//! layout before classifying — fine for benchmark clips, prohibitive for a
+//! production-scale layout. [`HotspotDetector::scan_layout`] instead walks
+//! the layout as overlapping tiles (a
+//! [`TileScanner`]), discards tiles
+//! whose pattern density cannot pass the extraction filter (the *density
+//! prefilter*, a new [`StageId::DensityPrefilter`] pipeline stage), and
+//! fans the surviving tiles over the work-stealing executor while holding
+//! at most [`ScanConfig::max_in_flight`] tiles in memory at once.
+//!
+//! The default prefilter is **conservative**: a tile is skipped only when
+//! the summed pattern area overlapping its window is below
+//! `min_core_density × core_area`, an upper bound on the core density of
+//! every clip the tile owns — so the scan reports *exactly* the hotspot
+//! set of [`HotspotDetector::detect`] (see `tests/scan.rs`). Setting
+//! [`ScanConfig::tile_density`] adds an aggressive mean-coverage cut that
+//! trades recall for speed, as the paper's density filter does.
+//!
+//! # Example
+//!
+//! ```
+//! use hotspot_core::{HotspotDetector, Label, Pattern, ScanConfig, TrainingSet};
+//! use hotspot_geom::{Point, Rect};
+//! use hotspot_layout::{ClipShape, LayerId, Layout};
+//!
+//! // A toy training set: narrow-gap bar pairs are hotspots.
+//! let clip = |gap: i64| {
+//!     let window = ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0));
+//!     let rects = [
+//!         Rect::from_extents(0, 0, 300, 300),
+//!         Rect::from_extents(300 + gap, 0, 600 + gap, 300),
+//!     ];
+//!     Pattern::new(window, &rects)
+//! };
+//! let mut training = TrainingSet::new();
+//! for i in 0..4 {
+//!     training.push(clip(60 + 10 * i), Label::Hotspot);
+//! }
+//! for i in 0..8 {
+//!     training.push(clip(480 + 10 * i), Label::NonHotspot);
+//! }
+//! let config = HotspotDetector::builder()
+//!     .threads(2)
+//!     .max_learning_rounds(2)
+//!     .distribution(hotspot_core::DistributionFilter {
+//!         min_core_density: 0.001,
+//!         min_polygon_count: 1,
+//!         max_boundary_bbox_distance: 4800,
+//!     })
+//!     .build()?;
+//! let detector = HotspotDetector::train(&training, config)?;
+//!
+//! // Plant the hotspot motif in a layout and stream-scan it.
+//! let mut layout = Layout::new("chip");
+//! layout.add_rect(LayerId::METAL1, Rect::from_extents(20_000, 20_000, 20_300, 20_300));
+//! layout.add_rect(LayerId::METAL1, Rect::from_extents(20_370, 20_000, 20_670, 20_300));
+//! let scan = ScanConfig { tile_cores: 4, max_in_flight: 2, ..Default::default() };
+//! let report = detector.scan_layout(&layout, LayerId::METAL1, &scan)?;
+//!
+//! // Identical hotspot set to whole-layout detection, bounded memory.
+//! let whole = detector.detect(&layout, LayerId::METAL1)?;
+//! assert_eq!(report.reported, whole.reported);
+//! assert!(report.peak_in_flight <= 2);
+//! # Ok::<(), hotspot_core::DetectError>(())
+//! ```
+
+use crate::config::DetectorConfig;
+use crate::detector::{DetectError, HotspotDetector};
+use crate::engine::{Executor, PipelineTelemetry, StageId, StageRecorder};
+use crate::extraction::{passes_filter, split_oversized, RectIndex};
+use crate::pattern::Pattern;
+use crate::removal::remove_redundant_clips;
+use hotspot_geom::Rect;
+use hotspot_layout::scan::{Tile, TileScanner, TileSpec};
+use hotspot_layout::{ClipWindow, LayerId, Layout};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a streaming layout scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Tile region side length in core sides (the tile stride is
+    /// `tile_cores × core_side`). Must be at least 1.
+    pub tile_cores: usize,
+    /// Maximum tiles held in flight at once — the scan's memory bound.
+    /// `0` resolves to twice the worker-thread count.
+    pub max_in_flight: usize,
+    /// Optional aggressive prefilter: skip tiles whose mean pattern
+    /// coverage (overlapping pattern area / tile window area) is below this
+    /// fraction. Unlike the default conservative prefilter this may drop
+    /// true hotspots; `None` keeps the scan exactly equivalent to
+    /// [`HotspotDetector::detect`].
+    pub tile_density: Option<f64>,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            tile_cores: 16,
+            max_in_flight: 0,
+            tile_density: None,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// Validates the scan settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tile_cores == 0 {
+            return Err("tile_cores must be at least 1".into());
+        }
+        if let Some(d) = self.tile_density {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("tile_density must be positive and finite, got {d}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The in-flight window after resolving `0` against `threads`.
+    pub fn effective_in_flight(&self, threads: usize) -> usize {
+        if self.max_in_flight == 0 {
+            (threads * 2).max(1)
+        } else {
+            self.max_in_flight
+        }
+    }
+}
+
+/// Outcome of a streaming layout scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// The reported hotspot clips (after removal, when enabled) — the same
+    /// set [`HotspotDetector::detect`] reports when the aggressive
+    /// [`ScanConfig::tile_density`] cut is off.
+    pub reported: Vec<ClipWindow>,
+    /// Tiles in the scan grid, including empty ones.
+    pub tiles_total: usize,
+    /// Non-empty tiles examined.
+    pub tiles_scanned: usize,
+    /// Tiles discarded by the density prefilter.
+    pub tiles_prefiltered: usize,
+    /// Candidate clips extracted from surviving tiles.
+    pub clips_extracted: usize,
+    /// Clips flagged hotspot by the multiple kernels.
+    pub clips_flagged: usize,
+    /// Flags reclaimed to nonhotspot by the feedback kernel.
+    pub feedback_reclaimed: usize,
+    /// Most tiles simultaneously in flight — never exceeds the configured
+    /// window ([`ScanConfig::effective_in_flight`]).
+    pub peak_in_flight: usize,
+    /// Per-stage telemetry of the scan (phase `"scan"`). Stage wall times
+    /// are summed across workers, so they can exceed the phase wall time.
+    pub telemetry: PipelineTelemetry,
+    /// Total wall-clock time of the scan.
+    #[serde(skip)]
+    pub scan_time: Duration,
+}
+
+impl ScanReport {
+    /// Clips classified per second of scan wall time.
+    pub fn clips_per_second(&self) -> f64 {
+        let secs = self.scan_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.clips_extracted as f64 / secs
+    }
+}
+
+/// Everything one tile contributes, gathered on a worker thread.
+struct TileOutcome {
+    prefiltered: bool,
+    clips: usize,
+    flagged: usize,
+    reclaimed: usize,
+    flagged_cores: Vec<Rect>,
+    prefilter_time: Duration,
+    extract_time: Duration,
+    eval_time: Duration,
+}
+
+impl HotspotDetector {
+    /// Streams a full layout through the evaluation pipeline tile by tile
+    /// (§IV-E): density prefilter → clip extraction → multiple-kernel
+    /// evaluation, with redundant clip removal over the accumulated flags.
+    ///
+    /// Memory is bounded by the in-flight tile window; results are
+    /// deterministic and — with the aggressive cut off — identical to
+    /// [`HotspotDetector::detect`] on the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Config`] for invalid scan settings and
+    /// [`DetectError::EmptyLayer`] when the layout has no polygons on
+    /// `layer`.
+    pub fn scan_layout(
+        &self,
+        layout: &Layout,
+        layer: LayerId,
+        scan: &ScanConfig,
+    ) -> Result<ScanReport, DetectError> {
+        self.scan_layout_with_threshold(layout, layer, scan, self.config().decision_threshold)
+    }
+
+    /// [`scan_layout`](Self::scan_layout) with an explicit decision
+    /// threshold (for the Fig. 15 trade-off sweep).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`scan_layout`](Self::scan_layout).
+    pub fn scan_layout_with_threshold(
+        &self,
+        layout: &Layout,
+        layer: LayerId,
+        scan: &ScanConfig,
+        threshold: f64,
+    ) -> Result<ScanReport, DetectError> {
+        scan.validate().map_err(DetectError::Config)?;
+        if layout.polygons(layer).is_empty() {
+            return Err(DetectError::EmptyLayer(layer));
+        }
+        let config = self.config();
+        let shape = config.clip_shape;
+        let threads = config.effective_threads().max(1);
+        let window_cap = scan.effective_in_flight(threads);
+        let started = Instant::now();
+        let mut recorder = StageRecorder::new("scan", threads);
+
+        // The global rectangle index: patterns are built from the same
+        // index queries `detect` issues, so clip features are bit-identical
+        // between the two paths.
+        let index = RectIndex::from_layout(layout, layer, shape.clip_side());
+        let spec = TileSpec::new(
+            shape.core_side() * scan.tile_cores as i64,
+            shape.ambit() + shape.core_side(),
+        )
+        .map_err(|e| DetectError::Config(e.to_string()))?;
+        let mut scanner = TileScanner::from_rects(index.rects().to_vec(), spec);
+        let tiles_total = scanner.grid().tile_count();
+
+        let executor = Executor::new(threads);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+
+        let mut tiles_scanned = 0usize;
+        let mut tiles_prefiltered = 0usize;
+        let mut clips_extracted = 0usize;
+        let mut clips_flagged = 0usize;
+        let mut feedback_reclaimed = 0usize;
+        let mut flagged_cores: Vec<Rect> = Vec::new();
+
+        loop {
+            // Backpressure: pull at most one window's worth of tiles, fan
+            // them out, then drain before pulling more.
+            let batch: Vec<Tile> = scanner.by_ref().take(window_cap).collect();
+            if batch.is_empty() {
+                break;
+            }
+            tiles_scanned += batch.len();
+            let (outcomes, stats) = executor.map(&batch, |_, tile| {
+                let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(current, Ordering::SeqCst);
+                let outcome = self.process_tile(tile, &index, config, scan, threshold);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                outcome
+            });
+
+            let survivors = outcomes.iter().filter(|o| !o.prefiltered).count();
+            let batch_clips: usize = outcomes.iter().map(|o| o.clips).sum();
+            let batch_flagged: usize = outcomes.iter().map(|o| o.flagged).sum();
+            recorder.record(
+                StageId::DensityPrefilter,
+                batch.len(),
+                survivors,
+                outcomes.iter().map(|o| o.prefilter_time).sum(),
+                None,
+            );
+            recorder.record(
+                StageId::ClipExtraction,
+                survivors,
+                batch_clips,
+                outcomes.iter().map(|o| o.extract_time).sum(),
+                None,
+            );
+            recorder.record(
+                StageId::KernelEvaluation,
+                batch_clips,
+                batch_flagged,
+                outcomes.iter().map(|o| o.eval_time).sum(),
+                Some(&stats),
+            );
+            tiles_prefiltered += batch.len() - survivors;
+            clips_extracted += batch_clips;
+            clips_flagged += batch_flagged;
+            for mut o in outcomes {
+                feedback_reclaimed += o.reclaimed;
+                flagged_cores.append(&mut o.flagged_cores);
+            }
+        }
+
+        let flagged_count = flagged_cores.len();
+        let t_removal = Instant::now();
+        let reported = if config.ablation.removal {
+            remove_redundant_clips(flagged_cores, shape, &index, config)
+        } else {
+            flagged_cores
+                .into_iter()
+                .map(|core| ClipWindow {
+                    core,
+                    clip: core.inflate(shape.ambit()),
+                })
+                .collect()
+        };
+        recorder.record(
+            StageId::ClipRemoval,
+            flagged_count,
+            reported.len(),
+            t_removal.elapsed(),
+            None,
+        );
+
+        Ok(ScanReport {
+            reported,
+            tiles_total,
+            tiles_scanned,
+            tiles_prefiltered,
+            clips_extracted,
+            clips_flagged,
+            feedback_reclaimed,
+            peak_in_flight: peak.load(Ordering::SeqCst),
+            telemetry: recorder.finish(),
+            scan_time: started.elapsed(),
+        })
+    }
+
+    /// Prefilters, extracts, and classifies the clips one tile owns.
+    fn process_tile(
+        &self,
+        tile: &Tile,
+        index: &RectIndex,
+        config: &DetectorConfig,
+        scan: &ScanConfig,
+        threshold: f64,
+    ) -> TileOutcome {
+        let shape = config.clip_shape;
+        let mut outcome = TileOutcome {
+            prefiltered: false,
+            clips: 0,
+            flagged: 0,
+            reclaimed: 0,
+            flagged_cores: Vec::new(),
+            prefilter_time: Duration::ZERO,
+            extract_time: Duration::ZERO,
+            eval_time: Duration::ZERO,
+        };
+
+        // Density prefilter. `covered` double-counts overlapping pattern
+        // rectangles, so it upper-bounds the pattern area over any core the
+        // tile owns: skipping only below `min_core_density × core_area`
+        // can never drop a clip that extraction would keep.
+        let t0 = Instant::now();
+        let covered: i64 = tile
+            .rects
+            .iter()
+            .map(|r| r.overlap_area(&tile.window))
+            .sum();
+        let core_area = (shape.core_side() * shape.core_side()) as f64;
+        let conservative_cut = (covered as f64) < config.distribution.min_core_density * core_area;
+        let aggressive_cut = scan
+            .tile_density
+            .is_some_and(|min_cov| (covered as f64) < min_cov * tile.window.area() as f64);
+        outcome.prefilter_time = t0.elapsed();
+        if conservative_cut || aggressive_cut {
+            outcome.prefiltered = true;
+            return outcome;
+        }
+
+        // Clip extraction, restricted to the anchors this tile owns. Tile
+        // regions partition the plane, so per-tile dedup over owned anchors
+        // equals the global anchor dedup of `extract_clips_indexed`.
+        let t1 = Instant::now();
+        let pieces = split_oversized(&tile.rects, shape.core_side());
+        let mut seen = HashSet::new();
+        let mut patterns = Vec::new();
+        for piece in pieces {
+            let anchor = piece.min();
+            if !tile.region.contains_point(anchor) || !seen.insert(anchor) {
+                continue;
+            }
+            let window = shape.window_from_core_corner(anchor);
+            let pattern = Pattern::new(window, &index.query(&window.clip));
+            if passes_filter(&pattern, &config.distribution) {
+                patterns.push(pattern);
+            }
+        }
+        outcome.clips = patterns.len();
+        outcome.extract_time = t1.elapsed();
+
+        // Multiple-kernel (and feedback) evaluation.
+        let t2 = Instant::now();
+        for pattern in &patterns {
+            let (flagged, reclaimed) = self.flag_pattern(pattern, threshold);
+            if flagged {
+                outcome.flagged += 1;
+                if reclaimed {
+                    outcome.reclaimed += 1;
+                } else {
+                    outcome.flagged_cores.push(pattern.window.core);
+                }
+            }
+        }
+        outcome.eval_time = t2.elapsed();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(ScanConfig::default().validate().is_ok());
+        let bad = ScanConfig {
+            tile_cores: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("tile_cores"));
+        for d in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let bad = ScanConfig {
+                tile_density: Some(d),
+                ..Default::default()
+            };
+            assert!(bad.validate().is_err(), "tile_density {d}");
+        }
+    }
+
+    #[test]
+    fn in_flight_window_resolution() {
+        let auto = ScanConfig {
+            max_in_flight: 0,
+            ..Default::default()
+        };
+        assert_eq!(auto.effective_in_flight(4), 8);
+        let fixed = ScanConfig {
+            max_in_flight: 3,
+            ..Default::default()
+        };
+        assert_eq!(fixed.effective_in_flight(4), 3);
+    }
+
+    #[test]
+    fn clips_per_second_handles_zero_time() {
+        let report = ScanReport {
+            reported: Vec::new(),
+            tiles_total: 0,
+            tiles_scanned: 0,
+            tiles_prefiltered: 0,
+            clips_extracted: 10,
+            clips_flagged: 0,
+            feedback_reclaimed: 0,
+            peak_in_flight: 0,
+            telemetry: PipelineTelemetry::default(),
+            scan_time: Duration::ZERO,
+        };
+        assert_eq!(report.clips_per_second(), 0.0);
+        let timed = ScanReport {
+            scan_time: Duration::from_secs(2),
+            ..report
+        };
+        assert!((timed.clips_per_second() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! A uniform-grid spatial index over rectangles.
+//!
+//! Buckets rectangles by grid cell so window queries touch only the cells a
+//! window overlaps — sublinear in the rectangle count for local queries.
+//! This is the shared substrate behind clip extraction, redundant clip
+//! removal, and the tiled layout scanner.
+
+use crate::{Coord, Rect};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index over rectangles.
+///
+/// ```
+/// use hotspot_geom::{GridIndex, Rect};
+/// let idx = GridIndex::build(vec![Rect::from_extents(0, 0, 100, 100)], 1000);
+/// assert_eq!(idx.query(&Rect::from_extents(-50, -50, 50, 50)).len(), 1);
+/// assert!(idx.query(&Rect::from_extents(200, 200, 300, 300)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: Coord,
+    buckets: HashMap<(Coord, Coord), Vec<usize>>,
+    rects: Vec<Rect>,
+}
+
+impl GridIndex {
+    /// Builds an index with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive.
+    pub fn build(rects: Vec<Rect>, cell: Coord) -> GridIndex {
+        assert!(cell > 0, "cell size must be positive");
+        let mut buckets: HashMap<(Coord, Coord), Vec<usize>> = HashMap::new();
+        for (i, r) in rects.iter().enumerate() {
+            if r.is_empty() {
+                continue;
+            }
+            let (cx0, cy0) = (r.min().x.div_euclid(cell), r.min().y.div_euclid(cell));
+            // Inclusive top-right cell: subtract 1 so edge-aligned rects do
+            // not spill into the next cell.
+            let (cx1, cy1) = (
+                (r.max().x - 1).div_euclid(cell),
+                (r.max().y - 1).div_euclid(cell),
+            );
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    buckets.entry((cx, cy)).or_default().push(i);
+                }
+            }
+        }
+        GridIndex {
+            cell,
+            buckets,
+            rects,
+        }
+    }
+
+    /// The grid cell size.
+    pub fn cell(&self) -> Coord {
+        self.cell
+    }
+
+    /// All rectangles overlapping `window`, deduplicated, in deterministic
+    /// first-encounter order (cells scanned column-major, bucket entries in
+    /// insertion order).
+    pub fn query(&self, window: &Rect) -> Vec<Rect> {
+        let mut seen: Vec<usize> = Vec::new();
+        let (cx0, cy0) = (
+            window.min().x.div_euclid(self.cell),
+            window.min().y.div_euclid(self.cell),
+        );
+        let (cx1, cy1) = (
+            (window.max().x - 1).div_euclid(self.cell),
+            (window.max().y - 1).div_euclid(self.cell),
+        );
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
+                    for &i in bucket {
+                        if self.rects[i].overlaps(window) && !seen.contains(&i) {
+                            seen.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        seen.into_iter().map(|i| self.rects[i]).collect()
+    }
+
+    /// Sum of rectangle↔window overlap areas over every indexed rectangle
+    /// overlapping `window`, in nm². Overlapping rectangles are counted
+    /// once each (no union), so the sum is an upper bound on the covered
+    /// area — exactly the bound the scan density prefilter needs.
+    pub fn covered_area(&self, window: &Rect) -> i64 {
+        self.query(window)
+            .iter()
+            .map(|r| r.overlap_area(window))
+            .sum()
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The indexed rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Bounding box over the indexed rectangles, `None` when empty.
+    pub fn bbox(&self) -> Option<Rect> {
+        Rect::bbox_of(self.rects.iter().filter(|r| !r.is_empty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_finds_overlapping() {
+        let rects = vec![
+            Rect::from_extents(0, 0, 100, 100),
+            Rect::from_extents(5000, 5000, 5100, 5100),
+        ];
+        let idx = GridIndex::build(rects, 1000);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.query(&Rect::from_extents(-50, -50, 50, 50)).len(), 1);
+        assert_eq!(idx.query(&Rect::from_extents(0, 0, 6000, 6000)).len(), 2);
+        assert!(idx
+            .query(&Rect::from_extents(200, 200, 300, 300))
+            .is_empty());
+    }
+
+    #[test]
+    fn straddling_rects_are_deduplicated() {
+        let idx = GridIndex::build(vec![Rect::from_extents(900, 900, 1100, 1100)], 1000);
+        for probe in [
+            Rect::from_extents(950, 950, 960, 960),
+            Rect::from_extents(1050, 1050, 1060, 1060),
+        ] {
+            assert_eq!(idx.query(&probe).len(), 1, "probe {probe:?}");
+        }
+        assert_eq!(
+            idx.query(&Rect::from_extents(800, 800, 1200, 1200)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn covered_area_sums_overlaps() {
+        let idx = GridIndex::build(
+            vec![
+                Rect::from_extents(0, 0, 10, 10),
+                Rect::from_extents(5, 0, 15, 10), // overlaps the first
+            ],
+            1000,
+        );
+        let window = Rect::from_extents(0, 0, 20, 20);
+        // 100 + 100: overlap double-counted, upper bound on the union (150).
+        assert_eq!(idx.covered_area(&window), 200);
+        assert_eq!(idx.covered_area(&Rect::from_extents(100, 100, 200, 200)), 0);
+    }
+
+    #[test]
+    fn bbox_and_emptiness() {
+        let empty = GridIndex::build(Vec::new(), 10);
+        assert!(empty.is_empty());
+        assert_eq!(empty.bbox(), None);
+        let idx = GridIndex::build(
+            vec![
+                Rect::from_extents(2, 3, 5, 9),
+                Rect::from_extents(-4, 0, 1, 2),
+            ],
+            10,
+        );
+        assert_eq!(idx.bbox(), Some(Rect::from_extents(-4, 0, 5, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_panics() {
+        GridIndex::build(Vec::new(), 0);
+    }
+}

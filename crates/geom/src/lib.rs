@@ -10,7 +10,9 @@
 //! - the [`Orientation`] group `D8` (four rotations × two mirrors) used by
 //!   topological classification and the density distance of eq. (1),
 //! - pixelated [`DensityGrid`]s with the orientation-minimised L1 distance,
-//! - corner/touch analysis used by the nontopological features (Fig. 7(e)).
+//! - corner/touch analysis used by the nontopological features (Fig. 7(e)),
+//! - a uniform-grid [`GridIndex`] for sublinear window queries, shared by
+//!   clip extraction and the tiled layout scanner.
 //!
 //! All coordinates are integers (nanometres). Geometry is closed-open:
 //! a rectangle spans `[min.x, max.x) × [min.y, max.y)`, so two rectangles
@@ -28,11 +30,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod boolean;
 mod corner;
 mod density;
+mod index;
 mod orientation;
 mod point;
 mod polygon;
@@ -40,6 +43,7 @@ mod rect;
 
 pub use corner::{corner_count, touch_point_count, CornerKind, CornerSummary};
 pub use density::{DensityDistance, DensityGrid};
+pub use index::GridIndex;
 pub use orientation::{Orientation, D8};
 pub use point::{Coord, Point};
 pub use polygon::{dissect_rects, DissectError, Polygon};

@@ -7,7 +7,9 @@
 //! - [`gdsii`]: a binary GDSII stream-format reader/writer (BOUNDARY subset),
 //! - [`text`]: a line-oriented text format for fixtures and debugging,
 //! - [`clip`]: the core/ambit clip-window geometry of Figs. 1–2, including
-//!   the contest's hit rule.
+//!   the contest's hit rule,
+//! - [`scan`]: a streaming tiled traversal of a layout layer for
+//!   bounded-memory full-layout scans.
 //!
 //! # Examples
 //!
@@ -24,11 +26,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod clip;
 mod db;
 pub mod gdsii;
+pub mod scan;
 pub mod svg;
 pub mod text;
 

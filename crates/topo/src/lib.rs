@@ -18,7 +18,7 @@
 //!   multilayer patterns and double patterning.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod dirstring;

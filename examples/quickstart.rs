@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_time()
     );
 
-    // The merged telemetry covers all seven pipeline stages.
+    // The merged telemetry covers all eight pipeline stages.
     let telemetry = detector.summary().telemetry.merge(&report.telemetry);
     println!("{}", telemetry.breakdown());
 

@@ -10,7 +10,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+# Documents the project crates only; vendored stand-ins are exempt from
+# the warnings gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p hotspot-geom -p hotspot-layout -p hotspot-svm -p hotspot-topo \
+  -p hotspot-core -p hotspot-benchgen -p hotspot-baselines \
+  -p hotspot-bench -p hotspot-cli -p hotspot-suite
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+echo "==> examples (quickstart, stream_scan)"
+cargo run --release --quiet --example quickstart
+cargo run --release --quiet --example stream_scan
 
 echo "CI OK"

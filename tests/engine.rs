@@ -67,7 +67,7 @@ fn merged_telemetry_round_trips_through_json() {
     let report = detector.detect(&bm.layout, bm.layer).expect("evaluation");
 
     let merged = detector.summary().telemetry.merge(&report.telemetry);
-    assert_eq!(merged.stages.len(), 7, "merged record covers all stages");
+    assert_eq!(merged.stages.len(), 8, "merged record covers all stages");
     assert!(merged.stages.iter().any(|s| s.items_in > 0));
 
     let json = serde_json::to_string(&merged).expect("serialise");

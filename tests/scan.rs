@@ -1,0 +1,153 @@
+//! Streaming-scan integration tests: the tiled `scan_layout` must report
+//! exactly the hotspot set of whole-layout `detect` (for any tile size and
+//! in-flight window), and it must respect its configured memory bound.
+
+use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
+use hotspot_suite::core::engine::StageId;
+use hotspot_suite::core::{DetectError, HotspotDetector, ScanConfig};
+use hotspot_suite::layout::{ClipShape, LayerId, Layout};
+use std::sync::OnceLock;
+
+fn benchmark() -> &'static Benchmark {
+    static BM: OnceLock<Benchmark> = OnceLock::new();
+    BM.get_or_init(|| {
+        Benchmark::generate(BenchmarkSpec {
+            name: "scan-test".into(),
+            process_nm: 32,
+            width: 48_000,
+            height: 48_000,
+            train_hotspots: 20,
+            train_nonhotspots: 70,
+            test_hotspots: 6,
+            seed: 11,
+            clip_shape: ClipShape::ICCAD2012,
+            oracle: LithoOracle::default(),
+            background_fill: 0.55,
+            ambit_filler: true,
+        })
+    })
+}
+
+fn trained(bm: &Benchmark) -> &'static HotspotDetector {
+    static DET: OnceLock<HotspotDetector> = OnceLock::new();
+    DET.get_or_init(|| {
+        HotspotDetector::builder()
+            .threads(2)
+            .train(&bm.training)
+            .expect("training")
+    })
+}
+
+#[test]
+fn scan_reports_the_same_hotspots_as_detect() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let reference = detector.detect(&bm.layout, bm.layer).expect("detect");
+
+    for (tile_cores, max_in_flight) in [(2, 1), (4, 3), (16, 0), (64, 2)] {
+        let scan = ScanConfig {
+            tile_cores,
+            max_in_flight,
+            tile_density: None,
+        };
+        let report = detector
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("scan");
+        assert_eq!(
+            report.reported, reference.reported,
+            "hotspot set diverged at tile_cores={tile_cores} max_in_flight={max_in_flight}"
+        );
+        // The conservative prefilter only drops tiles whose clips the
+        // distribution filter would reject, so surviving-clip counts match
+        // whole-layout extraction exactly.
+        assert_eq!(report.clips_extracted, reference.clips_extracted);
+        assert_eq!(report.clips_flagged, reference.clips_flagged);
+        assert_eq!(report.feedback_reclaimed, reference.feedback_reclaimed);
+    }
+}
+
+#[test]
+fn scan_holds_at_most_the_configured_window() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let scan = ScanConfig {
+        tile_cores: 2,
+        max_in_flight: 2,
+        tile_density: None,
+    };
+    let report = detector
+        .scan_layout(&bm.layout, bm.layer, &scan)
+        .expect("scan");
+    assert!(
+        report.tiles_scanned > scan.max_in_flight,
+        "layout too small to exercise the window ({} tiles)",
+        report.tiles_scanned
+    );
+    assert!(report.peak_in_flight >= 1);
+    assert!(
+        report.peak_in_flight <= scan.max_in_flight,
+        "peak {} exceeds the {}-tile window",
+        report.peak_in_flight,
+        scan.max_in_flight
+    );
+}
+
+#[test]
+fn scan_accounts_for_every_tile() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let report = detector
+        .scan_layout(&bm.layout, bm.layer, &ScanConfig::default())
+        .expect("scan");
+    assert!(report.tiles_scanned <= report.tiles_total);
+    assert!(report.tiles_prefiltered <= report.tiles_scanned);
+    assert!(report.clips_flagged <= report.clips_extracted);
+
+    let t = &report.telemetry;
+    assert_eq!(t.phase, "scan");
+    let prefilter = t.stage(StageId::DensityPrefilter).expect("prefilter stage");
+    assert_eq!(prefilter.items_in, report.tiles_scanned);
+    assert_eq!(
+        prefilter.items_out,
+        report.tiles_scanned - report.tiles_prefiltered
+    );
+    let eval = t.stage(StageId::KernelEvaluation).expect("eval stage");
+    assert_eq!(eval.items_in, report.clips_extracted);
+}
+
+#[test]
+fn aggressive_tile_density_filters_everything_at_full_coverage() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let scan = ScanConfig {
+        tile_density: Some(1.0),
+        ..Default::default()
+    };
+    let report = detector
+        .scan_layout(&bm.layout, bm.layer, &scan)
+        .expect("scan");
+    // No realistic tile window is 100% covered by patterns: every tile is
+    // prefiltered and nothing is reported.
+    assert_eq!(report.tiles_prefiltered, report.tiles_scanned);
+    assert_eq!(report.clips_extracted, 0);
+    assert!(report.reported.is_empty());
+}
+
+#[test]
+fn scan_rejects_bad_inputs() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let bad = ScanConfig {
+        tile_cores: 0,
+        ..Default::default()
+    };
+    assert!(matches!(
+        detector.scan_layout(&bm.layout, bm.layer, &bad),
+        Err(DetectError::Config(_))
+    ));
+    let empty = Layout::new("empty");
+    assert!(matches!(
+        detector.scan_layout(&empty, LayerId::METAL1, &ScanConfig::default()),
+        Err(DetectError::EmptyLayer(_))
+    ));
+}

@@ -1,10 +1,12 @@
 //! Shared harness code for the experiment binaries (`table1`–`table5`,
-//! `fig15`, `scan`) that regenerate the paper's evaluation tables and
-//! figure, plus the streaming-scan throughput benchmark.
+//! `fig15`, `scan`, `eval`) that regenerate the paper's evaluation tables
+//! and figure, plus the streaming-scan and batched-inference throughput
+//! benchmarks.
 //!
-//! Scale selection: set `HOTSPOT_SCALE=tiny|small|paper|huge` (default
-//! `small`; `huge` quadruples the Table-I areas for the scan benchmark).
-//! `EXPERIMENTS.md` documents how the scaled suite maps to Table I.
+//! Scale selection: set `HOTSPOT_SCALE=tiny|small|medium|paper|huge`
+//! (default `small`; `huge` quadruples the Table-I areas for the scan
+//! benchmark). `EXPERIMENTS.md` documents how the scaled suite maps to
+//! Table I.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,14 +52,24 @@ impl MethodResult {
     }
 }
 
+/// Parses a suite-scale name (`tiny`/`small`/`medium`/`paper`/`huge`).
+pub fn parse_scale(name: &str) -> Option<SuiteScale> {
+    match name.trim() {
+        "tiny" => Some(SuiteScale::Tiny),
+        "small" => Some(SuiteScale::Small),
+        "medium" => Some(SuiteScale::Medium),
+        "paper" => Some(SuiteScale::Paper),
+        "huge" => Some(SuiteScale::Huge),
+        _ => None,
+    }
+}
+
 /// Reads the suite scale from `HOTSPOT_SCALE` (default: `small`).
 pub fn scale_from_env() -> SuiteScale {
-    match std::env::var("HOTSPOT_SCALE").as_deref() {
-        Ok("tiny") => SuiteScale::Tiny,
-        Ok("paper") => SuiteScale::Paper,
-        Ok("huge") => SuiteScale::Huge,
-        _ => SuiteScale::Small,
-    }
+    std::env::var("HOTSPOT_SCALE")
+        .ok()
+        .and_then(|v| parse_scale(&v))
+        .unwrap_or(SuiteScale::Small)
 }
 
 /// Generates the whole suite at the chosen scale. The blind benchmark
@@ -223,6 +235,94 @@ impl ScanBenchReport {
             telemetry: report.telemetry.clone(),
         }
     }
+}
+
+/// Version of the `BENCH_eval.json` schema (bump on breaking changes; the
+/// field-by-field layout is documented in `DESIGN.md`).
+pub const EVAL_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One suite's row in `BENCH_eval.json`: naive-vs-compiled throughput of
+/// the clip-evaluation hot loop on benchmark 1 of the suite at one scale.
+///
+/// The timed hot loop is everything *after* kernel admission (which is
+/// identical on both engines and therefore precomputed): per-clip feature
+/// extraction plus decision values against the admitted kernels. The
+/// naive path replays the pre-engine loop — one feature extraction *per
+/// admitted kernel* and the reference per-support-vector `Vec<Vec<f64>>`
+/// walk; the compiled path extracts once per clip and scores through the
+/// flattened [`CompiledModel`](hotspot_svm::CompiledModel) engine. The
+/// `decision_*` fields isolate the decision-value arithmetic alone
+/// (features fully pre-extracted on both sides).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSuiteBench {
+    /// Benchmark name the measurement ran on.
+    pub benchmark: String,
+    /// Suite scale (`tiny`/`small`/`medium`/`paper`/`huge`).
+    pub scale: String,
+    /// Trained cluster kernels.
+    pub kernels: usize,
+    /// Total support vectors across the kernels.
+    pub support_vectors: usize,
+    /// Largest kernel feature dimension.
+    pub max_feature_len: usize,
+    /// Candidate clips extracted from the testing layout.
+    pub clips: usize,
+    /// Clips admitted to at least one kernel.
+    pub clips_admitted: usize,
+    /// Total (clip, admitted kernel) evaluations per repetition.
+    pub admitted_evals: usize,
+    /// Timed repetitions of the hot loop (identical for all paths).
+    pub reps: usize,
+    /// Hot-loop wall of the naive path (per-kernel re-extraction +
+    /// per-support-vector walk), in milliseconds.
+    pub naive_wall_ms: f64,
+    /// Hot-loop wall with extraction memoized per clip but decisions
+    /// still on the reference path, in milliseconds.
+    pub memoized_wall_ms: f64,
+    /// Hot-loop wall of the compiled batched path, in milliseconds.
+    pub compiled_wall_ms: f64,
+    /// Candidate clips processed per second, naive path.
+    pub naive_clips_per_second: f64,
+    /// Candidate clips processed per second, compiled path.
+    pub compiled_clips_per_second: f64,
+    /// Hot-loop speedup: `naive_wall_ms / compiled_wall_ms`.
+    pub speedup: f64,
+    /// Pure decision-value wall over the admitted features, reference
+    /// path, in milliseconds.
+    pub decision_naive_wall_ms: f64,
+    /// Pure decision-value wall over the admitted features, compiled
+    /// engine, in milliseconds.
+    pub decision_compiled_wall_ms: f64,
+    /// `decision_naive_wall_ms / decision_compiled_wall_ms`.
+    pub decision_speedup: f64,
+    /// Support-vector dot-product GFLOP/s proxy of the compiled
+    /// decision pass (`2 · dim · n_sv` flops per kernel evaluation;
+    /// scaling, norms, and `exp` excluded).
+    pub sv_dot_gflops: f64,
+    /// Kernel-evaluation stage wall of a full `detect` run on the
+    /// reference engine, in milliseconds.
+    pub detect_eval_stage_naive_ms: f64,
+    /// Kernel-evaluation stage wall of a full `detect` run on the
+    /// compiled engine, in milliseconds.
+    pub detect_eval_stage_compiled_ms: f64,
+    /// Clip batches the compiled `detect` run scheduled.
+    pub eval_batches: usize,
+    /// Whether the two `detect` runs reported the identical hotspot set
+    /// (always `true`; the binary aborts otherwise).
+    pub hotspots_identical: bool,
+}
+
+/// The `BENCH_eval.json` record written by the `eval` benchmark binary:
+/// batched-inference throughput of the clip-evaluation hot loop, one row
+/// per measured suite scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalBenchReport {
+    /// Schema version ([`EVAL_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Worker threads the `detect` comparison ran with.
+    pub threads: usize,
+    /// One row per measured suite.
+    pub suites: Vec<EvalSuiteBench>,
 }
 
 /// Best-effort peak resident set size of this process in bytes, parsed

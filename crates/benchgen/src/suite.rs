@@ -19,6 +19,10 @@ pub enum SuiteScale {
     Tiny,
     /// 1/4 linear — the default experiment scale.
     Small,
+    /// 1/2 linear — the inference-benchmark scale: enough clips and
+    /// support vectors for stable throughput numbers without Table-I
+    /// training times.
+    Medium,
     /// Full Table-I areas.
     Paper,
     /// 2× linear (4× Table-I area) with 1/4 training counts — a
@@ -33,6 +37,7 @@ impl SuiteScale {
         match self {
             SuiteScale::Tiny => 0.125,
             SuiteScale::Small => 0.25,
+            SuiteScale::Medium => 0.5,
             SuiteScale::Paper => 1.0,
             SuiteScale::Huge => 2.0,
         }
@@ -46,6 +51,7 @@ impl SuiteScale {
         match self {
             SuiteScale::Tiny => 0.08,
             SuiteScale::Small | SuiteScale::Huge => 0.25,
+            SuiteScale::Medium => 0.5,
             SuiteScale::Paper => 1.0,
         }
     }
@@ -207,9 +213,11 @@ mod tests {
     #[test]
     fn scales_are_ordered() {
         assert!(SuiteScale::Tiny.linear() < SuiteScale::Small.linear());
-        assert!(SuiteScale::Small.linear() < SuiteScale::Paper.linear());
+        assert!(SuiteScale::Small.linear() < SuiteScale::Medium.linear());
+        assert!(SuiteScale::Medium.linear() < SuiteScale::Paper.linear());
         assert!(SuiteScale::Paper.linear() < SuiteScale::Huge.linear());
         assert_eq!(SuiteScale::Paper.count(), 1.0);
+        assert!(SuiteScale::Small.count() < SuiteScale::Medium.count());
     }
 
     #[test]

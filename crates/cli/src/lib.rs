@@ -199,11 +199,12 @@ fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
     let scale = match opts.get("scale").unwrap_or("small") {
         "tiny" => SuiteScale::Tiny,
         "small" => SuiteScale::Small,
+        "medium" => SuiteScale::Medium,
         "paper" => SuiteScale::Paper,
         "huge" => SuiteScale::Huge,
         other => {
             return Err(CliError::Usage(format!(
-                "unknown scale `{other}` (tiny|small|paper|huge)"
+                "unknown scale `{other}` (tiny|small|medium|paper|huge)"
             )))
         }
     };
@@ -280,8 +281,9 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
         return Ok(serde_json::to_string_pretty(&report)?);
     }
     Ok(format!(
-        "evaluated {} clips, flagged {}, reported {} hotspots in {:.2?}\nreport written to {}",
+        "evaluated {} clips in {} eval batches, flagged {}, reported {} hotspots in {:.2?}\nreport written to {}",
         report.clips_extracted,
+        report.eval_batches,
         report.clips_flagged,
         report.reported.len(),
         report.total_time(),
@@ -324,11 +326,12 @@ fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
         return Ok(serde_json::to_string_pretty(&report)?);
     }
     Ok(format!(
-        "scanned {} of {} tiles ({} prefiltered), {} clips, flagged {}, reported {} hotspots in {:.2?} ({:.0} clips/s, peak {} tiles in flight)\nreport written to {}",
+        "scanned {} of {} tiles ({} prefiltered), {} clips in {} eval batches, flagged {}, reported {} hotspots in {:.2?} ({:.0} clips/s, peak {} tiles in flight)\nreport written to {}",
         report.tiles_scanned,
         report.tiles_total,
         report.tiles_prefiltered,
         report.clips_extracted,
+        report.eval_batches,
         report.clips_flagged,
         report.reported.len(),
         report.scan_time,

@@ -4,7 +4,7 @@ use crate::balance::upsample_hotspots;
 use crate::config::{DetectorConfig, DistributionFilter};
 use crate::engine::{Executor, PipelineTelemetry, StageId, StageRecorder};
 use crate::extraction::{extract_clips_indexed, RectIndex};
-use crate::feedback::{flagging_kernels, train_feedback, FeedbackKernel};
+use crate::feedback::{flagging_kernels_with, train_feedback, FeedbackKernel};
 use crate::metrics::{score, Evaluation};
 use crate::pattern::{Pattern, TrainingSet};
 use crate::removal::remove_redundant_clips;
@@ -13,11 +13,16 @@ use crate::training::{
     Region,
 };
 use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
-use hotspot_svm::TrainError;
+use hotspot_svm::{BatchEvaluator, CompiledModel, TrainError};
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Clips per evaluation batch in [`HotspotDetector::detect`]: one batch is
+/// one executor task whose clips share a [`BatchEvaluator`]'s scratch.
+pub(crate) const EVAL_BATCH: usize = 64;
 
 /// Error running the detector's training or evaluation pipeline.
 #[derive(Debug)]
@@ -77,6 +82,10 @@ pub struct DetectionReport {
     pub clips_flagged: usize,
     /// Flags reclaimed to nonhotspot by the feedback kernel.
     pub feedback_reclaimed: usize,
+    /// Clip batches scheduled through the batched SVM inference engine.
+    /// Absent in pre-batching reports, which deserialise with 0.
+    #[serde(default)]
+    pub eval_batches: usize,
     /// Wall-clock time of clip extraction.
     #[serde(skip)]
     pub extraction_time: Duration,
@@ -145,16 +154,43 @@ impl TrainingSummary {
     }
 }
 
+/// The detector's models flattened for the batched inference engine —
+/// compiled once (eagerly at train time, lazily after deserialisation) and
+/// shared read-only by every evaluation thread.
+#[derive(Debug, Clone)]
+struct CompiledSet {
+    /// Compiled cluster kernels, indexed 1:1 with the detector's kernels.
+    kernels: Vec<CompiledModel>,
+    /// Compiled feedback kernel, when one was trained.
+    feedback: Option<CompiledModel>,
+}
+
+/// Lazy [`CompiledSet`] holder, skipped by serde (the compiled form is a
+/// pure acceleration of the persisted models, so it is rebuilt on demand).
+#[derive(Debug, Clone, Default)]
+struct CompiledCache(OnceLock<CompiledSet>);
+
 /// The trained hotspot-detection framework.
 ///
 /// Serialisable with serde, so a trained detector can be persisted and
 /// reloaded (see the `hotspot` CLI's `train` / `detect` commands).
+///
+/// Clip evaluation runs through the batched flattened SVM engine
+/// ([`hotspot_svm::CompiledModel`]); [`with_reference_eval`]
+/// routes it through the reference per-support-vector path instead, which
+/// the equivalence tests pin to the identical hotspot set.
+///
+/// [`with_reference_eval`]: HotspotDetector::with_reference_eval
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotspotDetector {
     kernels: Vec<ClusterKernel>,
     feedback: Option<FeedbackKernel>,
     config: DetectorConfig,
     summary: TrainingSummary,
+    #[serde(skip)]
+    compiled: CompiledCache,
+    #[serde(skip)]
+    reference_eval: bool,
 }
 
 impl HotspotDetector {
@@ -281,12 +317,37 @@ impl HotspotDetector {
             telemetry: recorder.finish(),
         };
 
-        Ok(HotspotDetector {
+        let detector = HotspotDetector {
             kernels,
             feedback,
             config,
             summary,
+            compiled: CompiledCache::default(),
+            reference_eval: false,
+        };
+        // Compile the inference engine eagerly so evaluation never pays the
+        // flattening cost inside a timed phase.
+        let _ = detector.compiled_set();
+        Ok(detector)
+    }
+
+    /// The compiled inference engine, built on first use.
+    fn compiled_set(&self) -> &CompiledSet {
+        self.compiled.0.get_or_init(|| CompiledSet {
+            kernels: self.kernels.iter().map(|k| k.model.compile()).collect(),
+            feedback: self.feedback.as_ref().map(|f| f.model.compile()),
         })
+    }
+
+    /// Returns this detector with the evaluation engine selected: `true`
+    /// routes every decision value through the reference
+    /// [`hotspot_svm::SvmModel::decision_value`] path instead of the
+    /// batched compiled engine. Both engines report the same hotspot sets
+    /// (pinned by `tests/eval_engine.rs`); the reference path exists for
+    /// equivalence testing and the naive-vs-compiled benchmark.
+    pub fn with_reference_eval(mut self, reference: bool) -> Self {
+        self.reference_eval = reference;
+        self
     }
 
     /// Returns this detector with its worker-thread count overridden
@@ -336,8 +397,12 @@ impl HotspotDetector {
         let signature = hotspot_topo::TopoSignature::of(&local, &rects);
         let grid =
             crate::training::density_grid(pattern, crate::training::Region::Core, &self.config);
+        let compiled = (!self.reference_eval).then(|| self.compiled_set());
+        let mut eval = BatchEvaluator::new();
+        let mut memo =
+            crate::training::FeatureMemo::new(pattern, crate::training::Region::Core, &self.config);
         let mut best: Option<f64> = None;
-        for k in &self.kernels {
+        for (idx, k) in self.kernels.iter().enumerate() {
             let topo_match = signature == k.signature;
             let density_match = grid.nx() == k.centroid.nx()
                 && grid.ny() == k.centroid.ny()
@@ -346,13 +411,12 @@ impl HotspotDetector {
             if !topo_match && !density_match {
                 continue;
             }
-            let features = crate::training::feature_vector_padded(
-                pattern,
-                crate::training::Region::Core,
-                &self.config,
-                k.feature_len,
-            );
-            let p = k.platt.probability(k.model.decision_value(&features));
+            let features = memo.padded(k.feature_len);
+            let decision = match compiled {
+                Some(c) => eval.decision_value(&c.kernels[idx], features),
+                None => k.model.decision_value(features),
+            };
+            let p = k.platt.probability(decision);
             if best.is_none_or(|b| p > b) {
                 best = Some(p);
             }
@@ -363,14 +427,8 @@ impl HotspotDetector {
     /// Classification at an explicit decision threshold (for the Fig. 15
     /// trade-off sweep).
     pub fn classify_with_threshold(&self, pattern: &Pattern, threshold: f64) -> bool {
-        let flags = flagging_kernels(&self.kernels, pattern, &self.config, threshold);
-        if flags.is_empty() {
-            return false;
-        }
-        match (&self.feedback, self.config.ablation.feedback) {
-            (Some(fb), true) => fb.confirms(pattern, &self.config),
-            _ => true,
-        }
+        let (flagged, reclaimed) = self.flag_pattern(pattern, threshold);
+        flagged && !reclaimed
     }
 
     /// Runs the full evaluation phase of Fig. 3 on a testing layout.
@@ -417,15 +475,25 @@ impl HotspotDetector {
             None,
         );
 
-        // 2. Multiple-kernel (and feedback) evaluation, scheduled on the
-        //    work-stealing executor.
+        // 2. Multiple-kernel (and feedback) evaluation. Clips are chunked
+        //    into batches — one executor task each, sharing one
+        //    `BatchEvaluator`'s scratch — and fanned over the work-stealing
+        //    executor. `map` preserves input order, so the flag list is
+        //    deterministic for every thread count.
         let t1 = Instant::now();
-        let (flags, exec_stats) =
-            Executor::new(threads).map(&clips, |_, c| self.flag_pattern(c, threshold));
+        let batches: Vec<&[Pattern]> = clips.chunks(EVAL_BATCH).collect();
+        let eval_batches = batches.len();
+        let (flag_chunks, exec_stats) = Executor::new(threads).map(&batches, |_, batch| {
+            let mut eval = BatchEvaluator::new();
+            batch
+                .iter()
+                .map(|c| self.flag_pattern_with(c, threshold, &mut eval))
+                .collect::<Vec<_>>()
+        });
         let mut flagged_cores = Vec::new();
         let mut clips_flagged = 0usize;
         let mut feedback_reclaimed = 0usize;
-        for (clip, (flagged, reclaimed)) in clips.iter().zip(&flags) {
+        for (clip, (flagged, reclaimed)) in clips.iter().zip(flag_chunks.iter().flatten()) {
             if *flagged {
                 clips_flagged += 1;
                 if *reclaimed {
@@ -436,12 +504,13 @@ impl HotspotDetector {
             }
         }
         let classification_time = t1.elapsed();
-        recorder.record(
+        recorder.record_batched(
             StageId::KernelEvaluation,
             clips.len(),
             clips_flagged,
             classification_time,
             Some(&exec_stats),
+            eval_batches,
         );
 
         // 3. Redundant clip removal.
@@ -472,6 +541,7 @@ impl HotspotDetector {
             clips_extracted: clips.len(),
             clips_flagged,
             feedback_reclaimed,
+            eval_batches,
             extraction_time,
             classification_time,
             removal_time,
@@ -479,15 +549,40 @@ impl HotspotDetector {
         })
     }
 
-    /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip. Shared
-    /// by `detect` and the streaming `scan_layout`.
+    /// [`flag_pattern_with`](Self::flag_pattern_with) on throwaway scratch,
+    /// for single-clip entry points.
     pub(crate) fn flag_pattern(&self, pattern: &Pattern, threshold: f64) -> (bool, bool) {
-        let flags = flagging_kernels(&self.kernels, pattern, &self.config, threshold);
+        self.flag_pattern_with(pattern, threshold, &mut BatchEvaluator::new())
+    }
+
+    /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip. Shared
+    /// by `detect` and the streaming `scan_layout`; `eval` carries the
+    /// scratch one batch of clips reuses across calls.
+    pub(crate) fn flag_pattern_with(
+        &self,
+        pattern: &Pattern,
+        threshold: f64,
+        eval: &mut BatchEvaluator,
+    ) -> (bool, bool) {
+        let compiled = (!self.reference_eval).then(|| self.compiled_set());
+        let flags = flagging_kernels_with(
+            &self.kernels,
+            compiled.map(|c| (c.kernels.as_slice(), &mut *eval)),
+            pattern,
+            &self.config,
+            threshold,
+        );
         if flags.is_empty() {
             return (false, false);
         }
         let reclaimed = match (&self.feedback, self.config.ablation.feedback) {
-            (Some(fb), true) => !fb.confirms(pattern, &self.config),
+            (Some(fb), true) => {
+                let confirmed = match compiled.and_then(|c| c.feedback.as_ref()) {
+                    Some(cfb) => fb.confirms_with(pattern, &self.config, cfb, eval),
+                    None => fb.confirms(pattern, &self.config),
+                };
+                !confirmed
+            }
             _ => false,
         };
         (true, reclaimed)

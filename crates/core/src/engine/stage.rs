@@ -109,6 +109,20 @@ impl StageRecorder {
         wall: Duration,
         stats: Option<&ExecutorStats>,
     ) {
+        self.record_batched(stage, items_in, items_out, wall, stats, 0);
+    }
+
+    /// [`record`](Self::record) for a stage that ran `batches` clip batches
+    /// through the batched SVM inference engine.
+    pub fn record_batched(
+        &mut self,
+        stage: StageId,
+        items_in: usize,
+        items_out: usize,
+        wall: Duration,
+        stats: Option<&ExecutorStats>,
+        batches: usize,
+    ) {
         let (threads_used, tasks_executed, tasks_stolen) = match stats {
             Some(s) => (s.threads_used, s.tasks_executed, s.tasks_stolen),
             None => (1, 1, 0),
@@ -121,6 +135,7 @@ impl StageRecorder {
             threads_used,
             tasks_executed,
             tasks_stolen,
+            batches,
         };
         match self.stages.iter_mut().find(|(id, _)| *id == stage) {
             Some((_, existing)) => {
@@ -130,6 +145,7 @@ impl StageRecorder {
                 existing.threads_used = existing.threads_used.max(entry.threads_used);
                 existing.tasks_executed += entry.tasks_executed;
                 existing.tasks_stolen += entry.tasks_stolen;
+                existing.batches += entry.batches;
             }
             None => self.stages.push((stage, entry)),
         }
@@ -200,6 +216,17 @@ mod tests {
         assert_eq!(s.items_out, 56);
         assert!((s.wall_ms - 5.0).abs() < 1.0, "wall {}", s.wall_ms);
         assert_eq!(s.tasks_executed, 2);
+    }
+
+    #[test]
+    fn record_batched_accumulates_batches() {
+        let mut rec = StageRecorder::new("detection", 2);
+        rec.record_batched(StageId::KernelEvaluation, 100, 3, Duration::ZERO, None, 2);
+        rec.record_batched(StageId::KernelEvaluation, 60, 1, Duration::ZERO, None, 1);
+        rec.record(StageId::ClipRemoval, 4, 4, Duration::ZERO, None);
+        let t = rec.finish();
+        assert_eq!(t.stage(StageId::KernelEvaluation).unwrap().batches, 3);
+        assert_eq!(t.stage(StageId::ClipRemoval).unwrap().batches, 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::time::Duration;
 ///
 /// v2 added the `density_prefilter` stage to the canonical stage list
 /// (merged records therefore carry eight stages instead of seven).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+/// v3 added the per-stage `batches` counter: clip batches scheduled
+/// through the batched SVM inference engine (0 for unbatched stages).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,6 +37,11 @@ pub struct StageTelemetry {
     pub tasks_executed: usize,
     /// Tasks a worker stole from another worker's queue.
     pub tasks_stolen: usize,
+    /// Clip batches scheduled through the batched SVM inference engine
+    /// (0 for stages that do not evaluate clips). Absent in pre-v3 records,
+    /// which deserialise with 0.
+    #[serde(default)]
+    pub batches: usize,
 }
 
 impl StageTelemetry {
@@ -48,6 +55,7 @@ impl StageTelemetry {
             threads_used: 0,
             tasks_executed: 0,
             tasks_stolen: 0,
+            batches: 0,
         }
     }
 
@@ -64,6 +72,7 @@ impl StageTelemetry {
         self.threads_used = self.threads_used.max(other.threads_used);
         self.tasks_executed += other.tasks_executed;
         self.tasks_stolen += other.tasks_stolen;
+        self.batches += other.batches;
     }
 }
 
@@ -141,20 +150,21 @@ impl PipelineTelemetry {
         );
         let _ = writeln!(
             out,
-            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7}",
-            "stage", "wall (ms)", "in", "out", "threads", "tasks", "stolen"
+            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
+            "stage", "wall (ms)", "in", "out", "threads", "tasks", "stolen", "batches"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7}",
+                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
                 s.stage,
                 s.wall_ms,
                 s.items_in,
                 s.items_out,
                 s.threads_used,
                 s.tasks_executed,
-                s.tasks_stolen
+                s.tasks_stolen,
+                s.batches
             );
         }
         out
@@ -193,8 +203,17 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"batches\""), "{json}");
         assert!(json.contains("population_balancing"), "{json}");
+    }
+
+    #[test]
+    fn pre_v3_records_deserialise_without_batches() {
+        let json = r#"{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
+            "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0}"#;
+        let s: StageTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(s.batches, 0);
     }
 
     #[test]

@@ -14,9 +14,9 @@ use crate::config::DetectorConfig;
 use crate::pattern::Pattern;
 use crate::training::{
     classify_patterns, density_grid, feature_vector_padded, train_iterative, ClusterKernel,
-    PatternCluster, Region,
+    FeatureMemo, PatternCluster, Region,
 };
-use hotspot_svm::{SvmModel, TrainError};
+use hotspot_svm::{BatchEvaluator, CompiledModel, SvmModel, TrainError};
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -26,9 +26,25 @@ use std::collections::BTreeSet;
 ///
 /// A kernel participates when the pattern's core topology matches its
 /// cluster signature exactly, or the core density grid lies within
-/// `radius × fuzziness` of the cluster centroid.
+/// `radius × fuzziness` of the cluster centroid. Features are extracted
+/// once per clip and padded vectors are shared across kernels of the same
+/// feature length ([`FeatureMemo`]).
 pub fn flagging_kernels(
     kernels: &[ClusterKernel],
+    pattern: &Pattern,
+    config: &DetectorConfig,
+    threshold: f64,
+) -> Vec<usize> {
+    flagging_kernels_with(kernels, None, pattern, config, threshold)
+}
+
+/// [`flagging_kernels`] with the decision-value engine selectable: `None`
+/// evaluates through the reference [`SvmModel::decision_value`]; `Some`
+/// routes every admitted kernel through its [`CompiledModel`] (indexed
+/// 1:1 with `kernels`) on the given [`BatchEvaluator`]'s scratch.
+pub(crate) fn flagging_kernels_with(
+    kernels: &[ClusterKernel],
+    mut compiled: Option<(&[CompiledModel], &mut BatchEvaluator)>,
     pattern: &Pattern,
     config: &DetectorConfig,
     threshold: f64,
@@ -44,6 +60,7 @@ pub fn flagging_kernels(
     let signature = TopoSignature::of(&local, &rects);
     let grid = density_grid(pattern, Region::Core, config);
 
+    let mut memo = FeatureMemo::new(pattern, Region::Core, config);
     let mut out = Vec::new();
     for (idx, k) in kernels.iter().enumerate() {
         let topo_match = signature == k.signature;
@@ -55,8 +72,12 @@ pub fn flagging_kernels(
         if !topo_match && !density_match {
             continue;
         }
-        let features = feature_vector_padded(pattern, Region::Core, config, k.feature_len);
-        if k.model.decision_value(&features) > threshold {
+        let features = memo.padded(k.feature_len);
+        let decision = match compiled.as_mut() {
+            Some((models, eval)) => eval.decision_value(&models[idx], features),
+            None => k.model.decision_value(features),
+        };
+        if decision > threshold {
             out.push(idx);
         }
     }
@@ -80,6 +101,18 @@ impl FeedbackKernel {
     pub fn confirms(&self, pattern: &Pattern, config: &DetectorConfig) -> bool {
         let features = feature_vector_padded(pattern, Region::Clip, config, self.feature_len);
         self.model.decision_value(&features) > 0.0
+    }
+
+    /// [`confirms`](Self::confirms) through the compiled inference engine.
+    pub(crate) fn confirms_with(
+        &self,
+        pattern: &Pattern,
+        config: &DetectorConfig,
+        compiled: &CompiledModel,
+        eval: &mut BatchEvaluator,
+    ) -> bool {
+        let features = feature_vector_padded(pattern, Region::Clip, config, self.feature_len);
+        eval.decision_value(compiled, &features) > 0.0
     }
 }
 

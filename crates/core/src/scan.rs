@@ -154,6 +154,11 @@ pub struct ScanReport {
     pub clips_flagged: usize,
     /// Flags reclaimed to nonhotspot by the feedback kernel.
     pub feedback_reclaimed: usize,
+    /// Clip batches scheduled through the batched SVM inference engine —
+    /// one per tile that evaluated at least one clip. Absent in
+    /// pre-batching reports, which deserialise with 0.
+    #[serde(default)]
+    pub eval_batches: usize,
     /// Most tiles simultaneously in flight — never exceeds the configured
     /// window ([`ScanConfig::effective_in_flight`]).
     pub peak_in_flight: usize,
@@ -256,6 +261,7 @@ impl HotspotDetector {
         let mut clips_extracted = 0usize;
         let mut clips_flagged = 0usize;
         let mut feedback_reclaimed = 0usize;
+        let mut eval_batches = 0usize;
         let mut flagged_cores: Vec<Rect> = Vec::new();
 
         loop {
@@ -277,6 +283,9 @@ impl HotspotDetector {
             let survivors = outcomes.iter().filter(|o| !o.prefiltered).count();
             let batch_clips: usize = outcomes.iter().map(|o| o.clips).sum();
             let batch_flagged: usize = outcomes.iter().map(|o| o.flagged).sum();
+            // Each tile with clips to evaluate was one batch on its own
+            // `BatchEvaluator` scratch.
+            let batch_evals = outcomes.iter().filter(|o| o.clips > 0).count();
             recorder.record(
                 StageId::DensityPrefilter,
                 batch.len(),
@@ -291,16 +300,18 @@ impl HotspotDetector {
                 outcomes.iter().map(|o| o.extract_time).sum(),
                 None,
             );
-            recorder.record(
+            recorder.record_batched(
                 StageId::KernelEvaluation,
                 batch_clips,
                 batch_flagged,
                 outcomes.iter().map(|o| o.eval_time).sum(),
                 Some(&stats),
+                batch_evals,
             );
             tiles_prefiltered += batch.len() - survivors;
             clips_extracted += batch_clips;
             clips_flagged += batch_flagged;
+            eval_batches += batch_evals;
             for mut o in outcomes {
                 feedback_reclaimed += o.reclaimed;
                 flagged_cores.append(&mut o.flagged_cores);
@@ -336,6 +347,7 @@ impl HotspotDetector {
             clips_extracted,
             clips_flagged,
             feedback_reclaimed,
+            eval_batches,
             peak_in_flight: peak.load(Ordering::SeqCst),
             telemetry: recorder.finish(),
             scan_time: started.elapsed(),
@@ -405,10 +417,12 @@ impl HotspotDetector {
         outcome.clips = patterns.len();
         outcome.extract_time = t1.elapsed();
 
-        // Multiple-kernel (and feedback) evaluation.
+        // Multiple-kernel (and feedback) evaluation: the tile's clips form
+        // one batch sharing a `BatchEvaluator`'s scratch.
         let t2 = Instant::now();
+        let mut eval = hotspot_svm::BatchEvaluator::new();
         for pattern in &patterns {
-            let (flagged, reclaimed) = self.flag_pattern(pattern, threshold);
+            let (flagged, reclaimed) = self.flag_pattern_with(pattern, threshold, &mut eval);
             if flagged {
                 outcome.flagged += 1;
                 if reclaimed {
@@ -468,6 +482,7 @@ mod tests {
             clips_extracted: 10,
             clips_flagged: 0,
             feedback_reclaimed: 0,
+            eval_batches: 0,
             peak_in_flight: 0,
             telemetry: PipelineTelemetry::default(),
             scan_time: Duration::ZERO,

@@ -137,6 +137,55 @@ pub fn feature_vector_padded(
         .to_vector_padded(len)
 }
 
+/// Lazily extracted, per-length-memoized feature vectors of one pattern
+/// region.
+///
+/// Orientation and critical-feature extraction are the expensive half of
+/// clip evaluation, so a clip admitted by several kernels must pay them
+/// once, not once per kernel (as [`flagging_kernels`] originally did).
+/// Padding to each kernel's `feature_len` is cheap and cached by length,
+/// so kernels sharing a feature length share one padded vector.
+///
+/// [`flagging_kernels`]: crate::feedback::flagging_kernels
+pub struct FeatureMemo<'a> {
+    pattern: &'a Pattern,
+    region: Region,
+    config: &'a DetectorConfig,
+    features: Option<CriticalFeatures>,
+    padded: Vec<(usize, Vec<f64>)>,
+}
+
+impl<'a> FeatureMemo<'a> {
+    /// A memo that extracts nothing until the first [`padded`](Self::padded)
+    /// request.
+    pub fn new(pattern: &'a Pattern, region: Region, config: &'a DetectorConfig) -> Self {
+        FeatureMemo {
+            pattern,
+            region,
+            config,
+            features: None,
+            padded: Vec::new(),
+        }
+    }
+
+    /// The feature vector padded/truncated to `len` — bit-identical to
+    /// [`feature_vector_padded`], with extraction done on first use and the
+    /// padded vector shared across kernels requesting the same length.
+    pub fn padded(&mut self, len: usize) -> &[f64] {
+        if let Some(i) = self.padded.iter().position(|(l, _)| *l == len) {
+            return &self.padded[i].1;
+        }
+        let features = self.features.get_or_insert_with(|| {
+            let window = normalized_window(self.pattern, self.region);
+            let rects = normalized_rects(self.pattern, self.region);
+            let (_, orientation) = TopoSignature::with_orientation(&window, &rects);
+            CriticalFeatures::extract_oriented(&window, &rects, orientation, &self.config.feature)
+        });
+        self.padded.push((len, features.to_vector_padded(len)));
+        &self.padded.last().expect("just pushed").1
+    }
+}
+
 /// Density grid of a pattern region at the configured resolution (used for
 /// routing evaluation clips to kernels).
 pub fn density_grid(pattern: &Pattern, region: Region, config: &DetectorConfig) -> DensityGrid {
@@ -580,6 +629,22 @@ mod tests {
         let a = train_cluster_kernels(&hotspots, &clusters, &nonhotspots, &seq_cfg).unwrap();
         let b = train_cluster_kernels(&hotspots, &clusters, &nonhotspots, &par_cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_memo_matches_direct_extraction() {
+        let p = pair_pattern(120);
+        let cfg = test_config();
+        let mut memo = FeatureMemo::new(&p, Region::Core, &cfg);
+        for len in [5usize, 9, 17, 9, 5] {
+            assert_eq!(
+                memo.padded(len),
+                feature_vector_padded(&p, Region::Core, &cfg, len).as_slice(),
+                "len {len}"
+            );
+        }
+        // Both lengths stay cached; re-requests return the same vectors.
+        assert_eq!(memo.padded.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Batched, flattened SVM inference — the clip-evaluation hot loop.
+//!
+//! [`SvmModel::decision_value`] is the *reference* implementation: it walks
+//! a `Vec<Vec<f64>>` of support vectors, evaluating the kernel row by row.
+//! That layout pointer-chases one heap allocation per support vector and
+//! recomputes `‖x − svᵢ‖²` as a fused subtract–square–sum per row, which
+//! the full-chip scan pays millions of times.
+//!
+//! [`CompiledModel`] flattens the trained model into one contiguous
+//! row-major support-vector matrix with precomputed per-row squared norms
+//! and the min-max scaler baked in, so an RBF row costs one dot product:
+//!
+//! ```text
+//! ‖x − svᵢ‖² = ‖x‖² + ‖svᵢ‖² − 2 ⟨svᵢ, x⟩
+//! ```
+//!
+//! with `‖x‖²` shared across all rows of the model and `‖svᵢ‖²` shared
+//! across all queries. The dot products run over fixed-width lane chunks
+//! that stable `rustc` autovectorises (no SIMD crates). [`BatchEvaluator`]
+//! owns the scratch buffers, so scoring a batch of clips against a set of
+//! compiled kernels performs no allocation at all.
+//!
+//! Scaling is baked in as per-dimension offsets plus *reciprocal* spans
+//! (a multiply where the reference divides — equal to 1 ulp), fused with
+//! the ‖x‖² accumulation in a single pass over the query.
+//!
+//! Compiled decision values agree with the reference implementation to
+//! ~1e-12 relative (the summation *order* and the scaling rounding
+//! change, the algebra does not); `tests/eval_equivalence.rs` pins the
+//! agreement to `1e-9` across kernels, dimensions, and random models.
+//!
+//! ```
+//! use hotspot_svm::{BatchEvaluator, Kernel, SvmTrainer};
+//!
+//! let x = vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]];
+//! let y = vec![-1.0, -1.0, 1.0, 1.0];
+//! let model = SvmTrainer::new(Kernel::rbf(0.5)).c(10.0).train(&x, &y)?;
+//! let compiled = model.compile();
+//! let mut eval = BatchEvaluator::new();
+//! let fast = eval.decision_value(&compiled, &[0.9]);
+//! let slow = model.decision_value(&[0.9]);
+//! assert!((fast - slow).abs() < 1e-9);
+//! # Ok::<(), hotspot_svm::TrainError>(())
+//! ```
+
+use crate::{Kernel, SvmModel};
+
+/// Number of independent accumulator lanes in the chunked dot product.
+/// Eight f64 lanes fill two AVX2 registers (or one AVX-512 register) and
+/// give the compiler enough independent chains to hide FMA latency.
+const LANES: usize = 8;
+
+/// Chunked dot product with a fixed, deterministic summation order.
+///
+/// The lane accumulators are independent, so the loop autovectorises on
+/// stable Rust; the order never depends on threading, keeping results
+/// reproducible across runs and thread counts.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    let mut acc = 0.0;
+    for l in lanes {
+        acc += l;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// A trained [`SvmModel`] flattened for the batched inference engine.
+///
+/// Built once per model with [`SvmModel::compile`] (typically right after
+/// training, or lazily after deserialising a persisted model); evaluation
+/// then goes through a [`BatchEvaluator`]. The compiled form is a pure
+/// acceleration: it holds exactly the reference model's support vectors,
+/// coefficients, bias, and scaler.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    kernel: Kernel,
+    /// Feature dimension of the *unscaled* query vector.
+    dim: usize,
+    /// Row-major `n_sv × dim` support-vector matrix (stored scaled, as the
+    /// training-time scaler left them).
+    sv: Vec<f64>,
+    /// `‖svᵢ‖²` per row, for the norm-trick RBF distance.
+    sv_norms: Vec<f64>,
+    /// `αᵢ yᵢ` per row.
+    coef: Vec<f64>,
+    /// Bias term ρ.
+    rho: f64,
+    /// Baked-in min-max scaling: per-dimension minima. Empty when the
+    /// model was trained without scaling.
+    scale_lo: Vec<f64>,
+    /// Baked-in min-max scaling: precomputed reciprocal spans, so the hot
+    /// loop multiplies where [`crate::FeatureScaler::transform`] divides
+    /// (same value to 1 ulp). Empty when the model was trained without
+    /// scaling.
+    scale_inv: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Flattens `model` into the compiled representation.
+    pub fn compile(model: &SvmModel) -> CompiledModel {
+        let dim = model.dim();
+        let support = model.support_vectors();
+        let mut sv = Vec::with_capacity(support.len() * dim);
+        let mut sv_norms = Vec::with_capacity(support.len());
+        for row in support {
+            sv.extend_from_slice(row);
+            sv_norms.push(dot(row, row));
+        }
+        let (scale_lo, scale_inv) = match model.scaler() {
+            Some(s) => (
+                s.mins().to_vec(),
+                s.spans().iter().map(|sp| 1.0 / sp).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        CompiledModel {
+            kernel: model.kernel(),
+            dim,
+            sv,
+            sv_norms,
+            coef: model.coefficients().to_vec(),
+            rho: model.rho(),
+            scale_lo,
+            scale_inv,
+        }
+    }
+
+    /// Feature dimension expected by evaluation.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of support-vector rows.
+    pub fn support_vector_count(&self) -> usize {
+        self.coef.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Floating-point operations of the support-vector dot products of one
+    /// decision value (`2 · dim · n_sv`) — the bench binaries' GFLOP/s
+    /// proxy. Scaling, norms, and `exp` calls are excluded.
+    pub fn flops_per_eval(&self) -> u64 {
+        2 * self.dim as u64 * self.coef.len() as u64
+    }
+
+    /// Decision value over an already-scaled query with `‖xs‖²` given.
+    fn decision_scaled(&self, xs: &[f64], x_norm: f64) -> f64 {
+        // Degenerate zero-dimension models carry no per-row data to dot.
+        if self.dim == 0 {
+            let k0 = match self.kernel {
+                Kernel::Rbf { .. } => 1.0,
+                Kernel::Linear => 0.0,
+                Kernel::Polynomial {
+                    gamma,
+                    coef0,
+                    degree,
+                } => (gamma * 0.0 + coef0).powi(degree as i32),
+            };
+            return self.coef.iter().map(|c| c * k0).sum::<f64>() - self.rho;
+        }
+        let rows = self.sv.chunks_exact(self.dim);
+        let mut acc = 0.0;
+        match self.kernel {
+            Kernel::Rbf { gamma } => {
+                for ((row, &svn), &c) in rows.zip(&self.sv_norms).zip(&self.coef) {
+                    // Clamped at zero: rounding may drive the norm-trick
+                    // distance a hair negative when x ≈ svᵢ.
+                    let d2 = (x_norm + svn - 2.0 * dot(row, xs)).max(0.0);
+                    acc += c * (-gamma * d2).exp();
+                }
+            }
+            Kernel::Linear => {
+                for (row, &c) in rows.zip(&self.coef) {
+                    acc += c * dot(row, xs);
+                }
+            }
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                for (row, &c) in rows.zip(&self.coef) {
+                    acc += c * (gamma * dot(row, xs) + coef0).powi(degree as i32);
+                }
+            }
+        }
+        acc - self.rho
+    }
+}
+
+/// Reusable scratch for scoring clips against [`CompiledModel`]s.
+///
+/// One evaluator serves any number of models of any dimension; keep it
+/// alive across a batch (e.g. one per worker thread or per scan tile) and
+/// the hot loop performs no heap allocation after the first clip.
+#[derive(Debug, Default)]
+pub struct BatchEvaluator {
+    scaled: Vec<f64>,
+}
+
+impl BatchEvaluator {
+    /// An evaluator with empty scratch (grown on first use).
+    pub fn new() -> BatchEvaluator {
+        BatchEvaluator::default()
+    }
+
+    /// Signed decision value of `x` under `model` — the compiled equivalent
+    /// of [`SvmModel::decision_value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model's training dimension.
+    pub fn decision_value(&mut self, model: &CompiledModel, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), model.dim, "feature dimension mismatch");
+        if model.scale_lo.is_empty() {
+            return model.decision_scaled(x, dot(x, x));
+        }
+        // Fused scaling + query norm: one chunked pass writes the scaled
+        // query into the scratch while accumulating ‖xs‖² on independent
+        // lanes (same autovectorizable shape as `dot`).
+        let scaled = &mut self.scaled;
+        scaled.clear();
+        scaled.resize(x.len(), 0.0);
+        let mut lanes = [0.0f64; LANES];
+        let mut out = scaled.chunks_exact_mut(LANES);
+        let mut cx = x.chunks_exact(LANES);
+        let mut clo = model.scale_lo.chunks_exact(LANES);
+        let mut cinv = model.scale_inv.chunks_exact(LANES);
+        for (((o, xs), lo), inv) in (&mut out).zip(&mut cx).zip(&mut clo).zip(&mut cinv) {
+            for l in 0..LANES {
+                let s = (xs[l] - lo[l]) * inv[l];
+                o[l] = s;
+                lanes[l] += s * s;
+            }
+        }
+        let mut x_norm = 0.0;
+        for l in lanes {
+            x_norm += l;
+        }
+        for (((o, xs), lo), inv) in out
+            .into_remainder()
+            .iter_mut()
+            .zip(cx.remainder())
+            .zip(clo.remainder())
+            .zip(cinv.remainder())
+        {
+            let s = (xs - lo) * inv;
+            *o = s;
+            x_norm += s * s;
+        }
+        model.decision_scaled(&self.scaled, x_norm)
+    }
+
+    /// Predicted class of `x`: `+1.0` when the decision value is
+    /// non-negative, mirroring [`SvmModel::predict`].
+    pub fn predict(&mut self, model: &CompiledModel, x: &[f64]) -> f64 {
+        if self.decision_value(model, x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Scores a batch of clips against one compiled model, appending one
+    /// decision value per clip to `out` (cleared first). The scratch is
+    /// reused across the whole batch.
+    pub fn decision_values_into(
+        &mut self,
+        model: &CompiledModel,
+        clips: &[Vec<f64>],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(clips.len());
+        for clip in clips {
+            out.push(self.decision_value(model, clip));
+        }
+    }
+
+    /// Scores a batch of clips against a set of compiled kernels, returning
+    /// the row-major `clips.len() × models.len()` decision matrix. All
+    /// clips must match every model's dimension.
+    pub fn decision_matrix(&mut self, models: &[CompiledModel], clips: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(models.len() * clips.len());
+        for clip in clips {
+            for model in models {
+                out.push(self.decision_value(model, clip));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SvmTrainer;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x = vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.2, 0.2],
+            vec![0.9, 1.0],
+            vec![1.0, 0.8],
+            vec![0.8, 0.9],
+        ];
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        (x, y)
+    }
+
+    #[test]
+    fn chunked_dot_matches_naive() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_trained_model() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(100.0)
+            .train(&x, &y)
+            .unwrap();
+        let compiled = model.compile();
+        assert_eq!(compiled.dim(), 2);
+        assert_eq!(
+            compiled.support_vector_count(),
+            model.support_vector_count()
+        );
+        let mut eval = BatchEvaluator::new();
+        for q in [[0.05, 0.05], [0.95, 0.95], [0.5, 0.5], [-1.0, 2.0]] {
+            let fast = eval.decision_value(&compiled, &q);
+            let slow = model.decision_value(&q);
+            assert!((fast - slow).abs() < 1e-9, "{q:?}: {fast} vs {slow}");
+            assert_eq!(eval.predict(&compiled, &q), model.predict(&q));
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_single_evaluation() {
+        let (x, y) = separable();
+        let a = SvmTrainer::new(Kernel::rbf(0.7))
+            .c(10.0)
+            .train(&x, &y)
+            .unwrap();
+        let b = SvmTrainer::new(Kernel::Linear)
+            .c(10.0)
+            .train(&x, &y)
+            .unwrap();
+        let models = [a.compile(), b.compile()];
+        let clips = vec![vec![0.3, 0.4], vec![0.9, 0.9]];
+        let mut eval = BatchEvaluator::new();
+
+        let mut out = Vec::new();
+        eval.decision_values_into(&models[0], &clips, &mut out);
+        assert_eq!(out.len(), 2);
+        for (clip, &v) in clips.iter().zip(&out) {
+            assert_eq!(v, eval.decision_value(&models[0], clip));
+        }
+
+        let matrix = eval.decision_matrix(&models, &clips);
+        assert_eq!(matrix.len(), 4);
+        for (ci, clip) in clips.iter().enumerate() {
+            for (mi, model) in models.iter().enumerate() {
+                assert_eq!(
+                    matrix[ci * models.len() + mi],
+                    eval.decision_value(model, clip)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flops_proxy_counts_dot_work() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0)).train(&x, &y).unwrap();
+        let compiled = model.compile();
+        assert_eq!(
+            compiled.flops_per_eval(),
+            2 * 2 * compiled.support_vector_count() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let (x, y) = separable();
+        let compiled = SvmTrainer::new(Kernel::rbf(1.0))
+            .train(&x, &y)
+            .unwrap()
+            .compile();
+        let _ = BatchEvaluator::new().decision_value(&compiled, &[0.0]);
+    }
+}

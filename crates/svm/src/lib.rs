@@ -14,6 +14,12 @@
 //! cache, per-class penalty weights (for imbalanced data), and optional
 //! min-max feature scaling.
 //!
+//! For the clip-evaluation hot loop, a trained model can be
+//! [compiled](SvmModel::compile) into a flattened [`CompiledModel`] and
+//! scored through a [`BatchEvaluator`] with reusable scratch — identical
+//! decisions, several times the throughput (see the [`eval`-module
+//! docs](CompiledModel)).
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod eval;
 mod kernel;
 mod model;
 mod probability;
@@ -41,6 +48,7 @@ mod scale;
 mod smo;
 
 pub use cache::{KernelCache, SharedKernelCache};
+pub use eval::{BatchEvaluator, CompiledModel};
 pub use kernel::Kernel;
 pub use model::{SvmModel, SvmTrainer, TrainError};
 pub use probability::PlattScaler;

@@ -237,22 +237,36 @@ pub struct SvmModel {
     converged: bool,
 }
 
+thread_local! {
+    /// Reusable scaling buffer: `decision_value` is called millions of
+    /// times per scan, so the reference path must not allocate per call.
+    static SCALE_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 impl SvmModel {
     /// Signed distance-like decision value for a feature vector.
+    ///
+    /// This is the *reference* implementation the batched engine is pinned
+    /// against; for hot loops, [`compile`](Self::compile) the model and
+    /// score through a [`crate::BatchEvaluator`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the training dimension.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim, "feature dimension mismatch");
-        let scaled;
-        let xq: &[f64] = match &self.scaler {
-            Some(s) => {
-                scaled = s.transform(x);
-                &scaled
-            }
-            None => x,
-        };
+        match &self.scaler {
+            Some(s) => SCALE_SCRATCH.with(|cell| {
+                let mut buf = cell.borrow_mut();
+                s.transform_into(x, &mut buf);
+                self.decision_value_scaled(&buf)
+            }),
+            None => self.decision_value_scaled(x),
+        }
+    }
+
+    /// Decision value over an already-scaled query.
+    fn decision_value_scaled(&self, xq: &[f64]) -> f64 {
         self.support
             .iter()
             .zip(&self.coef)
@@ -261,20 +275,33 @@ impl SvmModel {
             - self.rho
     }
 
-    /// Predicted class: `+1.0` when the decision value is non-negative.
-    pub fn predict(&self, x: &[f64]) -> f64 {
-        if self.decision_value(x) >= 0.0 {
-            1.0
-        } else {
-            -1.0
-        }
+    /// Flattens this model into a [`CompiledModel`](crate::CompiledModel)
+    /// for the batched inference engine (contiguous support vectors,
+    /// precomputed row norms, baked-in scaling). Compile once — at train
+    /// time or after deserialising — and score through a
+    /// [`crate::BatchEvaluator`].
+    pub fn compile(&self) -> crate::CompiledModel {
+        crate::CompiledModel::compile(self)
     }
 
-    /// Predicts with a shifted decision threshold: positive only when
-    /// `decision_value > threshold`. The paper's `ours_med` / `ours_low`
+    /// Predicted class: `+1.0` when the decision value is non-negative.
+    ///
+    /// Equivalent to [`predict_with_threshold`](Self::predict_with_threshold)
+    /// at `threshold = 0.0`: both treat the boundary case
+    /// `decision_value == threshold` as positive.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.predict_with_threshold(x, 0.0)
+    }
+
+    /// Predicts with a shifted decision threshold: positive when
+    /// `decision_value >= threshold`. The paper's `ours_med` / `ours_low`
     /// operating points raise this threshold to trade hits for extras.
+    ///
+    /// At `threshold = 0.0` this is exactly [`predict`](Self::predict):
+    /// the boundary case `decision_value == threshold` counts as positive
+    /// under both entry points.
     pub fn predict_with_threshold(&self, x: &[f64], threshold: f64) -> f64 {
-        if self.decision_value(x) > threshold {
+        if self.decision_value(x) >= threshold {
             1.0
         } else {
             -1.0
@@ -302,6 +329,26 @@ impl SvmModel {
     /// Number of support vectors retained.
     pub fn support_vector_count(&self) -> usize {
         self.support.len()
+    }
+
+    /// The retained support vectors (scaled, when scaling was enabled).
+    pub(crate) fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support
+    }
+
+    /// The `αᵢ yᵢ` coefficients, parallel to the support vectors.
+    pub(crate) fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// The bias term ρ.
+    pub(crate) fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The fitted feature scaler, when scaling was enabled.
+    pub(crate) fn scaler(&self) -> Option<&FeatureScaler> {
+        self.scaler.as_ref()
     }
 
     /// The kernel the model was trained with.
@@ -405,6 +452,22 @@ mod tests {
         assert!(f > 0.0);
         assert_eq!(model.predict_with_threshold(&q, f + 0.1), -1.0);
         assert_eq!(model.predict_with_threshold(&q, f - 0.1), 1.0);
+    }
+
+    #[test]
+    fn predict_and_threshold_share_boundary_semantics() {
+        let (x, y) = separable();
+        let model = SvmTrainer::new(Kernel::rbf(1.0))
+            .c(100.0)
+            .train(&x, &y)
+            .unwrap();
+        for q in [[0.05, 0.05], [0.5, 0.5], [0.95, 0.95]] {
+            // threshold = 0 must reproduce predict exactly...
+            assert_eq!(model.predict(&q), model.predict_with_threshold(&q, 0.0));
+            // ...and the exact boundary counts as positive for both.
+            let f = model.decision_value(&q);
+            assert_eq!(model.predict_with_threshold(&q, f), 1.0);
+        }
     }
 
     #[test]

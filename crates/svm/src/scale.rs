@@ -58,6 +58,16 @@ impl FeatureScaler {
         self.mins.len()
     }
 
+    /// Per-dimension minima (the subtracted offsets).
+    pub(crate) fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-dimension spans (`max − min`, 1.0 for constant dimensions).
+    pub(crate) fn spans(&self) -> &[f64] {
+        &self.spans
+    }
+
     /// Scales one vector into `[0, 1]` per dimension (values outside the
     /// training range extrapolate linearly beyond `[0, 1]`).
     ///
@@ -65,11 +75,26 @@ impl FeatureScaler {
     ///
     /// Panics if `v.len()` differs from the fitted dimension.
     pub fn transform(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(v.len());
+        self.transform_into(v, &mut out);
+        out
+    }
+
+    /// Scales one vector into a caller-provided buffer (cleared first),
+    /// so hot loops can reuse the allocation across calls. The arithmetic
+    /// is identical to [`transform`](Self::transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the fitted dimension.
+    pub fn transform_into(&self, v: &[f64], buf: &mut Vec<f64>) {
         assert_eq!(v.len(), self.dim(), "feature dimension mismatch");
-        v.iter()
-            .zip(self.mins.iter().zip(&self.spans))
-            .map(|(x, (lo, span))| (x - lo) / span)
-            .collect()
+        buf.clear();
+        buf.extend(
+            v.iter()
+                .zip(self.mins.iter().zip(&self.spans))
+                .map(|(x, (lo, span))| (x - lo) / span),
+        );
     }
 
     /// Scales a batch of vectors.
@@ -104,6 +129,17 @@ mod tests {
         let s = FeatureScaler::fit(&data);
         assert_eq!(s.transform(&[20.0]), vec![2.0]);
         assert_eq!(s.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn transform_into_reuses_buffer_and_matches() {
+        let data = vec![vec![-5.0, 2.0], vec![5.0, 4.0]];
+        let s = FeatureScaler::fit(&data);
+        let mut buf = vec![99.0; 7]; // stale content must be cleared
+        s.transform_into(&[0.0, 3.0], &mut buf);
+        assert_eq!(buf, s.transform(&[0.0, 3.0]));
+        s.transform_into(&[-5.0, 2.0], &mut buf);
+        assert_eq!(buf, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests pinning the batched inference engine to the reference
+//! implementation: for any trained model — RBF, linear, or polynomial
+//! kernel, any feature dimension, scaling on or off — the compiled
+//! decision value must match `SvmModel::decision_value` within 1e-9, and
+//! the predicted classes must be identical.
+
+use hotspot_svm::{BatchEvaluator, Kernel, SvmTrainer};
+use proptest::prelude::*;
+
+const MAX_DIM: usize = 16;
+const MAX_TRAIN: usize = 24;
+const MAX_QUERY: usize = 8;
+
+/// Slices a flat coordinate pool into `n` rows of `dim` values.
+fn rows(flat: &[f64], n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| flat[i * dim..(i + 1) * dim].to_vec())
+        .collect()
+}
+
+/// Builds a two-class training set: positives are shifted along
+/// dimension 0 so training converges fast while keeping overlap in play.
+fn problem(flat: &[f64], labels: &[bool], n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = rows(flat, n, dim);
+    let mut y = Vec::with_capacity(n);
+    for (row, &pos) in x.iter_mut().zip(labels) {
+        if pos {
+            row[0] += 2.0;
+            y.push(1.0);
+        } else {
+            y.push(-1.0);
+        }
+    }
+    (x, y)
+}
+
+/// Maps a selector integer plus shape parameters onto one of the three
+/// kernel families (the vendored proptest has no `prop_oneof!`).
+fn kernel_from(sel: u8, gamma: f64, coef0: f64, degree: u32) -> Kernel {
+    match sel % 3 {
+        0 => Kernel::rbf(gamma),
+        1 => Kernel::Linear,
+        _ => Kernel::Polynomial {
+            gamma,
+            coef0,
+            degree,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_decisions_match_reference(
+        flat in proptest::collection::vec(-3.0f64..3.0, MAX_DIM * MAX_TRAIN),
+        qflat in proptest::collection::vec(-3.0f64..3.0, MAX_DIM * MAX_QUERY),
+        labels in proptest::collection::vec(proptest::bool::ANY, MAX_TRAIN),
+        dim in 1usize..MAX_DIM,
+        n in 4usize..MAX_TRAIN,
+        nq in 1usize..MAX_QUERY,
+        sel in 0u8..3,
+        gamma in 0.05f64..4.0,
+        coef0 in -1.0f64..1.0,
+        degree in 1u32..4,
+        scale in proptest::bool::ANY,
+        c in 0.5f64..50.0,
+    ) {
+        let (x, y) = problem(&flat, &labels, n, dim);
+        let queries = rows(&qflat, nq, dim);
+        let kernel = kernel_from(sel, gamma, coef0, degree);
+        let model = SvmTrainer::new(kernel)
+            .c(c)
+            .scale(scale)
+            .max_iter(20_000)
+            .train(&x, &y)
+            .expect("training");
+        let compiled = model.compile();
+        let mut eval = BatchEvaluator::new();
+        for q in &queries {
+            let reference = model.decision_value(q);
+            let fast = eval.decision_value(&compiled, q);
+            let tol = 1e-9 * reference.abs().max(1.0);
+            prop_assert!(
+                (fast - reference).abs() <= tol,
+                "kernel {kernel}, dim {dim}: compiled {fast} vs reference {reference}"
+            );
+            prop_assert_eq!(eval.predict(&compiled, q), model.predict(q));
+        }
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_clip_scoring(
+        flat in proptest::collection::vec(-3.0f64..3.0, MAX_DIM * MAX_TRAIN),
+        qflat in proptest::collection::vec(-3.0f64..3.0, MAX_DIM * MAX_QUERY),
+        labels in proptest::collection::vec(proptest::bool::ANY, MAX_TRAIN),
+        dim in 1usize..MAX_DIM,
+        n in 4usize..MAX_TRAIN,
+        nq in 1usize..MAX_QUERY,
+        gamma in 0.1f64..2.0,
+    ) {
+        let (x, y) = problem(&flat, &labels, n, dim);
+        let queries = rows(&qflat, nq, dim);
+        let model = SvmTrainer::new(Kernel::rbf(gamma)).c(10.0).train(&x, &y).expect("training");
+        let compiled = model.compile();
+        let mut eval = BatchEvaluator::new();
+        let mut batch = Vec::new();
+        eval.decision_values_into(&compiled, &queries, &mut batch);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, &v) in queries.iter().zip(&batch) {
+            // Same scratch, same arithmetic: bitwise equal.
+            prop_assert_eq!(v, eval.decision_value(&compiled, q));
+        }
+    }
+}

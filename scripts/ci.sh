@@ -25,4 +25,12 @@ echo "==> examples (quickstart, stream_scan)"
 cargo run --release --quiet --example quickstart
 cargo run --release --quiet --example stream_scan
 
+echo "==> eval bench smoke (small suite: schema round-trip + speedup gate)"
+# The binary asserts identical hotspot sets on both engines, round-trips
+# the JSON schema, and exits non-zero if the hot-loop speedup dips below
+# the gate.
+HOTSPOT_EVAL_SCALES=small HOTSPOT_EVAL_MIN_SPEEDUP=1.0 \
+  HOTSPOT_BENCH_OUT=target/BENCH_eval_ci.json \
+  cargo run --release --quiet -p hotspot-bench --bin eval
+
 echo "CI OK"

@@ -118,6 +118,18 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T,
     }
 }
 
+/// Like [`__field`], but an absent field deserialises to `T::default()` —
+/// the backing helper of the derive's `#[serde(default)]` attribute.
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

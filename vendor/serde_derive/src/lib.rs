@@ -5,8 +5,9 @@
 //! hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
 //! offline) and supports exactly the shapes this workspace derives:
 //! non-generic named structs, tuple structs, unit structs, and enums with
-//! unit / tuple / struct variants, plus the `#[serde(skip)]` field
-//! attribute.
+//! unit / tuple / struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes (`default` deserialises an absent
+//! field to `Default::default()` while still serialising it).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -58,8 +60,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- parsing
 
-/// `true` when the attribute group tokens contain `serde(... skip ...)`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Flags carried by one field's `#[serde(...)]` attributes.
+#[derive(Debug, Clone, Copy, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+/// `true` when the attribute group tokens contain `serde(... flag ...)`.
+fn attr_has_serde_flag(group: &proc_macro::Group, flag: &str) -> bool {
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -69,23 +78,22 @@ fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
         Some(TokenTree::Group(inner)) => inner
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == flag)),
         _ => false,
     }
 }
 
-/// Consumes leading attributes from `tokens[*i..]`, returning whether any
-/// was `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// Consumes leading attributes from `tokens[*i..]`, returning the serde
+/// field flags (`skip`, `default`) they carry.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while *i < tokens.len() {
         match &tokens[*i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
                     if g.delimiter() == Delimiter::Bracket {
-                        if attr_is_serde_skip(g) {
-                            skip = true;
-                        }
+                        attrs.skip |= attr_has_serde_flag(g, "skip");
+                        attrs.default |= attr_has_serde_flag(g, "default");
                         *i += 2;
                         continue;
                     }
@@ -95,7 +103,7 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
             _ => break,
         }
     }
-    skip
+    attrs
 }
 
 /// Consumes a `pub` / `pub(...)` visibility prefix when present.
@@ -134,7 +142,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let attrs = skip_attrs(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -148,7 +156,11 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
         }
         skip_until_comma(&tokens, &mut i);
         i += 1; // consume the comma (or run off the end)
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -350,6 +362,11 @@ fn gen_deserialize(item: &Item) -> String {
                         "{}: ::core::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::__field_or_default(__obj, \"{n}\")?,\n",
+                        n = f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::__field(__obj, \"{n}\")?,\n",
@@ -413,6 +430,11 @@ fn gen_deserialize(item: &Item) -> String {
                                 inits.push_str(&format!(
                                     "{}: ::core::default::Default::default(),",
                                     f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::__field_or_default(__obj, \"{n}\")?,",
+                                    n = f.name
                                 ));
                             } else {
                                 inits.push_str(&format!(

@@ -53,6 +53,7 @@ fn main() {
         tile_cores: env_usize("HOTSPOT_TILE_CORES", defaults.tile_cores),
         max_in_flight: env_usize("HOTSPOT_MAX_IN_FLIGHT", defaults.max_in_flight),
         tile_density: None,
+        ..Default::default()
     };
     let report = detector
         .scan_layout(&benchmark.layout, benchmark.layer, &scan)

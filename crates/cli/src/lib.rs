@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
-use hotspot_core::{DetectError, DetectorConfig, HotspotDetector, ScanConfig, TrainingSet};
+use hotspot_core::{
+    DetectError, DetectorConfig, FailurePolicy, FaultPlan, HotspotDetector, ScanConfig, TrainingSet,
+};
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -101,6 +103,9 @@ USAGE:
                    [--layer N] [--threshold X] [--threads N] [--tile-cores N]
                    [--max-in-flight N] [--tile-density X] [--json]
                    [--telemetry <telemetry.json>]
+                   [--journal <journal.log>] [--resume] [--max-failed-tiles N]
+                   [--fault-seed N] [--fault-panic-per-mille N]
+                   [--fault-transient-per-mille N]
   hotspot score    --report <report.json> --actual <actual.json> --area-um2 <X>
                    [--min-overlap X] [--json]
   hotspot info     --layout <layout.gds>
@@ -113,39 +118,68 @@ the model's training telemetry with the run into an eight-stage record.
 `scan` streams the layout tile by tile: --max-in-flight bounds memory
 (0 = 2x threads), --tile-cores sets the tile stride in core sides, and
 --tile-density enables the aggressive mean-coverage prefilter.
+--journal appends each finished tile to a checksummed journal; --resume
+replays it and re-scans only the missing tiles (bit-identical results).
+--max-failed-tiles quarantines panicking tiles instead of aborting, up to
+the given bound. The --fault-* flags drive the deterministic
+fault-injection harness (testing only).
 
-Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline.";
+Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline,
+7 completed with quarantined tiles.";
+
+/// Exit code for a scan that completed but quarantined one or more tiles.
+pub const EXIT_QUARANTINED: i32 = 7;
 
 /// Runs a CLI invocation (without the program name) and returns its stdout.
+///
+/// Degraded-mode outcomes (a scan that completed with quarantined tiles)
+/// are reported as success here; use [`run_with_status`] to observe the
+/// non-zero advisory exit code.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] for bad arguments or failing I/O.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_status(args).map(|(out, _)| out)
+}
+
+/// Runs a CLI invocation and returns its stdout plus the process exit code.
+///
+/// The code is `0` for a clean run and [`EXIT_QUARANTINED`] when a scan
+/// completed under `--max-failed-tiles` with at least one quarantined tile.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments or failing I/O.
+pub fn run_with_status(args: &[String]) -> Result<(String, i32), CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage(USAGE.into()));
     };
     let opts = parse_flags(rest)?;
     match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "train" => cmd_train(&opts),
-        "detect" => cmd_detect(&opts),
+        "generate" => cmd_generate(&opts).map(clean),
+        "train" => cmd_train(&opts).map(clean),
+        "detect" => cmd_detect(&opts).map(clean),
         "scan" => cmd_scan(&opts),
-        "score" => cmd_score(&opts),
-        "info" => cmd_info(&opts),
-        "render" => cmd_render(&opts),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "score" => cmd_score(&opts).map(clean),
+        "info" => cmd_info(&opts).map(clean),
+        "render" => cmd_render(&opts).map(clean),
+        "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
     }
 }
 
+fn clean(out: String) -> (String, i32) {
+    (out, 0)
+}
+
 /// Flag map: `--key value` pairs, plus valueless boolean switches.
 struct Opts(Vec<(String, String)>);
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "resume"];
 
 impl Opts {
     fn get(&self, key: &str) -> Option<&str> {
@@ -291,7 +325,13 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
+fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
+    let journal = opts.get("journal").map(PathBuf::from);
+    if opts.has("resume") && journal.is_none() {
+        return Err(CliError::Usage(
+            "--resume needs --journal to name the journal to replay".into(),
+        ));
+    }
     let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
     let layout = gdsii::read_file(opts.require("layout")?)?;
     let out = PathBuf::from(opts.require("out")?);
@@ -303,6 +343,20 @@ fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
             .map_err(|_| CliError::Usage(format!("invalid value `{threads}` for --threads")))?;
         detector = detector.with_threads(threads);
     }
+    let failure_policy = match opts.get("max-failed-tiles") {
+        None => FailurePolicy::Abort,
+        Some(v) => FailurePolicy::SkipAndRecord {
+            max_failed_tiles: v.parse().map_err(|_| {
+                CliError::Usage(format!("invalid value `{v}` for --max-failed-tiles"))
+            })?,
+        },
+    };
+    let fault_plan = FaultPlan {
+        seed: opts.parse("fault-seed", 0u64)?,
+        panic_per_mille: opts.parse("fault-panic-per-mille", 0u16)?,
+        transient_per_mille: opts.parse("fault-transient-per-mille", 0u16)?,
+        ..Default::default()
+    };
     let defaults = ScanConfig::default();
     let scan =
         ScanConfig {
@@ -314,6 +368,10 @@ fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
                     CliError::Usage(format!("invalid value `{v}` for --tile-density"))
                 })?),
             },
+            resume_from: opts.has("resume").then(|| journal.clone()).flatten(),
+            journal,
+            failure_policy,
+            fault_plan,
         };
 
     let report = detector.scan_layout_with_threshold(&layout, layer, &scan, threshold)?;
@@ -322,11 +380,16 @@ fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
         let merged = detector.summary().telemetry.merge(&report.telemetry);
         write_json(path, &merged)?;
     }
+    let status = if report.failed_tiles.is_empty() {
+        0
+    } else {
+        EXIT_QUARANTINED
+    };
     if opts.has("json") {
-        return Ok(serde_json::to_string_pretty(&report)?);
+        return Ok((serde_json::to_string_pretty(&report)?, status));
     }
-    Ok(format!(
-        "scanned {} of {} tiles ({} prefiltered), {} clips in {} eval batches, flagged {}, reported {} hotspots in {:.2?} ({:.0} clips/s, peak {} tiles in flight)\nreport written to {}",
+    let mut text = format!(
+        "scanned {} of {} tiles ({} prefiltered), {} clips in {} eval batches, flagged {}, reported {} hotspots in {:.2?} ({:.0} clips/s, peak {} tiles in flight)",
         report.tiles_scanned,
         report.tiles_total,
         report.tiles_prefiltered,
@@ -337,8 +400,27 @@ fn cmd_scan(opts: &Opts) -> Result<String, CliError> {
         report.scan_time,
         report.clips_per_second(),
         report.peak_in_flight,
-        out.display(),
-    ))
+    );
+    if report.resumed_tiles > 0 {
+        text.push_str(&format!(
+            "\nresumed {} tile(s) from the journal",
+            report.resumed_tiles
+        ));
+    }
+    if report.retries > 0 {
+        text.push_str(&format!("\nretried {} tile(s) once", report.retries));
+    }
+    if !report.failed_tiles.is_empty() {
+        text.push_str(&format!(
+            "\nquarantined {} tile(s):",
+            report.failed_tiles.len()
+        ));
+        for failed in &report.failed_tiles {
+            text.push_str(&format!("\n  tile {}: {}", failed.tile, failed.reason));
+        }
+    }
+    text.push_str(&format!("\nreport written to {}", out.display()));
+    Ok((text, status))
 }
 
 fn cmd_score(opts: &Opts) -> Result<String, CliError> {
@@ -599,6 +681,97 @@ mod tests {
         .unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
         assert!(out.contains("\"hits\""), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_journal_resume_and_quarantine_flags() {
+        let dir = workdir("fault_flags");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        // --resume without --journal is a usage error.
+        let err = run(&argv(&[
+            "scan", "--resume", "--model", "x", "--layout", "y", "--out", "z",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--journal"), "{err}");
+
+        // A journaled scan, then a resumed one: same report, exit 0, and
+        // the resumed run replays every tile from the journal.
+        let journal = dir.join("scan.journal");
+        let report = dir.join("report.json");
+        let scan_args = |extra: &[&str]| {
+            let mut args = argv(&[
+                "scan",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--journal",
+                journal.to_str().unwrap(),
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args
+        };
+        let (out, status) = run_with_status(&scan_args(&[])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        let first = std::fs::read_to_string(&report).unwrap();
+
+        let (out, status) = run_with_status(&scan_args(&["--resume"])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("resumed"), "{out}");
+        assert_eq!(std::fs::read_to_string(&report).unwrap(), first);
+
+        // Injected panics on every tile + quarantine: completes with the
+        // advisory exit code and lists the quarantined tiles.
+        let fresh_journal = dir.join("faulted.journal");
+        let (out, status) = run_with_status(&argv(&[
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--journal",
+            fresh_journal.to_str().unwrap(),
+            "--max-failed-tiles",
+            "10000",
+            "--fault-seed",
+            "42",
+            "--fault-panic-per-mille",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(status, EXIT_QUARANTINED, "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        assert!(out.contains("injected fault"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

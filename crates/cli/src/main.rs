@@ -1,9 +1,14 @@
-//! The `hotspot` binary: thin wrapper around [`hotspot_cli::run`].
+//! The `hotspot` binary: thin wrapper around [`hotspot_cli::run_with_status`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match hotspot_cli::run(&args) {
-        Ok(output) => println!("{output}"),
+    match hotspot_cli::run_with_status(&args) {
+        Ok((output, status)) => {
+            println!("{output}");
+            if status != 0 {
+                std::process::exit(status);
+            }
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(e.exit_code());

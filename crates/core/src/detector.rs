@@ -2,7 +2,9 @@
 
 use crate::balance::upsample_hotspots;
 use crate::config::{DetectorConfig, DistributionFilter};
-use crate::engine::{Executor, PipelineTelemetry, StageId, StageRecorder};
+use crate::engine::{
+    Executor, FaultPlan, FaultSite, PipelineTelemetry, StageId, StageRecorder, TaskFailure,
+};
 use crate::extraction::{extract_clips_indexed, RectIndex};
 use crate::feedback::{flagging_kernels_with, train_feedback, FeedbackKernel};
 use crate::metrics::{score, Evaluation};
@@ -35,6 +37,20 @@ pub enum DetectError {
     Svm(TrainError),
     /// The evaluated layout has no polygons on the requested layer.
     EmptyLayer(LayerId),
+    /// A pipeline task panicked; the panic was isolated by the executor
+    /// and surfaced here instead of aborting the process.
+    TaskPanicked(TaskFailure),
+    /// The scan journal could not be created, appended, or replayed.
+    Journal(String),
+    /// More tiles failed than
+    /// [`FailurePolicy::SkipAndRecord`](crate::scan::FailurePolicy)
+    /// tolerates.
+    TooManyFailures {
+        /// Tiles that failed (after their retry).
+        failed: usize,
+        /// The configured `max_failed_tiles` bound.
+        max: usize,
+    },
 }
 
 /// Former name of [`DetectError`].
@@ -52,6 +68,14 @@ impl fmt::Display for DetectError {
             DetectError::EmptyLayer(layer) => {
                 write!(f, "layout has no polygons on layer {layer}")
             }
+            DetectError::TaskPanicked(failure) => {
+                write!(f, "pipeline task panicked: {failure}")
+            }
+            DetectError::Journal(msg) => write!(f, "scan journal error: {msg}"),
+            DetectError::TooManyFailures { failed, max } => write!(
+                f,
+                "{failed} tile(s) failed, exceeding the quarantine bound of {max}"
+            ),
         }
     }
 }
@@ -60,6 +84,7 @@ impl std::error::Error for DetectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DetectError::Svm(e) => Some(e),
+            DetectError::TaskPanicked(failure) => Some(failure),
             _ => None,
         }
     }
@@ -191,6 +216,8 @@ pub struct HotspotDetector {
     compiled: CompiledCache,
     #[serde(skip)]
     reference_eval: bool,
+    #[serde(skip)]
+    fault_plan: FaultPlan,
 }
 
 impl HotspotDetector {
@@ -324,6 +351,7 @@ impl HotspotDetector {
             summary,
             compiled: CompiledCache::default(),
             reference_eval: false,
+            fault_plan: FaultPlan::default(),
         };
         // Compile the inference engine eagerly so evaluation never pays the
         // flattening cost inside a timed phase.
@@ -354,6 +382,18 @@ impl HotspotDetector {
     /// (0 = one per core), e.g. to re-parallelise a deserialised model.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Returns this detector with a deterministic [`FaultPlan`] armed for
+    /// [`detect`](Self::detect): evaluation batches the plan marks as
+    /// failing panic, and the isolated panic surfaces as
+    /// [`DetectError::TaskPanicked`]. The fault-tolerance tests and the CI
+    /// smoke use this; the default (empty) plan injects nothing. Not
+    /// persisted with the model. For the streaming scan, arm
+    /// [`crate::ScanConfig::fault_plan`] instead.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -478,18 +518,30 @@ impl HotspotDetector {
         // 2. Multiple-kernel (and feedback) evaluation. Clips are chunked
         //    into batches — one executor task each, sharing one
         //    `BatchEvaluator`'s scratch — and fanned over the work-stealing
-        //    executor. `map` preserves input order, so the flag list is
-        //    deterministic for every thread count.
+        //    executor. `try_map` preserves input order, so the flag list is
+        //    deterministic for every thread count — and isolates a
+        //    panicking batch as a typed failure instead of aborting.
         let t1 = Instant::now();
         let batches: Vec<&[Pattern]> = clips.chunks(EVAL_BATCH).collect();
         let eval_batches = batches.len();
-        let (flag_chunks, exec_stats) = Executor::new(threads).map(&batches, |_, batch| {
-            let mut eval = BatchEvaluator::new();
-            batch
-                .iter()
-                .map(|c| self.flag_pattern_with(c, threshold, &mut eval))
-                .collect::<Vec<_>>()
-        });
+        let (flag_results, exec_stats) =
+            Executor::new(threads).try_map("kernel_evaluation", &batches, |i, batch| {
+                if !self.fault_plan.is_empty() {
+                    self.fault_plan.inject(FaultSite::Evaluation, i, 0);
+                }
+                let mut eval = BatchEvaluator::new();
+                batch
+                    .iter()
+                    .map(|c| self.flag_pattern_with(c, threshold, &mut eval))
+                    .collect::<Vec<_>>()
+            });
+        let mut flag_chunks = Vec::with_capacity(flag_results.len());
+        for result in flag_results {
+            match result {
+                Ok(chunk) => flag_chunks.push(chunk),
+                Err(failure) => return Err(DetectError::TaskPanicked(failure)),
+            }
+        }
         let mut flagged_cores = Vec::new();
         let mut clips_flagged = 0usize;
         let mut feedback_reclaimed = 0usize;

@@ -6,8 +6,21 @@
 //! clip) no longer stalls the whole chunk it happened to land in. Results
 //! are keyed by input index and merged back in input order, so the output
 //! is identical to a sequential map regardless of scheduling.
+//!
+//! # Panic isolation
+//!
+//! Task bodies run under [`std::panic::catch_unwind`], so a panicking task
+//! becomes a typed [`TaskFailure`] in that task's result slot instead of
+//! poisoning the pool or aborting the process: the remaining work is
+//! drained normally and every other task still produces its result
+//! ([`Executor::try_map`]). The infallible [`Executor::map`] front-end
+//! resumes the first recorded panic on the *calling* thread — after the
+//! pool has fully drained — so legacy callers keep panic-on-failure
+//! semantics without the double-panic abort hazard the old
+//! `join().expect(...)` drain had.
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use std::panic::AssertUnwindSafe;
 
 /// Utilisation counters of one [`Executor::map`] run, for telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,6 +31,48 @@ pub struct ExecutorStats {
     pub tasks_executed: usize,
     /// Tasks a worker stole from another worker's deque.
     pub tasks_stolen: usize,
+    /// Tasks whose body panicked (caught and surfaced as [`TaskFailure`]).
+    pub tasks_failed: usize,
+}
+
+/// A task body that panicked, caught at the task boundary.
+///
+/// The shape the paper's long-running full-chip scans need: one poisoned
+/// clip or tile is quarantined as data, the process survives, and the
+/// caller decides the policy ([`crate::scan::FailurePolicy`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Label of the pipeline stage the task ran in (a canonical
+    /// [`super::StageId`] name, or a caller-chosen label like `scan_tile`).
+    pub stage: String,
+    /// Index of the failed item in the executor's input slice.
+    pub index: usize,
+    /// The panic payload rendered to a string (`&str` / `String` payloads
+    /// verbatim, anything else a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} panicked in stage `{}`: {}",
+            self.index, self.stage, self.payload
+        )
+    }
+}
+
+impl std::error::Error for TaskFailure {}
+
+/// Renders a caught panic payload as a string.
+pub(crate) fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A scoped work-stealing executor over a fixed thread count.
@@ -44,22 +99,72 @@ impl Executor {
     ///
     /// `f` receives `(index, &item)`. With one thread (or one item) this
     /// degenerates to a plain sequential map on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If a task body panics, the pool still drains every remaining task;
+    /// the first panic (in input order) is then resumed on the calling
+    /// thread. Callers that want failures as data use
+    /// [`try_map`](Self::try_map).
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecutorStats)
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let (results, stats) = self.try_map("unlabelled", items, f);
+        let results = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(failure) => std::panic::resume_unwind(Box::new(failure.payload)),
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// [`map`](Self::map) with panic isolation: each task body runs under
+    /// `catch_unwind`, and a panicking task yields
+    /// `Err(`[`TaskFailure`]`)` in its input-order slot while every other
+    /// task completes normally. `stage` labels failures for diagnostics.
+    ///
+    /// The closure is wrapped in [`AssertUnwindSafe`]: a failed task's
+    /// result is discarded, and pipeline task bodies only share read-only
+    /// state (`&self`, immutable inputs) plus atomics, so a caught unwind
+    /// cannot expose torn data to surviving tasks.
+    pub fn try_map<T, R, F>(
+        &self,
+        stage: &str,
+        items: &[T],
+        f: F,
+    ) -> (Vec<Result<R, TaskFailure>>, ExecutorStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
+        let run = |i: usize| -> Result<R, TaskFailure> {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| {
+                TaskFailure {
+                    stage: stage.to_string(),
+                    index: i,
+                    payload: panic_payload_to_string(payload.as_ref()),
+                }
+            })
+        };
+
         let threads = self.threads.min(n.max(1));
         if threads <= 1 {
-            let results = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let results: Vec<Result<R, TaskFailure>> = (0..n).map(run).collect();
+            let tasks_failed = results.iter().filter(|r| r.is_err()).count();
             return (
                 results,
                 ExecutorStats {
                     threads_used: 1,
                     tasks_executed: n,
                     tasks_stolen: 0,
+                    tasks_failed,
                 },
             );
         }
@@ -70,13 +175,14 @@ impl Executor {
         }
         let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
 
-        let f = &f;
+        let run = &run;
         let stealers = &stealers;
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<R, TaskFailure>>> = (0..n).map(|_| None).collect();
         let mut stats = ExecutorStats {
             threads_used: threads,
             tasks_executed: 0,
             tasks_stolen: 0,
+            tasks_failed: 0,
         };
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
@@ -84,7 +190,7 @@ impl Executor {
                 .enumerate()
                 .map(|(wid, local)| {
                     scope.spawn(move || {
-                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut out: Vec<(usize, Result<R, TaskFailure>)> = Vec::new();
                         let mut stolen = 0usize;
                         loop {
                             let task = local.pop().or_else(|| {
@@ -98,24 +204,52 @@ impl Executor {
                                 None
                             });
                             let Some(i) = task else { break };
-                            out.push((i, f(i, &items[i])));
+                            out.push((i, run(i)));
                         }
                         (out, stolen)
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, stolen) = h.join().expect("executor worker panicked");
-                stats.tasks_executed += out.len();
-                stats.tasks_stolen += stolen;
-                for (i, r) in out {
-                    slots[i] = Some(r);
+                // `run` catches every unwind inside the worker, so a join
+                // error means the worker thread itself died — record it as
+                // data rather than panicking mid-drain (the old
+                // `expect(...)` here could turn one failure into an
+                // abort-on-double-unwind).
+                match h.join() {
+                    Ok((out, stolen)) => {
+                        stats.tasks_executed += out.len();
+                        stats.tasks_stolen += stolen;
+                        for (i, r) in out {
+                            stats.tasks_failed += r.is_err() as usize;
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => {
+                        // Leave this worker's slots empty; they are filled
+                        // with a typed failure below.
+                        let _ = payload;
+                    }
                 }
             }
         });
-        let results = slots
+        let results: Vec<Result<R, TaskFailure>> = slots
             .into_iter()
-            .map(|r| r.expect("every task produces exactly one result"))
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(r) => r,
+                // A task that never produced a result (its worker died):
+                // surface as a failure instead of the old unreachable
+                // `expect`.
+                None => {
+                    stats.tasks_failed += 1;
+                    Err(TaskFailure {
+                        stage: stage.to_string(),
+                        index: i,
+                        payload: "executor worker thread died before task completion".to_string(),
+                    })
+                }
+            })
             .collect();
         (results, stats)
     }
@@ -137,6 +271,7 @@ mod tests {
             assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
             assert_eq!(stats.tasks_executed, items.len());
             assert_eq!(stats.threads_used, threads.min(items.len()));
+            assert_eq!(stats.tasks_failed, 0);
         }
     }
 
@@ -190,5 +325,85 @@ mod tests {
             let (par, _) = Executor::new(threads).map(&items, |i, &v| v * v + i as i64);
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_drains_the_rest() {
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 4] {
+            let (out, stats) = Executor::new(threads).try_map("unit", &items, |_, &v| {
+                if v % 17 == 3 {
+                    panic!("injected fault at item {v}");
+                }
+                v * 2
+            });
+            assert_eq!(out.len(), items.len());
+            let expected_failures = items.iter().filter(|v| *v % 17 == 3).count();
+            assert_eq!(stats.tasks_failed, expected_failures, "threads={threads}");
+            assert_eq!(stats.tasks_executed, items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 17 == 3 {
+                    let failure = r.as_ref().unwrap_err();
+                    assert_eq!(failure.index, i);
+                    assert_eq!(failure.stage, "unit");
+                    assert!(failure.payload.contains("injected fault"), "{failure}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_failures_are_deterministic_across_thread_counts() {
+        let items: Vec<usize> = (0..120).collect();
+        let run = |threads: usize| -> Vec<usize> {
+            let (out, _) = Executor::new(threads).try_map("unit", &items, |_, &v| {
+                if v % 13 == 7 {
+                    panic!("boom {v}");
+                }
+                v
+            });
+            out.iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_err())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_resumes_first_panic_after_draining() {
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4).map(&items, |_, &v| {
+                if v == 10 {
+                    panic!("poisoned item");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                v
+            })
+        }));
+        assert!(result.is_err(), "map must propagate the panic");
+        // Panic isolation drained every other task before resuming.
+        assert_eq!(completed.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn task_failure_displays_context() {
+        let f = TaskFailure {
+            stage: "kernel_evaluation".into(),
+            index: 7,
+            payload: "boom".into(),
+        };
+        let msg = f.to_string();
+        assert!(msg.contains("kernel_evaluation"), "{msg}");
+        assert!(msg.contains('7'), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
     }
 }

@@ -9,7 +9,12 @@
 //!   kernel evaluation → clip removal) and time them,
 //! - [`Executor`] ([`executor`]) is the work-stealing task scheduler used
 //!   by kernel training and clip evaluation in place of fixed-chunk
-//!   `thread::scope` fan-out,
+//!   `thread::scope` fan-out; its task bodies run under `catch_unwind`, so
+//!   a panicking task surfaces as a typed [`TaskFailure`] instead of
+//!   aborting the process,
+//! - [`FaultPlan`] ([`fault`]) is the seeded, deterministic
+//!   fault-injection plan the fault-tolerance tests and the CI smoke use
+//!   to prove the isolation, retry, and quarantine paths,
 //! - [`PipelineTelemetry`] ([`telemetry`]) is the serialisable record the
 //!   two phases produce, carried on
 //!   [`crate::detector::TrainingSummary`] and
@@ -17,9 +22,11 @@
 //!   `detect --telemetry`.
 
 pub mod executor;
+pub mod fault;
 pub mod stage;
 pub mod telemetry;
 
-pub use executor::{Executor, ExecutorStats};
+pub use executor::{Executor, ExecutorStats, TaskFailure};
+pub use fault::{FaultPlan, FaultSite};
 pub use stage::{StageId, StageRecorder};
 pub use telemetry::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};

@@ -84,6 +84,7 @@ pub struct StageRecorder {
     threads: usize,
     stages: Vec<(StageId, StageTelemetry)>,
     started: Instant,
+    resumed_tiles: usize,
 }
 
 impl StageRecorder {
@@ -95,6 +96,7 @@ impl StageRecorder {
             threads,
             stages: Vec::new(),
             started: Instant::now(),
+            resumed_tiles: 0,
         }
     }
 
@@ -136,6 +138,8 @@ impl StageRecorder {
             tasks_executed,
             tasks_stolen,
             batches,
+            failures: stats.map_or(0, |s| s.tasks_failed),
+            retries: 0,
         };
         match self.stages.iter_mut().find(|(id, _)| *id == stage) {
             Some((_, existing)) => {
@@ -146,9 +150,35 @@ impl StageRecorder {
                 existing.tasks_executed += entry.tasks_executed;
                 existing.tasks_stolen += entry.tasks_stolen;
                 existing.batches += entry.batches;
+                existing.failures += entry.failures;
+                existing.retries += entry.retries;
             }
             None => self.stages.push((stage, entry)),
         }
+    }
+
+    /// Folds fault-tolerance counters into `stage`: `failures` panicking
+    /// task attempts and `retries` re-attempts (schema v4). Creates a
+    /// zero-time entry when the stage has not been recorded yet.
+    pub fn record_faults(&mut self, stage: StageId, failures: usize, retries: usize) {
+        match self.stages.iter_mut().find(|(id, _)| *id == stage) {
+            Some((_, existing)) => {
+                existing.failures += failures;
+                existing.retries += retries;
+            }
+            None => {
+                let mut entry = StageTelemetry::empty(stage);
+                entry.failures = failures;
+                entry.retries = retries;
+                self.stages.push((stage, entry));
+            }
+        }
+    }
+
+    /// Adds tiles replayed from a scan journal to the run-level resume
+    /// counter (schema v4).
+    pub fn add_resumed_tiles(&mut self, tiles: usize) {
+        self.resumed_tiles += tiles;
     }
 
     /// Times `f` as one execution of `stage`; the closure returns its value
@@ -175,6 +205,7 @@ impl StageRecorder {
             threads: self.threads,
             stages: self.stages.into_iter().map(|(_, s)| s).collect(),
             total_wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            resumed_tiles: self.resumed_tiles,
         }
     }
 }
@@ -239,6 +270,24 @@ mod tests {
         assert_eq!(t.stages[1].stage, "clip_removal");
         assert_eq!(t.phase, "detection");
         assert_eq!(t.threads, 1);
+    }
+
+    #[test]
+    fn record_faults_folds_into_existing_or_new_entries() {
+        let mut rec = StageRecorder::new("scan", 2);
+        rec.record(StageId::KernelEvaluation, 10, 2, Duration::ZERO, None);
+        rec.record_faults(StageId::KernelEvaluation, 3, 2);
+        rec.record_faults(StageId::DensityPrefilter, 1, 0);
+        rec.add_resumed_tiles(4);
+        rec.add_resumed_tiles(1);
+        let t = rec.finish();
+        let eval = t.stage(StageId::KernelEvaluation).unwrap();
+        assert_eq!(eval.failures, 3);
+        assert_eq!(eval.retries, 2);
+        let pre = t.stage(StageId::DensityPrefilter).unwrap();
+        assert_eq!(pre.failures, 1);
+        assert_eq!(pre.wall_ms, 0.0);
+        assert_eq!(t.resumed_tiles, 5);
     }
 
     #[test]

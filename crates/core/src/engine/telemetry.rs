@@ -18,7 +18,12 @@ use std::time::Duration;
 /// (merged records therefore carry eight stages instead of seven).
 /// v3 added the per-stage `batches` counter: clip batches scheduled
 /// through the batched SVM inference engine (0 for unbatched stages).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
+/// v4 added the fault-tolerance counters: per-stage `failures` (task
+/// attempts that panicked and were isolated) and `retries` (failed tasks
+/// re-attempted before quarantine), plus the run-level `resumed_tiles`
+/// (tiles replayed from a scan journal instead of recomputed). All three
+/// deserialise as 0 from older records via `#[serde(default)]`.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +47,15 @@ pub struct StageTelemetry {
     /// which deserialise with 0.
     #[serde(default)]
     pub batches: usize,
+    /// Task attempts in this stage that panicked and were isolated by the
+    /// executor instead of aborting the process. Absent in pre-v4 records,
+    /// which deserialise with 0.
+    #[serde(default)]
+    pub failures: usize,
+    /// Failed tasks that were retried once before quarantine. Absent in
+    /// pre-v4 records, which deserialise with 0.
+    #[serde(default)]
+    pub retries: usize,
 }
 
 impl StageTelemetry {
@@ -56,6 +70,8 @@ impl StageTelemetry {
             tasks_executed: 0,
             tasks_stolen: 0,
             batches: 0,
+            failures: 0,
+            retries: 0,
         }
     }
 
@@ -73,6 +89,8 @@ impl StageTelemetry {
         self.tasks_executed += other.tasks_executed;
         self.tasks_stolen += other.tasks_stolen;
         self.batches += other.batches;
+        self.failures += other.failures;
+        self.retries += other.retries;
     }
 }
 
@@ -91,6 +109,10 @@ pub struct PipelineTelemetry {
     pub stages: Vec<StageTelemetry>,
     /// Total wall-clock time of the phase, in milliseconds.
     pub total_wall_ms: f64,
+    /// Tiles replayed from a scan journal instead of recomputed (resume).
+    /// Absent in pre-v4 records, which deserialise with 0.
+    #[serde(default)]
+    pub resumed_tiles: usize,
 }
 
 impl Default for PipelineTelemetry {
@@ -101,6 +123,7 @@ impl Default for PipelineTelemetry {
             threads: 0,
             stages: Vec::new(),
             total_wall_ms: 0.0,
+            resumed_tiles: 0,
         }
     }
 }
@@ -138,6 +161,7 @@ impl PipelineTelemetry {
             threads: self.threads.max(other.threads),
             stages,
             total_wall_ms: self.total_wall_ms + other.total_wall_ms,
+            resumed_tiles: self.resumed_tiles + other.resumed_tiles,
         }
     }
 
@@ -145,18 +169,27 @@ impl PipelineTelemetry {
     /// and the CLI.
     pub fn breakdown(&self) -> String {
         let mut out = format!(
-            "pipeline telemetry (schema v{}, phase {}, {} thread(s), total {:.2} ms)\n",
-            self.schema_version, self.phase, self.threads, self.total_wall_ms
+            "pipeline telemetry (schema v{}, phase {}, {} thread(s), total {:.2} ms, {} resumed tile(s))\n",
+            self.schema_version, self.phase, self.threads, self.total_wall_ms, self.resumed_tiles
         );
         let _ = writeln!(
             out,
-            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
-            "stage", "wall (ms)", "in", "out", "threads", "tasks", "stolen", "batches"
+            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7}",
+            "stage",
+            "wall (ms)",
+            "in",
+            "out",
+            "threads",
+            "tasks",
+            "stolen",
+            "batches",
+            "failed",
+            "retried"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
+                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7}",
                 s.stage,
                 s.wall_ms,
                 s.items_in,
@@ -164,7 +197,9 @@ impl PipelineTelemetry {
                 s.threads_used,
                 s.tasks_executed,
                 s.tasks_stolen,
-                s.batches
+                s.batches,
+                s.failures,
+                s.retries
             );
         }
         out
@@ -203,17 +238,28 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"schema_version\":4"), "{json}");
         assert!(json.contains("\"batches\""), "{json}");
+        assert!(json.contains("\"failures\""), "{json}");
+        assert!(json.contains("\"retries\""), "{json}");
+        assert!(json.contains("\"resumed_tiles\""), "{json}");
         assert!(json.contains("population_balancing"), "{json}");
     }
 
     #[test]
-    fn pre_v3_records_deserialise_without_batches() {
+    fn pre_v4_records_deserialise_without_fault_counters() {
+        // A v2-era stage record: no batches, failures, or retries.
         let json = r#"{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
             "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0}"#;
         let s: StageTelemetry = serde_json::from_str(json).unwrap();
         assert_eq!(s.batches, 0);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.retries, 0);
+        // A v3-era pipeline record: no resumed_tiles.
+        let json = r#"{"schema_version":3,"phase":"scan","threads":2,
+            "stages":[],"total_wall_ms":1.0}"#;
+        let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(t.resumed_tiles, 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod detector;
 pub mod engine;
 pub mod extraction;
 pub mod feedback;
+pub mod journal;
 pub mod metrics;
 pub mod multilayer;
 pub mod pattern;
@@ -62,11 +63,13 @@ pub use config::{AblationSwitches, DetectorConfig, DistributionFilter};
 #[allow(deprecated)]
 pub use detector::TrainPipelineError;
 pub use detector::{DetectError, DetectionReport, DetectorBuilder, HotspotDetector};
-pub use engine::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};
+pub use engine::{
+    FaultPlan, FaultSite, PipelineTelemetry, StageTelemetry, TaskFailure, TELEMETRY_SCHEMA_VERSION,
+};
 pub use extraction::{extract_clips, RectIndex};
 pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
 pub use pattern::{Label, Pattern, TrainingSet};
 pub use patterning::{DecomposedPattern, DoublePatterningDetector};
-pub use scan::{ScanConfig, ScanReport};
+pub use scan::{FailurePolicy, QuarantinedTile, ScanConfig, ScanReport};
 pub use training::{ClusterKernel, PatternCluster};

@@ -1,4 +1,5 @@
-//! Streaming full-layout scan with density prefiltering (§IV-E).
+//! Streaming full-layout scan with density prefiltering (§IV-E) and
+//! fault tolerance.
 //!
 //! [`HotspotDetector::detect`] materialises every candidate clip of the
 //! layout before classifying — fine for benchmark clips, prohibitive for a
@@ -17,6 +18,25 @@
 //! set of [`HotspotDetector::detect`] (see `tests/scan.rs`). Setting
 //! [`ScanConfig::tile_density`] adds an aggressive mean-coverage cut that
 //! trades recall for speed, as the paper's density filter does.
+//!
+//! # Fault tolerance
+//!
+//! A production scan runs for hours, so the scan is the pipeline's
+//! fault-tolerance boundary:
+//!
+//! - tile tasks run under the executor's panic isolation — a panicking
+//!   tile is retried once on the caller thread, then handled per
+//!   [`ScanConfig::failure_policy`]: [`FailurePolicy::Abort`] surfaces a
+//!   typed [`DetectError::TaskPanicked`], while
+//!   [`FailurePolicy::SkipAndRecord`] quarantines the tile into
+//!   [`ScanReport::failed_tiles`] and scans on;
+//! - [`ScanConfig::journal`] appends every completed tile to a durable
+//!   checkpoint journal ([`crate::journal`]), and
+//!   [`ScanConfig::resume_from`] replays it so a killed scan restarts
+//!   where it left off, with a report whose deterministic content
+//!   ([`ScanReport::digest`]) is bit-identical to an uninterrupted run;
+//! - [`ScanConfig::fault_plan`] arms the deterministic fault-injection
+//!   harness that proves all of the above under test.
 //!
 //! # Example
 //!
@@ -68,17 +88,51 @@
 
 use crate::config::DetectorConfig;
 use crate::detector::{DetectError, HotspotDetector};
-use crate::engine::{Executor, PipelineTelemetry, StageId, StageRecorder};
+use crate::engine::executor::panic_payload_to_string;
+use crate::engine::{
+    Executor, ExecutorStats, FaultPlan, FaultSite, PipelineTelemetry, StageId, StageRecorder,
+    TaskFailure,
+};
 use crate::extraction::{passes_filter, split_oversized, RectIndex};
+use crate::journal::{read_journal, JournalHeader, JournalWriter, TileOutcomeRecord, TileRecord};
 use crate::pattern::Pattern;
 use crate::removal::remove_redundant_clips;
 use hotspot_geom::Rect;
 use hotspot_layout::scan::{Tile, TileScanner, TileSpec};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// What a scan does when a tile task fails (panics on both attempts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FailurePolicy {
+    /// Fail the scan with [`DetectError::TaskPanicked`] on the first tile
+    /// whose retry also fails (the default — no silent data loss).
+    #[default]
+    Abort,
+    /// Quarantine the failed tile into [`ScanReport::failed_tiles`] and
+    /// keep scanning — degraded mode for long production runs.
+    SkipAndRecord {
+        /// Fail the scan with [`DetectError::TooManyFailures`] once more
+        /// than this many tiles are quarantined.
+        max_failed_tiles: usize,
+    },
+}
+
+/// A tile that failed both attempts and was skipped under
+/// [`FailurePolicy::SkipAndRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedTile {
+    /// Stable tile id (`iy × grid_cols + ix`), thread-count-invariant.
+    pub tile: usize,
+    /// The panic payload of the failing attempt.
+    pub reason: String,
+}
 
 /// Configuration of a streaming layout scan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,6 +149,24 @@ pub struct ScanConfig {
     /// true hotspots; `None` keeps the scan exactly equivalent to
     /// [`HotspotDetector::detect`].
     pub tile_density: Option<f64>,
+    /// What to do when a tile fails both its attempt and its retry.
+    #[serde(default)]
+    pub failure_policy: FailurePolicy,
+    /// Checkpoint journal to append completed tiles to (fsync'd once per
+    /// in-flight batch). `None` disables journaling.
+    #[serde(default)]
+    pub journal: Option<PathBuf>,
+    /// Journal of an earlier (killed) scan to resume from: its completed
+    /// tiles are replayed instead of recomputed. Usually the same path as
+    /// [`journal`](Self::journal), so the resumed scan keeps appending to
+    /// the same file.
+    #[serde(default)]
+    pub resume_from: Option<PathBuf>,
+    /// Deterministic fault-injection plan, for the fault-tolerance tests
+    /// and the CI smoke. The default (empty) plan injects nothing and
+    /// costs nothing.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ScanConfig {
@@ -103,6 +175,10 @@ impl Default for ScanConfig {
             tile_cores: 16,
             max_in_flight: 0,
             tile_density: None,
+            failure_policy: FailurePolicy::Abort,
+            journal: None,
+            resume_from: None,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -122,7 +198,7 @@ impl ScanConfig {
                 return Err(format!("tile_density must be positive and finite, got {d}"));
             }
         }
-        Ok(())
+        self.fault_plan.validate()
     }
 
     /// The in-flight window after resolving `0` against `threads`.
@@ -159,6 +235,19 @@ pub struct ScanReport {
     /// pre-batching reports, which deserialise with 0.
     #[serde(default)]
     pub eval_batches: usize,
+    /// Tiles quarantined under [`FailurePolicy::SkipAndRecord`] — both
+    /// attempts panicked. Empty on a healthy scan (and in pre-v4 reports,
+    /// which deserialise empty).
+    #[serde(default)]
+    pub failed_tiles: Vec<QuarantinedTile>,
+    /// Failed tile tasks that were re-attempted once before quarantine.
+    /// Absent in pre-v4 reports, which deserialise with 0.
+    #[serde(default)]
+    pub retries: usize,
+    /// Tiles replayed from [`ScanConfig::resume_from`] instead of
+    /// recomputed. Absent in pre-v4 reports, which deserialise with 0.
+    #[serde(default)]
+    pub resumed_tiles: usize,
     /// Most tiles simultaneously in flight — never exceeds the configured
     /// window ([`ScanConfig::effective_in_flight`]).
     pub peak_in_flight: usize,
@@ -179,6 +268,39 @@ impl ScanReport {
         }
         self.clips_extracted as f64 / secs
     }
+
+    /// Canonical JSON digest of the report's *deterministic* content: the
+    /// reported clips, every tile/clip/flag count, and the quarantine
+    /// list. Wall-clock and scheduling artefacts (telemetry, scan time,
+    /// `peak_in_flight`) and the resume/retry provenance counters are
+    /// excluded — so a killed-and-resumed scan digests byte-identically to
+    /// an uninterrupted one, which `tests/fault_tolerance.rs` pins.
+    pub fn digest(&self) -> String {
+        #[derive(Serialize)]
+        struct Digest {
+            reported: Vec<ClipWindow>,
+            tiles_total: usize,
+            tiles_scanned: usize,
+            tiles_prefiltered: usize,
+            clips_extracted: usize,
+            clips_flagged: usize,
+            feedback_reclaimed: usize,
+            eval_batches: usize,
+            failed_tiles: Vec<QuarantinedTile>,
+        }
+        serde_json::to_string(&Digest {
+            reported: self.reported.clone(),
+            tiles_total: self.tiles_total,
+            tiles_scanned: self.tiles_scanned,
+            tiles_prefiltered: self.tiles_prefiltered,
+            clips_extracted: self.clips_extracted,
+            clips_flagged: self.clips_flagged,
+            feedback_reclaimed: self.feedback_reclaimed,
+            eval_batches: self.eval_batches,
+            failed_tiles: self.failed_tiles.clone(),
+        })
+        .expect("scan digest serialises")
+    }
 }
 
 /// Everything one tile contributes, gathered on a worker thread.
@@ -193,6 +315,63 @@ struct TileOutcome {
     eval_time: Duration,
 }
 
+impl TileOutcome {
+    /// The canonical journal record of this outcome (wall times are
+    /// provenance, not content, and are not journaled).
+    fn to_record(&self) -> TileOutcomeRecord {
+        if self.prefiltered {
+            TileOutcomeRecord::Prefiltered
+        } else {
+            TileOutcomeRecord::Evaluated {
+                clips: self.clips,
+                flagged: self.flagged,
+                reclaimed: self.reclaimed,
+                flagged_cores: self.flagged_cores.clone(),
+            }
+        }
+    }
+
+    /// Rebuilds the outcome a journaled tile contributed, with zero wall
+    /// time (the work already happened in the journaled run).
+    fn from_record(record: &TileOutcomeRecord) -> TileOutcome {
+        let mut outcome = TileOutcome {
+            prefiltered: false,
+            clips: 0,
+            flagged: 0,
+            reclaimed: 0,
+            flagged_cores: Vec::new(),
+            prefilter_time: Duration::ZERO,
+            extract_time: Duration::ZERO,
+            eval_time: Duration::ZERO,
+        };
+        match record {
+            TileOutcomeRecord::Prefiltered => outcome.prefiltered = true,
+            TileOutcomeRecord::Evaluated {
+                clips,
+                flagged,
+                reclaimed,
+                flagged_cores,
+            } => {
+                outcome.clips = *clips;
+                outcome.flagged = *flagged;
+                outcome.reclaimed = *reclaimed;
+                outcome.flagged_cores = flagged_cores.clone();
+            }
+        }
+        outcome
+    }
+}
+
+/// Decrements the in-flight counter on drop, so the count stays balanced
+/// even when a tile task unwinds out of an injected panic.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl HotspotDetector {
     /// Streams a full layout through the evaluation pipeline tile by tile
     /// (§IV-E): density prefilter → clip extraction → multiple-kernel
@@ -200,13 +379,19 @@ impl HotspotDetector {
     ///
     /// Memory is bounded by the in-flight tile window; results are
     /// deterministic and — with the aggressive cut off — identical to
-    /// [`HotspotDetector::detect`] on the same layout.
+    /// [`HotspotDetector::detect`] on the same layout. Tile panics are
+    /// isolated, retried once, and then handled per
+    /// [`ScanConfig::failure_policy`]; see the [module docs](crate::scan)
+    /// for the journal/resume machinery.
     ///
     /// # Errors
     ///
-    /// Returns [`DetectError::Config`] for invalid scan settings and
+    /// Returns [`DetectError::Config`] for invalid scan settings,
     /// [`DetectError::EmptyLayer`] when the layout has no polygons on
-    /// `layer`.
+    /// `layer`, [`DetectError::Journal`] for journal I/O or fingerprint
+    /// mismatches, [`DetectError::TaskPanicked`] under
+    /// [`FailurePolicy::Abort`], and [`DetectError::TooManyFailures`] when
+    /// the quarantine bound is exceeded.
     pub fn scan_layout(
         &self,
         layout: &Layout,
@@ -251,6 +436,55 @@ impl HotspotDetector {
         .map_err(|e| DetectError::Config(e.to_string()))?;
         let mut scanner = TileScanner::from_rects(index.rects().to_vec(), spec);
         let tiles_total = scanner.grid().tile_count();
+        let grid_cols = scanner.grid().cols();
+
+        // Resume: replay the valid prefix of an earlier journal, and open
+        // the journal writer (appending in place when resuming the same
+        // file, creating afresh otherwise).
+        let header = JournalHeader::new(tiles_total, scan.tile_cores, layer, threshold);
+        let mut replayed: HashMap<usize, TileOutcomeRecord> = HashMap::new();
+        let mut journal_writer: Option<JournalWriter> = None;
+        if let Some(resume_path) = &scan.resume_from {
+            let contents = read_journal(resume_path)
+                .map_err(|e| DetectError::Journal(format!("{}: {e}", resume_path.display())))?;
+            if contents.header != header {
+                return Err(DetectError::Journal(format!(
+                    "{}: journal belongs to a different scan (grid, layer, or threshold differ)",
+                    resume_path.display()
+                )));
+            }
+            if scan.journal.as_deref() == Some(resume_path.as_path()) {
+                let writer = JournalWriter::resume(resume_path, contents.valid_len)
+                    .map_err(|e| DetectError::Journal(format!("{}: {e}", resume_path.display())))?;
+                journal_writer = Some(writer);
+            }
+            replayed = contents.records;
+        }
+        if journal_writer.is_none() {
+            if let Some(journal_path) = &scan.journal {
+                let mut writer = JournalWriter::create(journal_path, &header).map_err(|e| {
+                    DetectError::Journal(format!("{}: {e}", journal_path.display()))
+                })?;
+                // Carry replayed tiles into the fresh journal so it stays a
+                // complete record of the scan. Replays bypass injection.
+                let mut ids: Vec<usize> = replayed.keys().copied().collect();
+                ids.sort_unstable();
+                let no_faults = FaultPlan::default();
+                for id in ids {
+                    let record = TileRecord {
+                        tile: id,
+                        outcome: replayed[&id].clone(),
+                    };
+                    writer.append(&record, &no_faults).map_err(|e| {
+                        DetectError::Journal(format!("{}: {e}", journal_path.display()))
+                    })?;
+                }
+                writer.sync().map_err(|e| {
+                    DetectError::Journal(format!("{}: {e}", journal_path.display()))
+                })?;
+                journal_writer = Some(writer);
+            }
+        }
 
         let executor = Executor::new(threads);
         let in_flight = AtomicUsize::new(0);
@@ -262,6 +496,9 @@ impl HotspotDetector {
         let mut clips_flagged = 0usize;
         let mut feedback_reclaimed = 0usize;
         let mut eval_batches = 0usize;
+        let mut retries_total = 0usize;
+        let mut resumed_total = 0usize;
+        let mut failed_tiles: Vec<QuarantinedTile> = Vec::new();
         let mut flagged_cores: Vec<Rect> = Vec::new();
 
         loop {
@@ -272,15 +509,113 @@ impl HotspotDetector {
                 break;
             }
             tiles_scanned += batch.len();
-            let (outcomes, stats) = executor.map(&batch, |_, tile| {
-                let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(current, Ordering::SeqCst);
-                let outcome = self.process_tile(tile, &index, config, scan, threshold);
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-                outcome
-            });
 
+            // Partition the batch in order: journaled tiles replay, the
+            // rest run fresh. Slots keep batch positions, so the final
+            // aggregation order — and with it the report content — is the
+            // same as an uninterrupted run's.
+            let mut slots: Vec<Option<TileOutcome>> = Vec::with_capacity(batch.len());
+            let mut fresh_tasks: Vec<(usize, usize)> = Vec::new(); // (batch pos, tile id)
+            let mut batch_resumed = 0usize;
+            for (pos, tile) in batch.iter().enumerate() {
+                let id = (tile.iy * grid_cols + tile.ix) as usize;
+                match replayed.get(&id) {
+                    Some(record) => {
+                        slots.push(Some(TileOutcome::from_record(record)));
+                        batch_resumed += 1;
+                    }
+                    None => {
+                        slots.push(None);
+                        fresh_tasks.push((pos, id));
+                    }
+                }
+            }
+            resumed_total += batch_resumed;
+            recorder.add_resumed_tiles(batch_resumed);
+
+            let (results, stats) = if fresh_tasks.is_empty() {
+                (
+                    Vec::new(),
+                    ExecutorStats {
+                        threads_used: 0,
+                        tasks_executed: 0,
+                        tasks_stolen: 0,
+                        tasks_failed: 0,
+                    },
+                )
+            } else {
+                executor.try_map("scan_tile", &fresh_tasks, |_, &(pos, id)| {
+                    let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    let _guard = InFlightGuard(&in_flight);
+                    peak.fetch_max(current, Ordering::SeqCst);
+                    self.process_tile(&batch[pos], &index, config, scan, threshold, id, 0)
+                })
+            };
+
+            // Retry failed tiles once, sequentially, then apply the
+            // failure policy to any that fail again.
+            let mut retry_failures = 0usize;
+            let mut batch_retries = 0usize;
+            for (result, &(pos, id)) in results.into_iter().zip(&fresh_tasks) {
+                match result {
+                    Ok(outcome) => slots[pos] = Some(outcome),
+                    Err(failure) => {
+                        batch_retries += 1;
+                        let retry = catch_unwind(AssertUnwindSafe(|| {
+                            self.process_tile(&batch[pos], &index, config, scan, threshold, id, 1)
+                        }));
+                        match retry {
+                            Ok(outcome) => slots[pos] = Some(outcome),
+                            Err(payload) => {
+                                retry_failures += 1;
+                                let reason = panic_payload_to_string(payload.as_ref());
+                                match scan.failure_policy {
+                                    FailurePolicy::Abort => {
+                                        return Err(DetectError::TaskPanicked(TaskFailure {
+                                            stage: failure.stage,
+                                            index: id,
+                                            payload: reason,
+                                        }));
+                                    }
+                                    FailurePolicy::SkipAndRecord { max_failed_tiles } => {
+                                        failed_tiles.push(QuarantinedTile { tile: id, reason });
+                                        if failed_tiles.len() > max_failed_tiles {
+                                            return Err(DetectError::TooManyFailures {
+                                                failed: failed_tiles.len(),
+                                                max: max_failed_tiles,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            retries_total += batch_retries;
+
+            // Append this batch's fresh completions to the journal, then
+            // make them durable in one fsync.
+            if let Some(writer) = journal_writer.as_mut() {
+                for &(pos, id) in &fresh_tasks {
+                    if let Some(outcome) = &slots[pos] {
+                        let record = TileRecord {
+                            tile: id,
+                            outcome: outcome.to_record(),
+                        };
+                        writer.append(&record, &scan.fault_plan).map_err(|e| {
+                            DetectError::Journal(format!("append of tile {id} failed: {e}"))
+                        })?;
+                    }
+                }
+                writer
+                    .sync()
+                    .map_err(|e| DetectError::Journal(format!("journal sync failed: {e}")))?;
+            }
+
+            let outcomes: Vec<&TileOutcome> = slots.iter().flatten().collect();
             let survivors = outcomes.iter().filter(|o| !o.prefiltered).count();
+            let prefiltered = outcomes.iter().filter(|o| o.prefiltered).count();
             let batch_clips: usize = outcomes.iter().map(|o| o.clips).sum();
             let batch_flagged: usize = outcomes.iter().map(|o| o.flagged).sum();
             // Each tile with clips to evaluate was one batch on its own
@@ -308,11 +643,16 @@ impl HotspotDetector {
                 Some(&stats),
                 batch_evals,
             );
-            tiles_prefiltered += batch.len() - survivors;
+            // First-attempt failures came in through the executor stats;
+            // fold in the sequential retries and their failures.
+            if batch_retries > 0 {
+                recorder.record_faults(StageId::KernelEvaluation, retry_failures, batch_retries);
+            }
+            tiles_prefiltered += prefiltered;
             clips_extracted += batch_clips;
             clips_flagged += batch_flagged;
             eval_batches += batch_evals;
-            for mut o in outcomes {
+            for mut o in slots.into_iter().flatten() {
                 feedback_reclaimed += o.reclaimed;
                 flagged_cores.append(&mut o.flagged_cores);
             }
@@ -348,6 +688,9 @@ impl HotspotDetector {
             clips_flagged,
             feedback_reclaimed,
             eval_batches,
+            failed_tiles,
+            retries: retries_total,
+            resumed_tiles: resumed_total,
             peak_in_flight: peak.load(Ordering::SeqCst),
             telemetry: recorder.finish(),
             scan_time: started.elapsed(),
@@ -355,6 +698,12 @@ impl HotspotDetector {
     }
 
     /// Prefilters, extracts, and classifies the clips one tile owns.
+    ///
+    /// `tile_id` is the stable grid id and `attempt` the attempt number
+    /// (0 = first, 1 = retry); both exist only to key the deterministic
+    /// fault-injection hooks, which compile down to an `is_empty` check on
+    /// production scans.
+    #[allow(clippy::too_many_arguments)]
     fn process_tile(
         &self,
         tile: &Tile,
@@ -362,8 +711,11 @@ impl HotspotDetector {
         config: &DetectorConfig,
         scan: &ScanConfig,
         threshold: f64,
+        tile_id: usize,
+        attempt: u32,
     ) -> TileOutcome {
         let shape = config.clip_shape;
+        let fault = &scan.fault_plan;
         let mut outcome = TileOutcome {
             prefiltered: false,
             clips: 0,
@@ -379,6 +731,9 @@ impl HotspotDetector {
         // rectangles, so it upper-bounds the pattern area over any core the
         // tile owns: skipping only below `min_core_density × core_area`
         // can never drop a clip that extraction would keep.
+        if !fault.is_empty() {
+            fault.inject(FaultSite::Prefilter, tile_id, attempt);
+        }
         let t0 = Instant::now();
         let covered: i64 = tile
             .rects
@@ -399,6 +754,9 @@ impl HotspotDetector {
         // Clip extraction, restricted to the anchors this tile owns. Tile
         // regions partition the plane, so per-tile dedup over owned anchors
         // equals the global anchor dedup of `extract_clips_indexed`.
+        if !fault.is_empty() {
+            fault.inject(FaultSite::Extraction, tile_id, attempt);
+        }
         let t1 = Instant::now();
         let pieces = split_oversized(&tile.rects, shape.core_side());
         let mut seen = HashSet::new();
@@ -419,6 +777,9 @@ impl HotspotDetector {
 
         // Multiple-kernel (and feedback) evaluation: the tile's clips form
         // one batch sharing a `BatchEvaluator`'s scratch.
+        if !fault.is_empty() {
+            fault.inject(FaultSite::Evaluation, tile_id, attempt);
+        }
         let t2 = Instant::now();
         let mut eval = hotspot_svm::BatchEvaluator::new();
         for pattern in &patterns {
@@ -456,6 +817,14 @@ mod tests {
             };
             assert!(bad.validate().is_err(), "tile_density {d}");
         }
+        let bad_plan = ScanConfig {
+            fault_plan: FaultPlan {
+                panic_per_mille: 2000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad_plan.validate().unwrap_err().contains("per_mille"));
     }
 
     #[test]
@@ -473,8 +842,17 @@ mod tests {
     }
 
     #[test]
-    fn clips_per_second_handles_zero_time() {
-        let report = ScanReport {
+    fn legacy_scan_config_json_deserialises() {
+        // A pre-fault-tolerance config: no policy, journal, or fault plan.
+        let json = r#"{"tile_cores":8,"max_in_flight":4,"tile_density":null}"#;
+        let config: ScanConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(config.failure_policy, FailurePolicy::Abort);
+        assert!(config.journal.is_none() && config.resume_from.is_none());
+        assert!(config.fault_plan.is_empty());
+    }
+
+    fn empty_report() -> ScanReport {
+        ScanReport {
             reported: Vec::new(),
             tiles_total: 0,
             tiles_scanned: 0,
@@ -483,15 +861,49 @@ mod tests {
             clips_flagged: 0,
             feedback_reclaimed: 0,
             eval_batches: 0,
+            failed_tiles: Vec::new(),
+            retries: 0,
+            resumed_tiles: 0,
             peak_in_flight: 0,
             telemetry: PipelineTelemetry::default(),
             scan_time: Duration::ZERO,
-        };
+        }
+    }
+
+    #[test]
+    fn clips_per_second_handles_zero_time() {
+        let report = empty_report();
         assert_eq!(report.clips_per_second(), 0.0);
         let timed = ScanReport {
             scan_time: Duration::from_secs(2),
             ..report
         };
         assert!((timed.clips_per_second() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_ignores_provenance_but_not_content() {
+        let base = empty_report();
+        let provenance = ScanReport {
+            retries: 3,
+            resumed_tiles: 7,
+            peak_in_flight: 5,
+            scan_time: Duration::from_secs(1),
+            ..base.clone()
+        };
+        assert_eq!(base.digest(), provenance.digest());
+        let content = ScanReport {
+            clips_flagged: 1,
+            ..base.clone()
+        };
+        assert_ne!(base.digest(), content.digest());
+        let quarantined = ScanReport {
+            failed_tiles: vec![QuarantinedTile {
+                tile: 4,
+                reason: "injected".into(),
+            }],
+            ..base.clone()
+        };
+        assert_ne!(base.digest(), quarantined.digest());
     }
 }

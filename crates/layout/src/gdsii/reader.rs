@@ -28,7 +28,11 @@ const MAX_DEPTH: usize = 16;
 /// malformed elements, references to undefined structures, cyclic or
 /// overly deep hierarchies, and non-orthogonal transforms.
 pub fn read_bytes(bytes: &[u8]) -> Result<Layout, GdsError> {
-    let mut cursor = Cursor { bytes, pos: 0 };
+    let mut cursor = Cursor {
+        bytes,
+        pos: 0,
+        last_offset: 0,
+    };
     let mut lib_name = String::from("lib");
     let mut structures: Vec<(String, Vec<Element>)> = Vec::new();
 
@@ -40,20 +44,28 @@ pub fn read_bytes(bytes: &[u8]) -> Result<Layout, GdsError> {
     )?;
 
     loop {
-        let (rt, payload) = cursor.next_record()?;
+        // EOF before ENDLIB is an unterminated library, not a bare EOF.
+        let (rt, payload) = cursor.next_record_in("reading the library body")?;
         match rt {
             RecordType::LibName => {
                 lib_name = parse_string(payload)?;
             }
             RecordType::Units => {
                 if payload.len() != 16 {
-                    return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+                    return Err(GdsError::BadRecordLength {
+                        length: payload.len() as u16 + 4,
+                        offset: cursor.last_offset(),
+                    });
                 }
             }
             RecordType::BgnStr => {
-                let (srt, spayload) = cursor.next_record()?;
+                let (srt, spayload) = cursor.next_record_in("reading a structure name")?;
                 if srt != RecordType::StrName {
-                    return Err(GdsError::UnexpectedRecord(srt, "reading a structure name"));
+                    return Err(GdsError::UnexpectedRecord {
+                        record: srt,
+                        context: "reading a structure name",
+                        offset: cursor.last_offset(),
+                    });
                 }
                 let name = parse_string(spayload)?;
                 let elements = read_structure(&mut cursor)?;
@@ -61,10 +73,11 @@ pub fn read_bytes(bytes: &[u8]) -> Result<Layout, GdsError> {
             }
             RecordType::EndLib => break,
             other => {
-                return Err(GdsError::UnexpectedRecord(
-                    other,
-                    "reading the library body",
-                ))
+                return Err(GdsError::UnexpectedRecord {
+                    record: other,
+                    context: "reading the library body",
+                    offset: cursor.last_offset(),
+                })
             }
         }
     }
@@ -298,7 +311,7 @@ fn path_to_rects(
 fn read_structure(cursor: &mut Cursor<'_>) -> Result<Vec<Element>, GdsError> {
     let mut elements = Vec::new();
     loop {
-        let (rt, _) = cursor.next_record()?;
+        let (rt, _) = cursor.next_record_in("reading structure elements")?;
         match rt {
             RecordType::Boundary => elements.push(read_boundary(cursor)?),
             RecordType::Path => elements.push(read_path(cursor)?),
@@ -306,10 +319,11 @@ fn read_structure(cursor: &mut Cursor<'_>) -> Result<Vec<Element>, GdsError> {
             RecordType::Aref => elements.push(read_reference(cursor, true)?),
             RecordType::EndStr => return Ok(elements),
             other => {
-                return Err(GdsError::UnexpectedRecord(
-                    other,
-                    "reading structure elements",
-                ))
+                return Err(GdsError::UnexpectedRecord {
+                    record: other,
+                    context: "reading structure elements",
+                    offset: cursor.last_offset(),
+                })
             }
         }
     }
@@ -319,13 +333,19 @@ fn read_boundary(cursor: &mut Cursor<'_>) -> Result<Element, GdsError> {
     let mut layer: Option<LayerId> = None;
     let mut vertices: Option<Vec<Point>> = None;
     loop {
-        let (rt, payload) = cursor.next_record()?;
+        let (rt, payload) = cursor.next_record_in("reading a BOUNDARY")?;
         match rt {
-            RecordType::Layer => layer = Some(parse_layer(payload)?),
+            RecordType::Layer => layer = Some(parse_layer(payload, cursor.last_offset())?),
             RecordType::DataType => {}
             RecordType::Xy => vertices = Some(parse_points(payload)?),
             RecordType::EndEl => break,
-            other => return Err(GdsError::UnexpectedRecord(other, "reading a BOUNDARY")),
+            other => {
+                return Err(GdsError::UnexpectedRecord {
+                    record: other,
+                    context: "reading a BOUNDARY",
+                    offset: cursor.last_offset(),
+                })
+            }
         }
     }
     let layer = layer.ok_or_else(|| GdsError::BadBoundary("missing LAYER".into()))?;
@@ -345,26 +365,38 @@ fn read_path(cursor: &mut Cursor<'_>) -> Result<Element, GdsError> {
     let mut width: Coord = 0;
     let mut path_type: u16 = 0;
     loop {
-        let (rt, payload) = cursor.next_record()?;
+        let (rt, payload) = cursor.next_record_in("reading a PATH")?;
         match rt {
-            RecordType::Layer => layer = Some(parse_layer(payload)?),
+            RecordType::Layer => layer = Some(parse_layer(payload, cursor.last_offset())?),
             RecordType::DataType => {}
             RecordType::Width => {
                 if payload.len() != 4 {
-                    return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+                    return Err(GdsError::BadRecordLength {
+                        length: payload.len() as u16 + 4,
+                        offset: cursor.last_offset(),
+                    });
                 }
                 width =
                     i32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as Coord;
             }
             RecordType::PathType => {
                 if payload.len() != 2 {
-                    return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+                    return Err(GdsError::BadRecordLength {
+                        length: payload.len() as u16 + 4,
+                        offset: cursor.last_offset(),
+                    });
                 }
                 path_type = u16::from_be_bytes([payload[0], payload[1]]);
             }
             RecordType::Xy => points = Some(parse_points(payload)?),
             RecordType::EndEl => break,
-            other => return Err(GdsError::UnexpectedRecord(other, "reading a PATH")),
+            other => {
+                return Err(GdsError::UnexpectedRecord {
+                    record: other,
+                    context: "reading a PATH",
+                    offset: cursor.last_offset(),
+                })
+            }
         }
     }
     Ok(Element::Path {
@@ -382,12 +414,15 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
     let mut colrow: Option<(usize, usize)> = None;
     let mut points: Option<Vec<Point>> = None;
     loop {
-        let (rt, payload) = cursor.next_record()?;
+        let (rt, payload) = cursor.next_record_in("reading a reference")?;
         match rt {
             RecordType::SName => sname = Some(parse_string(payload)?),
             RecordType::STrans => {
                 if payload.len() != 2 {
-                    return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+                    return Err(GdsError::BadRecordLength {
+                        length: payload.len() as u16 + 4,
+                        offset: cursor.last_offset(),
+                    });
                 }
                 let bits = u16::from_be_bytes([payload[0], payload[1]]);
                 mirror = bits & 0x8000 != 0;
@@ -398,7 +433,7 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
                 }
             }
             RecordType::Mag => {
-                let mag = parse_real8(payload)?;
+                let mag = parse_real8(payload, cursor.last_offset())?;
                 if (mag - 1.0).abs() > 1e-9 {
                     return Err(GdsError::UnsupportedTransform(format!(
                         "magnification {mag} (only 1.0 supported)"
@@ -406,7 +441,7 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
                 }
             }
             RecordType::Angle => {
-                let angle = parse_real8(payload)?;
+                let angle = parse_real8(payload, cursor.last_offset())?;
                 let quarters = angle / 90.0;
                 if (quarters - quarters.round()).abs() > 1e-9 {
                     return Err(GdsError::UnsupportedTransform(format!(
@@ -417,7 +452,10 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
             }
             RecordType::ColRow => {
                 if payload.len() != 4 {
-                    return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+                    return Err(GdsError::BadRecordLength {
+                        length: payload.len() as u16 + 4,
+                        offset: cursor.last_offset(),
+                    });
                 }
                 let cols = i16::from_be_bytes([payload[0], payload[1]]);
                 let rows = i16::from_be_bytes([payload[2], payload[3]]);
@@ -430,7 +468,13 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
             }
             RecordType::Xy => points = Some(parse_points(payload)?),
             RecordType::EndEl => break,
-            other => return Err(GdsError::UnexpectedRecord(other, "reading a reference")),
+            other => {
+                return Err(GdsError::UnexpectedRecord {
+                    record: other,
+                    context: "reading a reference",
+                    offset: cursor.last_offset(),
+                })
+            }
         }
     }
     let sname = sname.ok_or_else(|| GdsError::UnknownStructure("<missing SNAME>".into()))?;
@@ -471,9 +515,12 @@ fn read_reference(cursor: &mut Cursor<'_>, is_array: bool) -> Result<Element, Gd
     }))
 }
 
-fn parse_layer(payload: &[u8]) -> Result<LayerId, GdsError> {
+fn parse_layer(payload: &[u8], offset: usize) -> Result<LayerId, GdsError> {
     if payload.len() != 2 {
-        return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+        return Err(GdsError::BadRecordLength {
+            length: payload.len() as u16 + 4,
+            offset,
+        });
     }
     let n = i16::from_be_bytes([payload[0], payload[1]]);
     if n < 0 {
@@ -500,9 +547,12 @@ fn parse_points(payload: &[u8]) -> Result<Vec<Point>, GdsError> {
         .collect())
 }
 
-fn parse_real8(payload: &[u8]) -> Result<f64, GdsError> {
+fn parse_real8(payload: &[u8], offset: usize) -> Result<f64, GdsError> {
     if payload.len() != 8 {
-        return Err(GdsError::BadRecordLength(payload.len() as u16 + 4));
+        return Err(GdsError::BadRecordLength {
+            length: payload.len() as u16 + 4,
+            offset,
+        });
     }
     let mut b = [0u8; 8];
     b.copy_from_slice(payload);
@@ -517,7 +567,11 @@ fn parse_string(payload: &[u8]) -> Result<String, GdsError> {
 fn expect(cursor: &mut Cursor<'_>, want: RecordType, ctx: &'static str) -> Result<(), GdsError> {
     let (rt, _) = cursor.next_record()?;
     if rt != want {
-        return Err(GdsError::UnexpectedRecord(rt, ctx));
+        return Err(GdsError::UnexpectedRecord {
+            record: rt,
+            context: ctx,
+            offset: cursor.last_offset(),
+        });
     }
     Ok(())
 }
@@ -525,26 +579,58 @@ fn expect(cursor: &mut Cursor<'_>, want: RecordType, ctx: &'static str) -> Resul
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Byte offset of the header of the most recently read record, for
+    /// errors raised while validating its payload.
+    last_offset: usize,
 }
 
 impl<'a> Cursor<'a> {
     /// Reads the next record header and returns its type and payload slice.
+    ///
+    /// Every failure carries the byte offset of the offending header: a
+    /// header that would run past the end of the stream, a declared length
+    /// that is invalid (< 4 or odd) or overruns the remaining bytes, or an
+    /// unknown record code.
     fn next_record(&mut self) -> Result<(RecordType, &'a [u8]), GdsError> {
+        let offset = self.pos;
+        self.last_offset = offset;
         if self.pos + 4 > self.bytes.len() {
-            return Err(GdsError::UnexpectedEof);
+            return Err(GdsError::UnexpectedEof { offset });
         }
         let len = u16::from_be_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]) as usize;
         let code = u16::from_be_bytes([self.bytes[self.pos + 2], self.bytes[self.pos + 3]]);
         if len < 4 || !len.is_multiple_of(2) {
-            return Err(GdsError::BadRecordLength(len as u16));
+            return Err(GdsError::BadRecordLength {
+                length: len as u16,
+                offset,
+            });
         }
         if self.pos + len > self.bytes.len() {
-            return Err(GdsError::UnexpectedEof);
+            return Err(GdsError::UnexpectedEof { offset });
         }
-        let rt = RecordType::from_code(code).ok_or(GdsError::UnsupportedRecord(code))?;
+        let rt = RecordType::from_code(code).ok_or(GdsError::UnsupportedRecord { code, offset })?;
         let payload = &self.bytes[self.pos + 4..self.pos + len];
         self.pos += len;
         Ok((rt, payload))
+    }
+
+    /// [`next_record`](Self::next_record) inside an open structure or
+    /// element: running out of bytes here is an *unterminated* construct
+    /// (the terminating `ENDSTR`/`ENDEL` never arrived), which is reported
+    /// as such rather than a bare EOF.
+    fn next_record_in(
+        &mut self,
+        context: &'static str,
+    ) -> Result<(RecordType, &'a [u8]), GdsError> {
+        self.next_record().map_err(|e| match e {
+            GdsError::UnexpectedEof { offset } => GdsError::Unterminated { context, offset },
+            other => other,
+        })
+    }
+
+    /// Byte offset of the most recently read record header.
+    fn last_offset(&self) -> usize {
+        self.last_offset
     }
 }
 
@@ -602,7 +688,10 @@ mod tests {
 
     #[test]
     fn garbage_errors_cleanly() {
-        assert!(matches!(read_bytes(&[]), Err(GdsError::UnexpectedEof)));
+        assert!(matches!(
+            read_bytes(&[]),
+            Err(GdsError::UnexpectedEof { offset: 0 })
+        ));
         let garbage = vec![0xAB; 64];
         assert!(read_bytes(&garbage).is_err());
     }
@@ -612,7 +701,48 @@ mod tests {
         let bytes = [0x00, 0x05, 0x00, 0x02, 0x00];
         assert!(matches!(
             read_bytes(&bytes),
-            Err(GdsError::BadRecordLength(5))
+            Err(GdsError::BadRecordLength {
+                length: 5,
+                offset: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_errors_carry_the_failing_offset() {
+        let bytes = write_bytes(&sample_layout()).unwrap();
+        for cut in [5, 10, 40, bytes.len() - 2] {
+            let err = read_bytes(&bytes[..cut]).unwrap_err();
+            let offset = err.offset().expect("truncation errors carry an offset");
+            assert!(offset <= cut, "offset {offset} past the cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unterminated_structure_is_distinguished_from_eof() {
+        // A library whose structure never reaches ENDSTR.
+        let mut b = StreamBuilder::new();
+        b.begin_structure("open");
+        let bytes = b.0.clone();
+        assert!(matches!(
+            read_bytes(&bytes),
+            Err(GdsError::Unterminated {
+                context: "reading structure elements",
+                ..
+            })
+        ));
+        // An element that never reaches ENDEL.
+        let mut b = StreamBuilder::new();
+        b.begin_structure("open");
+        b.record(RecordType::Boundary, &[]);
+        b.record(RecordType::Layer, &1i16.to_be_bytes());
+        let bytes = b.0.clone();
+        assert!(matches!(
+            read_bytes(&bytes),
+            Err(GdsError::Unterminated {
+                context: "reading a BOUNDARY",
+                ..
+            })
         ));
     }
 

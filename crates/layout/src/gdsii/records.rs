@@ -79,16 +79,49 @@ impl fmt::Display for RecordType {
 }
 
 /// Error reading or writing a GDSII stream.
+///
+/// Cursor-level variants carry the byte offset of the offending record
+/// header ([`GdsError::offset`]), so a truncated or corrupted file can be
+/// located without re-parsing.
 #[derive(Debug)]
 pub enum GdsError {
-    /// The stream ended in the middle of a record.
-    UnexpectedEof,
-    /// A record header declared an invalid length.
-    BadRecordLength(u16),
+    /// The stream ended in the middle of a record (or before the library
+    /// was complete).
+    UnexpectedEof {
+        /// Byte offset where the next record header was expected.
+        offset: usize,
+    },
+    /// The stream ended inside an open structure or element.
+    Unterminated {
+        /// What was being read when the stream ran out.
+        context: &'static str,
+        /// Byte offset where the next record header was expected.
+        offset: usize,
+    },
+    /// A record header declared an invalid length (< 4 or odd), or a
+    /// fixed-size payload had the wrong length.
+    BadRecordLength {
+        /// The declared record length.
+        length: u16,
+        /// Byte offset of the record header.
+        offset: usize,
+    },
     /// An unknown or unsupported record type was encountered.
-    UnsupportedRecord(u16),
+    UnsupportedRecord {
+        /// The two-byte record/data-type code.
+        code: u16,
+        /// Byte offset of the record header.
+        offset: usize,
+    },
     /// A record appeared out of the expected sequence.
-    UnexpectedRecord(RecordType, &'static str),
+    UnexpectedRecord {
+        /// The record that appeared.
+        record: RecordType,
+        /// What the reader was doing when it appeared.
+        context: &'static str,
+        /// Byte offset of the record header.
+        offset: usize,
+    },
     /// An `XY` record did not describe a closed rectilinear boundary.
     BadBoundary(String),
     /// A `PATH` element was malformed or non-Manhattan.
@@ -107,16 +140,48 @@ pub enum GdsError {
     Io(std::io::Error),
 }
 
+impl GdsError {
+    /// The byte offset of the offending record header, for the
+    /// cursor-level variants that know where in the stream they fired.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            GdsError::UnexpectedEof { offset }
+            | GdsError::Unterminated { offset, .. }
+            | GdsError::BadRecordLength { offset, .. }
+            | GdsError::UnsupportedRecord { offset, .. }
+            | GdsError::UnexpectedRecord { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for GdsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GdsError::UnexpectedEof => write!(f, "unexpected end of GDSII stream"),
-            GdsError::BadRecordLength(n) => write!(f, "invalid GDSII record length {n}"),
-            GdsError::UnsupportedRecord(c) => {
-                write!(f, "unsupported GDSII record 0x{c:04X}")
+            GdsError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of GDSII stream at byte {offset}")
             }
-            GdsError::UnexpectedRecord(r, ctx) => {
-                write!(f, "unexpected GDSII record {r} while {ctx}")
+            GdsError::Unterminated { context, offset } => {
+                write!(
+                    f,
+                    "GDSII stream ended at byte {offset} while {context} (unterminated)"
+                )
+            }
+            GdsError::BadRecordLength { length, offset } => {
+                write!(f, "invalid GDSII record length {length} at byte {offset}")
+            }
+            GdsError::UnsupportedRecord { code, offset } => {
+                write!(f, "unsupported GDSII record 0x{code:04X} at byte {offset}")
+            }
+            GdsError::UnexpectedRecord {
+                record,
+                context,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "unexpected GDSII record {record} at byte {offset} while {context}"
+                )
             }
             GdsError::BadBoundary(msg) => write!(f, "invalid BOUNDARY element: {msg}"),
             GdsError::BadPath(msg) => write!(f, "invalid PATH element: {msg}"),
@@ -183,9 +248,42 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(GdsError::UnexpectedEof.to_string().contains("end of GDSII"));
-        assert!(GdsError::UnsupportedRecord(0x1234)
+        assert!(GdsError::UnexpectedEof { offset: 12 }
             .to_string()
-            .contains("1234"));
+            .contains("end of GDSII"));
+        let unsupported = GdsError::UnsupportedRecord {
+            code: 0x1234,
+            offset: 40,
+        };
+        assert!(unsupported.to_string().contains("1234"));
+        assert!(unsupported.to_string().contains("byte 40"));
+        let unterminated = GdsError::Unterminated {
+            context: "reading a BOUNDARY",
+            offset: 8,
+        };
+        assert!(unterminated.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn offsets_are_carried_by_cursor_level_errors() {
+        assert_eq!(GdsError::UnexpectedEof { offset: 3 }.offset(), Some(3));
+        assert_eq!(
+            GdsError::BadRecordLength {
+                length: 5,
+                offset: 16
+            }
+            .offset(),
+            Some(16)
+        );
+        assert_eq!(
+            GdsError::Unterminated {
+                context: "x",
+                offset: 9
+            }
+            .offset(),
+            Some(9)
+        );
+        assert_eq!(GdsError::BadString.offset(), None);
+        assert_eq!(GdsError::BadBoundary("x".into()).offset(), None);
     }
 }

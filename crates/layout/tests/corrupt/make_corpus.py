@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerates the corrupt GDSII fixture corpus.
+
+Each fixture is a deliberately malformed `.gds` stream that the reader must
+reject with a typed `GdsError` (never a panic). `corrupt_corpus.rs` walks this
+directory and asserts on the error shape for each file, so any new fixture
+added here needs a matching expectation there.
+"""
+
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+HEADER = 0x0002
+BGNLIB = 0x0102
+LIBNAME = 0x0206
+UNITS = 0x0305
+ENDLIB = 0x0400
+BGNSTR = 0x0502
+STRNAME = 0x0606
+ENDSTR = 0x0700
+BOUNDARY = 0x0800
+LAYER = 0x0D02
+DATATYPE = 0x0E02
+XY = 0x1003
+ENDEL = 0x1100
+
+
+def rec(code: int, payload: bytes = b"") -> bytes:
+    return struct.pack(">HH", len(payload) + 4, code) + payload
+
+
+def string(code: int, s: str) -> bytes:
+    raw = s.encode("ascii")
+    if len(raw) % 2:
+        raw += b"\x00"
+    return rec(code, raw)
+
+
+def prelude() -> bytes:
+    return (
+        rec(HEADER, struct.pack(">h", 600))
+        + rec(BGNLIB, b"\x00" * 24)
+        + string(LIBNAME, "lib")
+        + rec(UNITS, b"\x00" * 16)
+    )
+
+
+def xy(points) -> bytes:
+    return rec(XY, b"".join(struct.pack(">ii", x, y) for x, y in points))
+
+
+FIXTURES = {
+    # Zero-length stream: EOF where the HEADER record should start.
+    "empty.gds": b"",
+    # Three bytes: not even one full record header.
+    "truncated_header.gds": b"\x00\x06\x00",
+    # HEADER record declaring an odd length (5).
+    "bad_record_length_odd.gds": b"\x00\x05\x00\x02\x00",
+    # Valid HEADER, then a BGNLIB declaring 32 bytes with only 4 present.
+    "truncated_mid_record.gds": rec(HEADER, struct.pack(">h", 600))
+    + b"\x00\x20\x01\x02"
+    + b"\x00" * 4,
+    # Library opens a structure that never reaches ENDSTR.
+    "unterminated_structure.gds": prelude()
+    + rec(BGNSTR, b"\x00" * 24)
+    + string(STRNAME, "open"),
+    # A BOUNDARY element that never reaches ENDEL.
+    "unterminated_element.gds": prelude()
+    + rec(BGNSTR, b"\x00" * 24)
+    + string(STRNAME, "open")
+    + rec(BOUNDARY)
+    + rec(LAYER, struct.pack(">h", 1)),
+    # A record code this subset does not define, in the library body.
+    "unknown_record.gds": prelude() + rec(0x1234, b"\x00\x00") + rec(ENDLIB),
+    # BOUNDARY whose XY ring is not closed (last point != first).
+    "bad_boundary_xy.gds": prelude()
+    + rec(BGNSTR, b"\x00" * 24)
+    + string(STRNAME, "top")
+    + rec(BOUNDARY)
+    + rec(LAYER, struct.pack(">h", 1))
+    + rec(DATATYPE, struct.pack(">h", 0))
+    + xy([(0, 0), (10, 0), (10, 10)])
+    + rec(ENDEL)
+    + rec(ENDSTR)
+    + rec(ENDLIB),
+    # UNITS payload must be 16 bytes; this one carries 8.
+    "bad_units_length.gds": rec(HEADER, struct.pack(">h", 600))
+    + rec(BGNLIB, b"\x00" * 24)
+    + string(LIBNAME, "lib")
+    + rec(UNITS, b"\x00" * 8)
+    + rec(ENDLIB),
+    # ENDEL cannot appear directly in the library body.
+    "misplaced_record.gds": prelude() + rec(ENDEL) + rec(ENDLIB),
+    # Uniform garbage: 0xABAB parses as an odd record length.
+    "garbage.gds": b"\xab" * 64,
+}
+
+
+def main() -> None:
+    for name, data in FIXTURES.items():
+        (HERE / name).write_bytes(data)
+        print(f"wrote {name} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_cores: 4,
         max_in_flight: 4,
         tile_density: None,
+        ..Default::default()
     };
     let report = detector.scan_layout(&benchmark.layout, benchmark.layer, &scan)?;
     println!(

@@ -33,4 +33,41 @@ HOTSPOT_EVAL_SCALES=small HOTSPOT_EVAL_MIN_SPEEDUP=1.0 \
   HOTSPOT_BENCH_OUT=target/BENCH_eval_ci.json \
   cargo run --release --quiet -p hotspot-bench --bin eval
 
+echo "==> corrupt-GDSII corpus (typed errors, no panics)"
+cargo test --release -q -p hotspot-layout --test corrupt_corpus
+
+echo "==> fault-injection smoke (seeded panics: no aborts, stable quarantine)"
+# Two scans with the same seeded fault plan must both complete in degraded
+# mode (exit 7) and quarantine the identical tile set.
+FAULT_DIR=target/fault_smoke
+rm -rf "$FAULT_DIR"
+mkdir -p "$FAULT_DIR"
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  generate --name array_benchmark1 --scale tiny --out "$FAULT_DIR"
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  train --training "$FAULT_DIR/training.json" --out "$FAULT_DIR/model.json" --threads 2
+for run in 1 2; do
+  set +e
+  cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+    scan --model "$FAULT_DIR/model.json" --layout "$FAULT_DIR/layout.gds" \
+    --out "$FAULT_DIR/report_$run.json" --threads 2 \
+    --journal "$FAULT_DIR/scan_$run.journal" \
+    --max-failed-tiles 10000 --fault-seed 42 --fault-panic-per-mille 1000 \
+    > "$FAULT_DIR/out_$run.txt" 2> "$FAULT_DIR/err_$run.txt"
+  status=$?
+  set -e
+  if [ "$status" -ne 7 ]; then
+    echo "fault smoke run $run: expected exit 7 (quarantined), got $status"
+    cat "$FAULT_DIR/out_$run.txt"
+    exit 1
+  fi
+done
+q1=$(grep -c '^  tile ' "$FAULT_DIR/out_1.txt")
+q2=$(grep -c '^  tile ' "$FAULT_DIR/out_2.txt")
+if [ "$q1" -eq 0 ] || [ "$q1" -ne "$q2" ]; then
+  echo "fault smoke: quarantine counts diverged or were empty ($q1 vs $q2)"
+  exit 1
+fi
+echo "fault smoke: both runs quarantined $q1 tile(s), reports completed"
+
 echo "CI OK"

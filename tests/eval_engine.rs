@@ -96,6 +96,7 @@ fn compiled_scan_matches_reference_engine() {
         tile_cores: 4,
         max_in_flight: 2,
         tile_density: None,
+        ..Default::default()
     };
 
     let compiled = detector

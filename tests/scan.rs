@@ -49,6 +49,7 @@ fn scan_reports_the_same_hotspots_as_detect() {
             tile_cores,
             max_in_flight,
             tile_density: None,
+            ..Default::default()
         };
         let report = detector
             .scan_layout(&bm.layout, bm.layer, &scan)
@@ -74,6 +75,7 @@ fn scan_holds_at_most_the_configured_window() {
         tile_cores: 2,
         max_in_flight: 2,
         tile_density: None,
+        ..Default::default()
     };
     let report = detector
         .scan_layout(&bm.layout, bm.layer, &scan)

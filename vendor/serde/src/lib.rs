@@ -264,6 +264,21 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(std::path::PathBuf::from(s)),
+            _ => Err(Error::custom("expected path string")),
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -16,10 +16,21 @@
 //!   [`CompiledModel`] engine on a reusable [`BatchEvaluator`].
 //!
 //! A fourth pair of passes isolates pure decision values (features fully
-//! pre-extracted, reference vs compiled). Finally `detect` runs end to
-//! end on both engines to confirm the flagged hotspot sets are identical
-//! and record the kernel-evaluation stage walls. Writes `BENCH_eval.json`
-//! (schema in `DESIGN.md`).
+//! pre-extracted, reference vs compiled).
+//!
+//! Schema v2 adds the admission passes over precomputed density grids
+//! and topological signatures: **admit-naive** replays the reference
+//! per-kernel search (each `DensityGrid::distance` call materialises all
+//! eight D8 transforms of the query), while **admit-compiled** routes
+//! every clip through the batched [`CentroidRouter`] compiled once per
+//! model. A final pair of **full** passes times the admission-included
+//! flagging engine ([`EvalEngine::flagging_kernels`]) in both
+//! [`EvalMode`]s. Both admission paths must admit the identical
+//! clip-kernel pairs; the binary aborts otherwise.
+//!
+//! Finally `detect` runs end to end on both engines to confirm the
+//! flagged hotspot sets are identical and record the kernel-evaluation
+//! stage walls. Writes `BENCH_eval.json` (schema in `DESIGN.md`).
 //!
 //! ```sh
 //! cargo run --release -p hotspot-bench --bin eval
@@ -28,21 +39,28 @@
 //! Environment knobs: `HOTSPOT_EVAL_SCALES` (comma-separated suite
 //! scales, default `small,medium`), `HOTSPOT_EVAL_REPS` (fixed timed
 //! repetitions; default auto-calibrated), `HOTSPOT_EVAL_MIN_SPEEDUP`
-//! (exit non-zero when any suite's hot-loop speedup falls below this —
-//! the CI smoke gate), and `HOTSPOT_BENCH_OUT` (output path, default
-//! `BENCH_eval.json`).
+//! (exit non-zero when any suite's hot-loop speedup falls below this),
+//! `HOTSPOT_EVAL_MIN_ADMIT_SPEEDUP` (same gate for the admission
+//! speedup — the CI smoke gate), and `HOTSPOT_BENCH_OUT` (output path,
+//! default `BENCH_eval.json`).
 //!
 //! [`SvmModel::decision_value`]: hotspot_svm::SvmModel::decision_value
 //! [`FeatureMemo`]: hotspot_core::training::FeatureMemo
 //! [`CompiledModel`]: hotspot_svm::CompiledModel
 //! [`BatchEvaluator`]: hotspot_svm::BatchEvaluator
+//! [`CentroidRouter`]: hotspot_topo::route::CentroidRouter
+//! [`EvalEngine::flagging_kernels`]: hotspot_core::EvalEngine::flagging_kernels
+//! [`EvalMode`]: hotspot_core::EvalMode
 
 use hotspot_bench::{parse_scale, EvalBenchReport, EvalSuiteBench, EVAL_BENCH_SCHEMA_VERSION};
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
 use hotspot_core::engine::StageId;
 use hotspot_core::training::{density_grid, feature_vector_padded, FeatureMemo, Region};
-use hotspot_core::{extract_clips, DetectorConfig, HotspotDetector, Pattern};
+use hotspot_core::{
+    extract_clips, DetectorConfig, EvalEngine, EvalMode, EvalScratch, HotspotDetector, Pattern,
+};
 use hotspot_svm::{BatchEvaluator, CompiledModel};
+use hotspot_topo::route::{Admission, CentroidRouter, RouteStats};
 use hotspot_topo::TopoSignature;
 use std::hint::black_box;
 use std::time::Instant;
@@ -66,7 +84,7 @@ fn admitted_kernels(detector: &HotspotDetector, clip: &Pattern) -> Vec<usize> {
     for (idx, k) in detector.kernels().iter().enumerate() {
         let topo_match = signature == k.signature;
         let density_match = if grid.nx() == k.centroid.nx() && grid.ny() == k.centroid.ny() {
-            grid.distance(&k.centroid).distance <= k.radius.max(1e-9) * config.fuzziness
+            grid.distance(&k.centroid).distance <= config.admission.threshold(k.radius)
         } else {
             false
         };
@@ -268,11 +286,129 @@ fn measure_suite(scale: SuiteScale) -> EvalSuiteBench {
         sv_dot_gflops,
     );
 
+    // Admission passes (schema v2): the naive per-centroid 8-orientation
+    // search vs the batched router, over precomputed grids + signatures
+    // so only the centroid search itself is timed. Router compilation is
+    // model-compile-time work and stays untimed.
+    let config = detector.config();
+    let grids: Vec<_> = clips
+        .iter()
+        .map(|c| density_grid(c, Region::Core, config))
+        .collect();
+    let signatures: Vec<TopoSignature> = clips
+        .iter()
+        .map(|clip| {
+            let window = clip.window.core;
+            let rects: Vec<_> = clip
+                .rects
+                .iter()
+                .filter_map(|r| r.intersection(&window))
+                .map(|r| r.translate(-window.min()))
+                .collect();
+            let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+            TopoSignature::of(&local, &rects)
+        })
+        .collect();
+    let router = CentroidRouter::compile(
+        kernels
+            .iter()
+            .map(|k| (&k.centroid, config.admission.threshold(k.radius))),
+        config.cluster.grid,
+        config.cluster.grid,
+    );
+
+    let admit_naive = || {
+        let mut count = 0usize;
+        for (sig, grid) in signatures.iter().zip(&grids) {
+            for k in kernels {
+                let topo_match = *sig == k.signature;
+                let density_match = grid.nx() == k.centroid.nx()
+                    && grid.ny() == k.centroid.ny()
+                    && grid.distance(&k.centroid).distance <= config.admission.threshold(k.radius);
+                if topo_match || density_match {
+                    count += 1;
+                }
+            }
+        }
+        count as f64
+    };
+    let mut route_out: Vec<Admission> = Vec::new();
+    let mut route_stats = RouteStats::default();
+    let admit_compiled_pass = |out: &mut Vec<Admission>, stats: &mut RouteStats| {
+        let mut count = 0usize;
+        for (sig, grid) in signatures.iter().zip(&grids) {
+            router.route_into(grid, out, stats);
+            let mut next = 0usize;
+            for (idx, k) in kernels.iter().enumerate() {
+                let density_match = out.get(next).is_some_and(|a| a.kernel == idx);
+                if density_match {
+                    next += 1;
+                }
+                if density_match || *sig == k.signature {
+                    count += 1;
+                }
+            }
+        }
+        count as f64
+    };
+
+    // One untimed pass per path: warm-up, pairwise-agreement check, and
+    // the router counters reported for a single sweep.
+    let naive_admitted = admit_naive();
+    let mut single_stats = RouteStats::default();
+    let router_admitted = admit_compiled_pass(&mut route_out, &mut single_stats);
+    assert_eq!(
+        naive_admitted, router_admitted,
+        "admission paths disagree on the admitted clip-kernel pairs"
+    );
+    let admit_reps = {
+        let probe = time_reps(1, admit_naive).max(1e-6);
+        ((0.6 / probe).ceil() as usize).clamp(2, 100_000)
+    };
+    let admit_naive_secs = time_reps(admit_reps, admit_naive);
+    let admit_compiled_secs = time_reps(admit_reps, || {
+        admit_compiled_pass(&mut route_out, &mut route_stats)
+    });
+    println!(
+        "[{scale:?}] admission ({admit_reps} reps): naive {:.2} ms, routed {:.2} ms per sweep ({:.2}x; {} of {} rows pruned)",
+        admit_naive_secs * 1e3 / admit_reps as f64,
+        admit_compiled_secs * 1e3 / admit_reps as f64,
+        admit_naive_secs / admit_compiled_secs,
+        single_stats.rows_pruned(),
+        single_stats.rows_considered,
+    );
+
+    // Admission-included full flagging passes through the public engine
+    // handle, one per eval mode.
+    let reference_detector = detector.clone().with_eval_mode(EvalMode::Reference);
+    let full_pass = |engine: &EvalEngine<'_>, scratch: &mut EvalScratch| {
+        let mut flagged = 0usize;
+        for clip in &clips {
+            flagged += engine.flagging_kernels(clip, scratch).len();
+        }
+        flagged as f64
+    };
+    let mut scratch = EvalScratch::new();
+    let reference_engine = reference_detector.eval_engine();
+    let compiled_engine = detector.eval_engine();
+    black_box(full_pass(&reference_engine, &mut scratch));
+    black_box(full_pass(&compiled_engine, &mut scratch));
+    let full_reps = {
+        let probe = time_reps(1, || full_pass(&reference_engine, &mut scratch)).max(1e-6);
+        ((0.6 / probe).ceil() as usize).clamp(2, 1000)
+    };
+    let full_reference_secs = time_reps(full_reps, || full_pass(&reference_engine, &mut scratch));
+    let full_compiled_secs = time_reps(full_reps, || full_pass(&compiled_engine, &mut scratch));
+    println!(
+        "[{scale:?}] full flagging ({full_reps} reps): reference {:.1} ms, compiled {:.1} ms per sweep ({:.2}x)",
+        full_reference_secs * 1e3 / full_reps as f64,
+        full_compiled_secs * 1e3 / full_reps as f64,
+        full_reference_secs / full_compiled_secs,
+    );
+
     // End-to-end cross-check: both engines must flag the identical
     // hotspot set, and the stage telemetry gives the in-pipeline walls.
-    let naive_report = detector
-        .clone()
-        .with_reference_eval(true)
+    let naive_report = reference_detector
         .detect(&benchmark.layout, benchmark.layer)
         .expect("reference detect");
     let compiled_report = detector
@@ -320,6 +456,17 @@ fn measure_suite(scale: SuiteScale) -> EvalSuiteBench {
         detect_eval_stage_compiled_ms: stage_ms(&compiled_report),
         eval_batches: compiled_report.eval_batches,
         hotspots_identical: true,
+        admit_reps,
+        admit_naive_wall_ms: admit_naive_secs * 1e3,
+        admit_compiled_wall_ms: admit_compiled_secs * 1e3,
+        admit_speedup: admit_naive_secs / admit_compiled_secs,
+        admit_admissions: naive_admitted as u64,
+        admit_rows_considered: single_stats.rows_considered as u64,
+        admit_rows_pruned: single_stats.rows_pruned() as u64,
+        full_reps,
+        full_reference_wall_ms: full_reference_secs * 1e3,
+        full_compiled_wall_ms: full_compiled_secs * 1e3,
+        full_speedup: full_reference_secs / full_compiled_secs,
     }
 }
 
@@ -365,5 +512,21 @@ fn main() {
             }
         }
         println!("speedup gate ok (all suites >= {min:.2}x)");
+    }
+
+    if let Ok(min) = std::env::var("HOTSPOT_EVAL_MIN_ADMIT_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .expect("HOTSPOT_EVAL_MIN_ADMIT_SPEEDUP must be a number");
+        for s in &report.suites {
+            if s.admit_speedup < min {
+                eprintln!(
+                    "FAIL: {} ({}) admission speedup {:.2} < required {min:.2}",
+                    s.benchmark, s.scale, s.admit_speedup
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("admission speedup gate ok (all suites >= {min:.2}x)");
     }
 }

@@ -239,7 +239,11 @@ impl ScanBenchReport {
 
 /// Version of the `BENCH_eval.json` schema (bump on breaking changes; the
 /// field-by-field layout is documented in `DESIGN.md`).
-pub const EVAL_BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 measured the post-admission hot loop only; v2 adds the
+/// admission-included columns (`admit_*`, `full_*`) timing the batched
+/// 8-orientation centroid router against the naive per-centroid search.
+pub const EVAL_BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One suite's row in `BENCH_eval.json`: naive-vs-compiled throughput of
 /// the clip-evaluation hot loop on benchmark 1 of the suite at one scale.
@@ -253,6 +257,13 @@ pub const EVAL_BENCH_SCHEMA_VERSION: u32 = 1;
 /// flattened [`CompiledModel`](hotspot_svm::CompiledModel) engine. The
 /// `decision_*` fields isolate the decision-value arithmetic alone
 /// (features fully pre-extracted on both sides).
+///
+/// Schema v2 adds the admission columns: the `admit_*` fields time the
+/// kernel-admission search itself over precomputed density grids and
+/// topological signatures (naive per-centroid 8-orientation scan vs the
+/// batched [`CentroidRouter`](hotspot_topo::route::CentroidRouter)), and
+/// the `full_*` fields time the admission-included flagging engine end
+/// to end in both [`EvalMode`](hotspot_core::EvalMode)s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalSuiteBench {
     /// Benchmark name the measurement ran on.
@@ -310,6 +321,47 @@ pub struct EvalSuiteBench {
     /// Whether the two `detect` runs reported the identical hotspot set
     /// (always `true`; the binary aborts otherwise).
     pub hotspots_identical: bool,
+    /// Timed repetitions of the admission passes (schema v2).
+    #[serde(default)]
+    pub admit_reps: usize,
+    /// Admission wall of the naive per-centroid 8-orientation search over
+    /// precomputed grids and signatures, in milliseconds.
+    #[serde(default)]
+    pub admit_naive_wall_ms: f64,
+    /// Admission wall of the compiled
+    /// [`CentroidRouter`](hotspot_topo::route::CentroidRouter), in
+    /// milliseconds.
+    #[serde(default)]
+    pub admit_compiled_wall_ms: f64,
+    /// Admission speedup: `admit_naive_wall_ms / admit_compiled_wall_ms`.
+    #[serde(default)]
+    pub admit_speedup: f64,
+    /// Clip-kernel pairs admitted per admission pass (identical on both
+    /// paths; the binary aborts otherwise).
+    #[serde(default)]
+    pub admit_admissions: u64,
+    /// Centroid-orientation rows the router considered in one pass.
+    #[serde(default)]
+    pub admit_rows_considered: u64,
+    /// Rows the router pruned in one pass (kernel mass gate + L2 norm
+    /// screen + in-row early exit).
+    #[serde(default)]
+    pub admit_rows_pruned: u64,
+    /// Timed repetitions of the admission-included full flagging passes.
+    #[serde(default)]
+    pub full_reps: usize,
+    /// Full flagging pass (admission + feature extraction + decisions)
+    /// on the reference engine, in milliseconds.
+    #[serde(default)]
+    pub full_reference_wall_ms: f64,
+    /// Full flagging pass (admission + feature extraction + decisions)
+    /// on the compiled engine, in milliseconds.
+    #[serde(default)]
+    pub full_compiled_wall_ms: f64,
+    /// End-to-end engine speedup:
+    /// `full_reference_wall_ms / full_compiled_wall_ms`.
+    #[serde(default)]
+    pub full_speedup: f64,
 }
 
 /// The `BENCH_eval.json` record written by the `eval` benchmark binary:

@@ -18,7 +18,8 @@
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
 use hotspot_core::{
-    DetectError, DetectorConfig, FailurePolicy, FaultPlan, HotspotDetector, ScanConfig, TrainingSet,
+    DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector, ScanConfig,
+    TrainingSet,
 };
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
@@ -98,10 +99,12 @@ USAGE:
                    [--telemetry <telemetry.json>]
   hotspot detect   --model <model.json> --layout <layout.gds> --out <report.json>
                    [--layer N] [--threshold X] [--threads N] [--json]
+                   [--eval-mode reference|compiled]
                    [--telemetry <telemetry.json>]
   hotspot scan     --model <model.json> --layout <layout.gds> --out <report.json>
                    [--layer N] [--threshold X] [--threads N] [--tile-cores N]
                    [--max-in-flight N] [--tile-density X] [--json]
+                   [--eval-mode reference|compiled]
                    [--telemetry <telemetry.json>]
                    [--journal <journal.log>] [--resume] [--max-failed-tiles N]
                    [--fault-seed N] [--fault-panic-per-mille N]
@@ -115,6 +118,10 @@ USAGE:
 Benchmarks: array_benchmark1..5, mx_blind_partial.
 --threads 0 means one worker per core. `detect`/`scan` `--telemetry` merges
 the model's training telemetry with the run into an eight-stage record.
+--eval-mode selects the kernel-evaluation engine: `compiled` (default)
+routes admission through the batched 8-orientation centroid router and
+the flattened SVM engine; `reference` keeps the naive per-kernel search
+as a cross-checking oracle. Both flag the identical hotspot set.
 `scan` streams the layout tile by tile: --max-in-flight bounds memory
 (0 = 2x threads), --tile-cores sets the tile stride in core sides, and
 --tile-density enables the aggressive mean-coverage prefilter.
@@ -290,6 +297,20 @@ fn cmd_train(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
+/// Parses the optional `--eval-mode` flag; absent means "keep the model's
+/// persisted mode". Bad values are usage errors (exit code 2).
+fn parse_eval_mode(opts: &Opts) -> Result<Option<EvalMode>, CliError> {
+    opts.get("eval-mode")
+        .map(|v| {
+            v.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "invalid value `{v}` for --eval-mode (expected `reference` or `compiled`)"
+                ))
+            })
+        })
+        .transpose()
+}
+
 fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
     let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
     let layout = gdsii::read_file(opts.require("layout")?)?;
@@ -301,6 +322,9 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("invalid value `{threads}` for --threads")))?;
         detector = detector.with_threads(threads);
+    }
+    if let Some(mode) = parse_eval_mode(opts)? {
+        detector = detector.with_eval_mode(mode);
     }
 
     let report = detector.detect_with_threshold(&layout, layer, threshold)?;
@@ -342,6 +366,9 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("invalid value `{threads}` for --threads")))?;
         detector = detector.with_threads(threads);
+    }
+    if let Some(mode) = parse_eval_mode(opts)? {
+        detector = detector.with_eval_mode(mode);
     }
     let failure_policy = match opts.get("max-failed-tiles") {
         None => FailurePolicy::Abort,
@@ -772,6 +799,76 @@ mod tests {
         assert_eq!(status, EXIT_QUARANTINED, "{out}");
         assert!(out.contains("quarantined"), "{out}");
         assert!(out.contains("injected fault"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_mode_flag_selects_engine_and_rejects_bad_values() {
+        let dir = workdir("eval_mode");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        let report = dir.join("report.json");
+        let detect_args = |mode: &str| {
+            argv(&[
+                "detect",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--eval-mode",
+                mode,
+            ])
+        };
+
+        // Both engines flag the identical hotspot set.
+        run(&detect_args("compiled")).unwrap();
+        let compiled = std::fs::read_to_string(&report).unwrap();
+        run(&detect_args("reference")).unwrap();
+        let reference = std::fs::read_to_string(&report).unwrap();
+        assert_eq!(compiled, reference, "eval modes disagree via the CLI");
+
+        // Bad values are usage errors (exit code 2) on detect and scan.
+        let err = run(&detect_args("bogus")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--eval-mode"), "{err}");
+        let err = run(&argv(&[
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+            "--eval-mode",
+            "fast",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,6 +54,77 @@ impl Default for AblationSwitches {
     }
 }
 
+/// Which implementation of the evaluation stage (admission routing + SVM
+/// decision values) a detector uses.
+///
+/// Both modes flag byte-identical hotspot sets; `Reference` exists as the
+/// oracle the compiled engines are pinned against and for debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EvalMode {
+    /// Naive per-kernel loops: the 8-orientation density search via
+    /// [`hotspot_geom::DensityGrid::distance`] and per-sample RBF kernel
+    /// evaluation. Slow, obviously correct.
+    Reference,
+    /// The compiled engines: the batched admission router
+    /// ([`hotspot_topo::route::CentroidRouter`]) plus the flattened
+    /// support-vector evaluator ([`hotspot_svm::CompiledModel`]).
+    #[default]
+    Compiled,
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(EvalMode::Reference),
+            "compiled" => Ok(EvalMode::Compiled),
+            other => Err(format!(
+                "unknown eval mode '{other}' (expected 'reference' or 'compiled')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EvalMode::Reference => "reference",
+            EvalMode::Compiled => "compiled",
+        })
+    }
+}
+
+/// Kernel-admission parameters: when a clip's core density grid is within
+/// `max(kernel radius, radius_floor) × fuzziness` of a kernel's cluster
+/// centroid under the eq. (1) distance — or its topology matches exactly —
+/// the kernel evaluates the clip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionParams {
+    /// Fuzziness factor scaling each kernel's admission radius (1.5).
+    pub fuzziness: f64,
+    /// Lower bound on the radius before scaling, so kernels whose cluster
+    /// collapsed to a point still admit their own centroid.
+    pub radius_floor: f64,
+}
+
+impl Default for AdmissionParams {
+    fn default() -> Self {
+        AdmissionParams {
+            fuzziness: 1.5,
+            radius_floor: 1e-9,
+        }
+    }
+}
+
+impl AdmissionParams {
+    /// The admission threshold of a kernel with the given cluster radius.
+    pub fn threshold(&self, radius: f64) -> f64 {
+        radius.max(self.radius_floor) * self.fuzziness
+    }
+}
+
 /// Full configuration of [`crate::HotspotDetector`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetectorConfig {
@@ -87,10 +158,16 @@ pub struct DetectorConfig {
     /// SVM decision threshold at evaluation; raising it trades hits for
     /// fewer extras (`ours_med` ≈ 0.3, `ours_low` ≈ 0.6 operating points).
     pub decision_threshold: f64,
-    /// Fuzziness factor: a clip is evaluated by a kernel when its core
-    /// density grid is within `kernel radius × fuzziness` of the kernel's
-    /// cluster centroid, or when the topology matches exactly.
-    pub fuzziness: f64,
+    /// Kernel-admission parameters (fuzziness factor and radius floor).
+    ///
+    /// Absent in model files written before schema v2 of the evaluation
+    /// engine; such files load with the default parameters.
+    #[serde(default)]
+    pub admission: AdmissionParams,
+    /// Evaluation-engine selection; not persisted as a tuning knob so much
+    /// as a debugging switch, hence the serde default.
+    #[serde(default)]
+    pub eval_mode: EvalMode,
     /// Worker threads for training and evaluation; 0 = one per core.
     pub threads: usize,
     /// Ablation switches (Table III).
@@ -118,7 +195,8 @@ impl Default for DetectorConfig {
             reframe_core_limit: 4,
             min_hit_clip_overlap: 0.2,
             decision_threshold: 0.0,
-            fuzziness: 1.5,
+            admission: AdmissionParams::default(),
+            eval_mode: EvalMode::default(),
             threads: 0,
             ablation: AblationSwitches::default(),
         }
@@ -175,8 +253,11 @@ impl DetectorConfig {
         if self.data_shift < 0 {
             return Err("data shift cannot be negative".into());
         }
-        if self.fuzziness < 0.0 {
-            return Err("fuzziness cannot be negative".into());
+        if self.admission.fuzziness < 0.0 {
+            return Err("admission fuzziness cannot be negative".into());
+        }
+        if self.admission.radius_floor < 0.0 {
+            return Err("admission radius floor cannot be negative".into());
         }
         Ok(())
     }
@@ -247,6 +328,65 @@ mod tests {
 
         let c = DetectorConfig {
             data_shift: -5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn eval_mode_parses_and_displays() {
+        assert_eq!("reference".parse::<EvalMode>(), Ok(EvalMode::Reference));
+        assert_eq!("compiled".parse::<EvalMode>(), Ok(EvalMode::Compiled));
+        assert!("Compiled".parse::<EvalMode>().is_err());
+        assert!("fast".parse::<EvalMode>().is_err());
+        assert_eq!(EvalMode::Reference.to_string(), "reference");
+        assert_eq!(EvalMode::default(), EvalMode::Compiled);
+    }
+
+    #[test]
+    fn admission_threshold_applies_floor_then_fuzziness() {
+        let p = AdmissionParams::default();
+        assert_eq!(p.threshold(4.0), 4.0 * 1.5);
+        assert_eq!(p.threshold(0.0), 1e-9 * 1.5);
+        let custom = AdmissionParams {
+            fuzziness: 2.0,
+            radius_floor: 0.5,
+        };
+        assert_eq!(custom.threshold(0.1), 1.0);
+    }
+
+    #[test]
+    fn configs_without_admission_fields_load_with_defaults() {
+        // A config serialised before the `admission`/`eval_mode` fields
+        // existed (the old flat `fuzziness` knob is ignored by serde).
+        let default_json = serde_json::to_string(&DetectorConfig::default()).unwrap();
+        let mut value = serde_json::parse_value(&default_json).unwrap();
+        let serde::Value::Object(entries) = &mut value else {
+            panic!("config serialises as an object");
+        };
+        entries.retain(|(k, _)| k != "admission" && k != "eval_mode");
+        entries.push(("fuzziness".into(), serde::Value::Float(1.5)));
+        let legacy = serde_json::to_string(&value).unwrap();
+        let parsed: DetectorConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.admission, AdmissionParams::default());
+        assert_eq!(parsed.eval_mode, EvalMode::Compiled);
+    }
+
+    #[test]
+    fn validation_catches_bad_admission_params() {
+        let c = DetectorConfig {
+            admission: AdmissionParams {
+                fuzziness: -1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DetectorConfig {
+            admission: AdmissionParams {
+                radius_floor: -1.0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!(c.validate().is_err());

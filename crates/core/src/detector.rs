@@ -1,12 +1,12 @@
 //! The end-to-end hotspot detector (Fig. 3).
 
 use crate::balance::upsample_hotspots;
-use crate::config::{DetectorConfig, DistributionFilter};
+use crate::config::{AdmissionParams, DetectorConfig, DistributionFilter, EvalMode};
 use crate::engine::{
     Executor, FaultPlan, FaultSite, PipelineTelemetry, StageId, StageRecorder, TaskFailure,
 };
 use crate::extraction::{extract_clips_indexed, RectIndex};
-use crate::feedback::{flagging_kernels_with, train_feedback, FeedbackKernel};
+use crate::feedback::{train_feedback, EvalEngine, EvalScratch, FeedbackKernel};
 use crate::metrics::{score, Evaluation};
 use crate::pattern::{Pattern, TrainingSet};
 use crate::removal::remove_redundant_clips;
@@ -15,7 +15,8 @@ use crate::training::{
     Region,
 };
 use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
-use hotspot_svm::{BatchEvaluator, CompiledModel, TrainError};
+use hotspot_svm::{CompiledModel, TrainError};
+use hotspot_topo::route::CentroidRouter;
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -188,6 +189,9 @@ struct CompiledSet {
     kernels: Vec<CompiledModel>,
     /// Compiled feedback kernel, when one was trained.
     feedback: Option<CompiledModel>,
+    /// The admission router: every kernel centroid × 8 D8 orientations
+    /// packed for the fused density-admission pass.
+    router: CentroidRouter,
 }
 
 /// Lazy [`CompiledSet`] holder, skipped by serde (the compiled form is a
@@ -200,12 +204,14 @@ struct CompiledCache(OnceLock<CompiledSet>);
 /// Serialisable with serde, so a trained detector can be persisted and
 /// reloaded (see the `hotspot` CLI's `train` / `detect` commands).
 ///
-/// Clip evaluation runs through the batched flattened SVM engine
-/// ([`hotspot_svm::CompiledModel`]); [`with_reference_eval`]
-/// routes it through the reference per-support-vector path instead, which
-/// the equivalence tests pin to the identical hotspot set.
+/// Clip evaluation runs through the compiled engines — the batched
+/// flattened SVM evaluator ([`hotspot_svm::CompiledModel`]) and the
+/// admission router ([`hotspot_topo::route::CentroidRouter`]) — under the
+/// default [`EvalMode::Compiled`]; [`with_eval_mode`] selects the naive
+/// reference path instead, which the equivalence tests pin to the
+/// identical hotspot set.
 ///
-/// [`with_reference_eval`]: HotspotDetector::with_reference_eval
+/// [`with_eval_mode`]: HotspotDetector::with_eval_mode
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotspotDetector {
     kernels: Vec<ClusterKernel>,
@@ -214,8 +220,6 @@ pub struct HotspotDetector {
     summary: TrainingSummary,
     #[serde(skip)]
     compiled: CompiledCache,
-    #[serde(skip)]
-    reference_eval: bool,
     #[serde(skip)]
     fault_plan: FaultPlan,
 }
@@ -350,7 +354,6 @@ impl HotspotDetector {
             config,
             summary,
             compiled: CompiledCache::default(),
-            reference_eval: false,
             fault_plan: FaultPlan::default(),
         };
         // Compile the inference engine eagerly so evaluation never pays the
@@ -361,21 +364,86 @@ impl HotspotDetector {
 
     /// The compiled inference engine, built on first use.
     fn compiled_set(&self) -> &CompiledSet {
-        self.compiled.0.get_or_init(|| CompiledSet {
-            kernels: self.kernels.iter().map(|k| k.model.compile()).collect(),
-            feedback: self.feedback.as_ref().map(|f| f.model.compile()),
+        self.compiled.0.get_or_init(|| {
+            let grid = self.config.cluster.grid;
+            CompiledSet {
+                kernels: self.kernels.iter().map(|k| k.model.compile()).collect(),
+                feedback: self.feedback.as_ref().map(|f| f.model.compile()),
+                router: CentroidRouter::compile(
+                    self.kernels
+                        .iter()
+                        .map(|k| (&k.centroid, self.config.admission.threshold(k.radius))),
+                    grid,
+                    grid,
+                ),
+            }
         })
     }
 
-    /// Returns this detector with the evaluation engine selected: `true`
-    /// routes every decision value through the reference
-    /// [`hotspot_svm::SvmModel::decision_value`] path instead of the
-    /// batched compiled engine. Both engines report the same hotspot sets
-    /// (pinned by `tests/eval_engine.rs`); the reference path exists for
-    /// equivalence testing and the naive-vs-compiled benchmark.
-    pub fn with_reference_eval(mut self, reference: bool) -> Self {
-        self.reference_eval = reference;
+    /// Returns this detector with the evaluation engine selected.
+    /// [`EvalMode::Reference`] runs the naive per-kernel admission search
+    /// and per-support-vector decision values; [`EvalMode::Compiled`] (the
+    /// default) runs the admission router and the batched flattened SVM
+    /// engine. Both modes report the same hotspot sets (pinned by
+    /// `tests/eval_engine.rs`); the reference path exists for equivalence
+    /// testing and the naive-vs-compiled benchmark.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.config.eval_mode = mode;
         self
+    }
+
+    /// Former boolean engine toggle.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `with_eval_mode(EvalMode::Reference)` / `with_eval_mode(EvalMode::Compiled)`"
+    )]
+    pub fn with_reference_eval(self, reference: bool) -> Self {
+        self.with_eval_mode(if reference {
+            EvalMode::Reference
+        } else {
+            EvalMode::Compiled
+        })
+    }
+
+    /// An evaluation handle at the configured
+    /// [`decision_threshold`](DetectorConfig::decision_threshold), with
+    /// the engines selected by the configured [`EvalMode`]. The handle
+    /// borrows the detector; pair it with an [`EvalScratch`] per worker.
+    pub fn eval_engine(&self) -> EvalEngine<'_> {
+        self.eval_engine_with_threshold(self.config.decision_threshold)
+    }
+
+    /// [`eval_engine`](Self::eval_engine) at an explicit decision
+    /// threshold (for the Fig. 15 trade-off sweep).
+    pub fn eval_engine_with_threshold(&self, threshold: f64) -> EvalEngine<'_> {
+        let feedback = if self.config.ablation.feedback {
+            self.feedback.as_ref()
+        } else {
+            None
+        };
+        match self.config.eval_mode {
+            EvalMode::Reference => EvalEngine {
+                kernels: &self.kernels,
+                feedback,
+                config: &self.config,
+                threshold,
+                compiled_kernels: None,
+                compiled_feedback: None,
+                router: None,
+            },
+            EvalMode::Compiled => {
+                let set = self.compiled_set();
+                EvalEngine {
+                    kernels: &self.kernels,
+                    feedback,
+                    config: &self.config,
+                    threshold,
+                    compiled_kernels: Some(&set.kernels),
+                    compiled_feedback: set.feedback.as_ref(),
+                    router: Some(&set.router),
+                }
+            }
+        }
     }
 
     /// Returns this detector with its worker-thread count overridden
@@ -426,41 +494,15 @@ impl HotspotDetector {
     /// probability over the kernels the clip routes to, or `None` when no
     /// kernel's topology or density gate admits it.
     pub fn classify_probability(&self, pattern: &Pattern) -> Option<f64> {
-        let window = pattern.window.core;
-        let rects: Vec<_> = pattern
-            .rects
-            .iter()
-            .filter_map(|r| r.intersection(&window))
-            .map(|r| r.translate(-window.min()))
-            .collect();
-        let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
-        let signature = hotspot_topo::TopoSignature::of(&local, &rects);
-        let grid =
-            crate::training::density_grid(pattern, crate::training::Region::Core, &self.config);
-        let compiled = (!self.reference_eval).then(|| self.compiled_set());
-        let mut eval = BatchEvaluator::new();
-        let mut memo =
-            crate::training::FeatureMemo::new(pattern, crate::training::Region::Core, &self.config);
+        let engine = self.eval_engine();
+        let mut scratch = EvalScratch::new();
         let mut best: Option<f64> = None;
-        for (idx, k) in self.kernels.iter().enumerate() {
-            let topo_match = signature == k.signature;
-            let density_match = grid.nx() == k.centroid.nx()
-                && grid.ny() == k.centroid.ny()
-                && grid.distance(&k.centroid).distance
-                    <= k.radius.max(1e-9) * self.config.fuzziness;
-            if !topo_match && !density_match {
-                continue;
-            }
-            let features = memo.padded(k.feature_len);
-            let decision = match compiled {
-                Some(c) => eval.decision_value(&c.kernels[idx], features),
-                None => k.model.decision_value(features),
-            };
-            let p = k.platt.probability(decision);
+        engine.for_each_admitted(pattern, &mut scratch, |idx, decision| {
+            let p = self.kernels[idx].platt.probability(decision);
             if best.is_none_or(|b| p > b) {
                 best = Some(p);
             }
-        }
+        });
         best
     }
 
@@ -529,16 +571,24 @@ impl HotspotDetector {
                 if !self.fault_plan.is_empty() {
                     self.fault_plan.inject(FaultSite::Evaluation, i, 0);
                 }
-                let mut eval = BatchEvaluator::new();
-                batch
+                let engine = self.eval_engine_with_threshold(threshold);
+                let mut scratch = EvalScratch::new();
+                let flags: Vec<(bool, bool)> = batch
                     .iter()
-                    .map(|c| self.flag_pattern_with(c, threshold, &mut eval))
-                    .collect::<Vec<_>>()
+                    .map(|c| Self::flag_with_engine(&engine, c, &mut scratch))
+                    .collect();
+                (flags, scratch.admissions(), scratch.admission_skips())
             });
         let mut flag_chunks = Vec::with_capacity(flag_results.len());
+        let mut admissions = 0u64;
+        let mut admission_skips = 0u64;
         for result in flag_results {
             match result {
-                Ok(chunk) => flag_chunks.push(chunk),
+                Ok((chunk, admitted, skipped)) => {
+                    admissions += admitted;
+                    admission_skips += skipped;
+                    flag_chunks.push(chunk);
+                }
                 Err(failure) => return Err(DetectError::TaskPanicked(failure)),
             }
         }
@@ -564,6 +614,7 @@ impl HotspotDetector {
             Some(&exec_stats),
             eval_batches,
         );
+        recorder.record_admissions(StageId::KernelEvaluation, admissions, admission_skips);
 
         // 3. Redundant clip removal.
         let t2 = Instant::now();
@@ -601,42 +652,26 @@ impl HotspotDetector {
         })
     }
 
-    /// [`flag_pattern_with`](Self::flag_pattern_with) on throwaway scratch,
+    /// [`flag_with_engine`](Self::flag_with_engine) on throwaway scratch,
     /// for single-clip entry points.
     pub(crate) fn flag_pattern(&self, pattern: &Pattern, threshold: f64) -> (bool, bool) {
-        self.flag_pattern_with(pattern, threshold, &mut BatchEvaluator::new())
+        let engine = self.eval_engine_with_threshold(threshold);
+        Self::flag_with_engine(&engine, pattern, &mut EvalScratch::new())
     }
 
     /// `(flagged_by_kernels, reclaimed_by_feedback)` for one clip. Shared
-    /// by `detect` and the streaming `scan_layout`; `eval` carries the
-    /// scratch one batch of clips reuses across calls.
-    pub(crate) fn flag_pattern_with(
-        &self,
+    /// by `detect` and the streaming `scan_layout`; `scratch` carries the
+    /// buffers one batch of clips reuses across calls.
+    pub(crate) fn flag_with_engine(
+        engine: &EvalEngine<'_>,
         pattern: &Pattern,
-        threshold: f64,
-        eval: &mut BatchEvaluator,
+        scratch: &mut EvalScratch,
     ) -> (bool, bool) {
-        let compiled = (!self.reference_eval).then(|| self.compiled_set());
-        let flags = flagging_kernels_with(
-            &self.kernels,
-            compiled.map(|c| (c.kernels.as_slice(), &mut *eval)),
-            pattern,
-            &self.config,
-            threshold,
-        );
+        let flags = engine.flagging_kernels(pattern, scratch);
         if flags.is_empty() {
             return (false, false);
         }
-        let reclaimed = match (&self.feedback, self.config.ablation.feedback) {
-            (Some(fb), true) => {
-                let confirmed = match compiled.and_then(|c| c.feedback.as_ref()) {
-                    Some(cfb) => fb.confirms_with(pattern, &self.config, cfb, eval),
-                    None => fb.confirms(pattern, &self.config),
-                };
-                !confirmed
-            }
-            _ => false,
-        };
+        let reclaimed = matches!(engine.feedback_confirms(pattern, scratch), Some(false));
         (true, reclaimed)
     }
 }
@@ -722,6 +757,19 @@ impl DetectorBuilder {
     /// Sets the SVM decision threshold at evaluation.
     pub fn decision_threshold(mut self, threshold: f64) -> Self {
         self.config.decision_threshold = threshold;
+        self
+    }
+
+    /// Selects the evaluation engine ([`EvalMode::Compiled`] by default).
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.config.eval_mode = mode;
+        self
+    }
+
+    /// Sets the kernel-admission parameters (fuzziness factor and radius
+    /// floor); validated at build time.
+    pub fn admission(mut self, params: AdmissionParams) -> Self {
+        self.config.admission = params;
         self
     }
 

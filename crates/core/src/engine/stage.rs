@@ -140,6 +140,8 @@ impl StageRecorder {
             batches,
             failures: stats.map_or(0, |s| s.tasks_failed),
             retries: 0,
+            admissions: 0,
+            admission_skips: 0,
         };
         match self.stages.iter_mut().find(|(id, _)| *id == stage) {
             Some((_, existing)) => {
@@ -154,6 +156,25 @@ impl StageRecorder {
                 existing.retries += entry.retries;
             }
             None => self.stages.push((stage, entry)),
+        }
+    }
+
+    /// Folds admission counters into `stage`: `admissions` clip-kernel
+    /// pairs admitted to SVM evaluation and `admission_skips`
+    /// centroid-orientation rows the compiled router pruned (schema v5).
+    /// Creates a zero-time entry when the stage has not been recorded yet.
+    pub fn record_admissions(&mut self, stage: StageId, admissions: u64, admission_skips: u64) {
+        match self.stages.iter_mut().find(|(id, _)| *id == stage) {
+            Some((_, existing)) => {
+                existing.admissions += admissions;
+                existing.admission_skips += admission_skips;
+            }
+            None => {
+                let mut entry = StageTelemetry::empty(stage);
+                entry.admissions = admissions;
+                entry.admission_skips = admission_skips;
+                self.stages.push((stage, entry));
+            }
         }
     }
 
@@ -288,6 +309,22 @@ mod tests {
         assert_eq!(pre.failures, 1);
         assert_eq!(pre.wall_ms, 0.0);
         assert_eq!(t.resumed_tiles, 5);
+    }
+
+    #[test]
+    fn record_admissions_folds_into_existing_or_new_entries() {
+        let mut rec = StageRecorder::new("detection", 2);
+        rec.record(StageId::KernelEvaluation, 10, 2, Duration::ZERO, None);
+        rec.record_admissions(StageId::KernelEvaluation, 7, 120);
+        rec.record_admissions(StageId::KernelEvaluation, 3, 30);
+        rec.record_admissions(StageId::DensityPrefilter, 1, 0);
+        let t = rec.finish();
+        let eval = t.stage(StageId::KernelEvaluation).unwrap();
+        assert_eq!(eval.admissions, 10);
+        assert_eq!(eval.admission_skips, 150);
+        let pre = t.stage(StageId::DensityPrefilter).unwrap();
+        assert_eq!(pre.admissions, 1);
+        assert_eq!(pre.wall_ms, 0.0);
     }
 
     #[test]

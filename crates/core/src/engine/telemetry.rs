@@ -23,7 +23,13 @@ use std::time::Duration;
 /// re-attempted before quarantine), plus the run-level `resumed_tiles`
 /// (tiles replayed from a scan journal instead of recomputed). All three
 /// deserialise as 0 from older records via `#[serde(default)]`.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
+/// v5 added the admission counters: per-stage `admissions` (clip-kernel
+/// pairs admitted to SVM evaluation by topology or density) and
+/// `admission_skips` (centroid-orientation rows the compiled admission
+/// router pruned via its mass gate, norm screen, or early exit; 0 under
+/// the reference engine). Both deserialise as 0 from v4 and older records
+/// via `#[serde(default)]`.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +62,17 @@ pub struct StageTelemetry {
     /// pre-v4 records, which deserialise with 0.
     #[serde(default)]
     pub retries: usize,
+    /// Clip-kernel pairs admitted to SVM evaluation (by exact topology
+    /// match or density routing). Absent in pre-v5 records, which
+    /// deserialise with 0.
+    #[serde(default)]
+    pub admissions: u64,
+    /// Centroid-orientation rows the compiled admission router pruned
+    /// without computing their full exact distance (mass gate + norm
+    /// screen + early exit); 0 under the reference engine. Absent in
+    /// pre-v5 records, which deserialise with 0.
+    #[serde(default)]
+    pub admission_skips: u64,
 }
 
 impl StageTelemetry {
@@ -72,6 +89,8 @@ impl StageTelemetry {
             batches: 0,
             failures: 0,
             retries: 0,
+            admissions: 0,
+            admission_skips: 0,
         }
     }
 
@@ -91,6 +110,8 @@ impl StageTelemetry {
         self.batches += other.batches;
         self.failures += other.failures;
         self.retries += other.retries;
+        self.admissions += other.admissions;
+        self.admission_skips += other.admission_skips;
     }
 }
 
@@ -174,7 +195,7 @@ impl PipelineTelemetry {
         );
         let _ = writeln!(
             out,
-            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7}",
+            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>9} {:>10}",
             "stage",
             "wall (ms)",
             "in",
@@ -184,12 +205,14 @@ impl PipelineTelemetry {
             "stolen",
             "batches",
             "failed",
-            "retried"
+            "retried",
+            "admitted",
+            "adm-skips"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7}",
+                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>9} {:>10}",
                 s.stage,
                 s.wall_ms,
                 s.items_in,
@@ -199,7 +222,9 @@ impl PipelineTelemetry {
                 s.tasks_stolen,
                 s.batches,
                 s.failures,
-                s.retries
+                s.retries,
+                s.admissions,
+                s.admission_skips
             );
         }
         out
@@ -238,11 +263,13 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":4"), "{json}");
+        assert!(json.contains("\"schema_version\":5"), "{json}");
         assert!(json.contains("\"batches\""), "{json}");
         assert!(json.contains("\"failures\""), "{json}");
         assert!(json.contains("\"retries\""), "{json}");
         assert!(json.contains("\"resumed_tiles\""), "{json}");
+        assert!(json.contains("\"admissions\""), "{json}");
+        assert!(json.contains("\"admission_skips\""), "{json}");
         assert!(json.contains("population_balancing"), "{json}");
     }
 
@@ -260,6 +287,31 @@ mod tests {
             "stages":[],"total_wall_ms":1.0}"#;
         let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
         assert_eq!(t.resumed_tiles, 0);
+    }
+
+    #[test]
+    fn v4_records_deserialise_without_admission_counters() {
+        // A v4-era stage record: fault counters present, no admissions.
+        let json = r#"{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
+            "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0,
+            "batches":1,"failures":0,"retries":0}"#;
+        let s: StageTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(s.admissions, 0);
+        assert_eq!(s.admission_skips, 0);
+        // A full v4 pipeline record still loads (schema_version is data,
+        // not a gate) and merges cleanly with v5 output.
+        let json = r#"{"schema_version":4,"phase":"detection","threads":2,
+            "stages":[{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
+            "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0,
+            "batches":1,"failures":0,"retries":0}],
+            "total_wall_ms":1.0,"resumed_tiles":0}"#;
+        let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
+        let merged = t.merge(&PipelineTelemetry::default());
+        assert_eq!(merged.schema_version, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(
+            merged.stage(StageId::KernelEvaluation).unwrap().admissions,
+            0
+        );
     }
 
     #[test]

@@ -17,71 +17,231 @@ use crate::training::{
     FeatureMemo, PatternCluster, Region,
 };
 use hotspot_svm::{BatchEvaluator, CompiledModel, SvmModel, TrainError};
+use hotspot_topo::route::{Admission, CentroidRouter, RouteStats};
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-/// The kernels of the multiple-kernel stage that flag `pattern` as a
-/// hotspot (empty = classified nonhotspot everywhere).
+/// Reusable per-worker scratch for [`EvalEngine`] calls: the batched SVM
+/// evaluator's buffers, the router's admission list, and the admission
+/// telemetry counters. Create one per worker (or per batch) and reuse it
+/// across clips — queries are allocation-free once the buffers have grown
+/// to their high-water marks.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    eval: BatchEvaluator,
+    admissions: Vec<Admission>,
+    route_stats: RouteStats,
+    admitted: usize,
+}
+
+impl EvalScratch {
+    /// Fresh scratch with empty buffers and zeroed counters.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    /// Clip-kernel pairs admitted to SVM evaluation (topology or density)
+    /// since construction or the last [`reset_counters`](Self::reset_counters).
+    pub fn admissions(&self) -> u64 {
+        self.admitted as u64
+    }
+
+    /// Centroid-orientation rows the compiled router pruned without
+    /// computing their full exact distance (mass gate + norm screen +
+    /// early exit); always 0 under [`crate::EvalMode::Reference`].
+    pub fn admission_skips(&self) -> u64 {
+        self.route_stats.rows_pruned() as u64
+    }
+
+    /// The accumulated router counters.
+    pub fn route_stats(&self) -> &RouteStats {
+        &self.route_stats
+    }
+
+    /// Zeroes the telemetry counters, keeping the grown buffers.
+    pub fn reset_counters(&mut self) {
+        self.route_stats = RouteStats::default();
+        self.admitted = 0;
+    }
+}
+
+/// A borrowing evaluation handle: kernels, admission parameters, and the
+/// decision threshold bound together so callers cannot mix mismatched
+/// config + threshold pairs (the failure mode of the old free-function
+/// `flagging_kernels(kernels, pattern, config, threshold)` signature).
 ///
-/// A kernel participates when the pattern's core topology matches its
-/// cluster signature exactly, or the core density grid lies within
-/// `radius × fuzziness` of the cluster centroid. Features are extracted
-/// once per clip and padded vectors are shared across kernels of the same
-/// feature length ([`FeatureMemo`]).
+/// Obtain one from [`crate::HotspotDetector::eval_engine`] (which attaches
+/// the compiled router and flattened SVM models under
+/// [`crate::EvalMode::Compiled`]) or from [`EvalEngine::reference`] for the
+/// naive oracle over bare kernels. Both produce identical flag sets; the
+/// equivalence is pinned by the `eval_engine` integration tests.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalEngine<'d> {
+    pub(crate) kernels: &'d [ClusterKernel],
+    pub(crate) feedback: Option<&'d FeedbackKernel>,
+    pub(crate) config: &'d DetectorConfig,
+    pub(crate) threshold: f64,
+    pub(crate) compiled_kernels: Option<&'d [CompiledModel]>,
+    pub(crate) compiled_feedback: Option<&'d CompiledModel>,
+    pub(crate) router: Option<&'d CentroidRouter>,
+}
+
+impl<'d> EvalEngine<'d> {
+    /// The reference engine: naive 8-orientation admission search and
+    /// per-sample SVM decision values, no feedback kernel. This is the
+    /// oracle the compiled path is validated against.
+    pub fn reference(
+        kernels: &'d [ClusterKernel],
+        config: &'d DetectorConfig,
+        threshold: f64,
+    ) -> Self {
+        EvalEngine {
+            kernels,
+            feedback: None,
+            config,
+            threshold,
+            compiled_kernels: None,
+            compiled_feedback: None,
+            router: None,
+        }
+    }
+
+    /// The SVM decision threshold this engine flags above.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The kernels of the multiple-kernel stage that flag `pattern` as a
+    /// hotspot (empty = classified nonhotspot everywhere).
+    ///
+    /// A kernel participates when the pattern's core topology matches its
+    /// cluster signature exactly, or the core density grid lies within the
+    /// kernel's admission threshold
+    /// ([`crate::AdmissionParams::threshold`]) of the cluster centroid
+    /// under the eq. (1) distance. Features are extracted once per clip
+    /// and padded vectors are shared across kernels of the same feature
+    /// length ([`FeatureMemo`]).
+    pub fn flagging_kernels(&self, pattern: &Pattern, scratch: &mut EvalScratch) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_admitted(pattern, scratch, |idx, decision| {
+            if decision > self.threshold {
+                out.push(idx);
+            }
+        });
+        out
+    }
+
+    /// Runs the admission search for `pattern` and invokes `visit` with
+    /// `(kernel index, decision value)` for every admitted kernel, in
+    /// kernel order.
+    pub(crate) fn for_each_admitted(
+        &self,
+        pattern: &Pattern,
+        scratch: &mut EvalScratch,
+        mut visit: impl FnMut(usize, f64),
+    ) {
+        let window = pattern.window.core;
+        let rects: Vec<_> = pattern
+            .rects
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .map(|r| r.translate(-window.min()))
+            .collect();
+        let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
+        let signature = TopoSignature::of(&local, &rects);
+        let grid = density_grid(pattern, Region::Core, self.config);
+        let mut memo = FeatureMemo::new(pattern, Region::Core, self.config);
+
+        let EvalScratch {
+            eval,
+            admissions,
+            route_stats,
+            admitted,
+        } = scratch;
+
+        // The compiled router answers the density side of admission for
+        // every kernel in one fused pass; the admissions come back sorted
+        // by kernel index, so the union with topology matches is a linear
+        // merge. Falls back to the naive search if the query shape differs
+        // from the compiled one (only possible with a hand-built config).
+        let router = self
+            .router
+            .filter(|r| (grid.nx(), grid.ny()) == (r.nx(), r.ny()));
+        if let Some(router) = router {
+            router.route_into(&grid, admissions, route_stats);
+            let mut next = 0usize;
+            for (idx, k) in self.kernels.iter().enumerate() {
+                let density_match = admissions.get(next).is_some_and(|a| a.kernel == idx);
+                if density_match {
+                    next += 1;
+                }
+                if !density_match && signature != k.signature {
+                    continue;
+                }
+                *admitted += 1;
+                let features = memo.padded(k.feature_len);
+                let decision = match self.compiled_kernels {
+                    Some(models) => eval.decision_value(&models[idx], features),
+                    None => k.model.decision_value(features),
+                };
+                visit(idx, decision);
+            }
+        } else {
+            for (idx, k) in self.kernels.iter().enumerate() {
+                let topo_match = signature == k.signature;
+                let density_match = if grid.nx() == k.centroid.nx() && grid.ny() == k.centroid.ny()
+                {
+                    grid.distance(&k.centroid).distance <= self.config.admission.threshold(k.radius)
+                } else {
+                    false
+                };
+                if !topo_match && !density_match {
+                    continue;
+                }
+                *admitted += 1;
+                let features = memo.padded(k.feature_len);
+                let decision = match self.compiled_kernels {
+                    Some(models) => eval.decision_value(&models[idx], features),
+                    None => k.model.decision_value(features),
+                };
+                visit(idx, decision);
+            }
+        }
+    }
+
+    /// Whether the feedback kernel confirms a flagged clip; `None` when no
+    /// feedback kernel is attached (not trained, or disabled by ablation),
+    /// which callers treat as confirmed.
+    pub(crate) fn feedback_confirms(
+        &self,
+        pattern: &Pattern,
+        scratch: &mut EvalScratch,
+    ) -> Option<bool> {
+        let fb = self.feedback?;
+        Some(match self.compiled_feedback {
+            Some(compiled) => fb.confirms_with(pattern, self.config, compiled, &mut scratch.eval),
+            None => fb.confirms(pattern, self.config),
+        })
+    }
+}
+
+/// Former free-function admission + flagging entry point.
+///
+/// The `config` + `threshold` pair travels together on the engine handle
+/// now; this wrapper evaluates through the reference engine.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `HotspotDetector::eval_engine()` or `EvalEngine::reference(kernels, config, threshold).flagging_kernels(pattern, &mut EvalScratch::new())`"
+)]
 pub fn flagging_kernels(
     kernels: &[ClusterKernel],
     pattern: &Pattern,
     config: &DetectorConfig,
     threshold: f64,
 ) -> Vec<usize> {
-    flagging_kernels_with(kernels, None, pattern, config, threshold)
-}
-
-/// [`flagging_kernels`] with the decision-value engine selectable: `None`
-/// evaluates through the reference [`SvmModel::decision_value`]; `Some`
-/// routes every admitted kernel through its [`CompiledModel`] (indexed
-/// 1:1 with `kernels`) on the given [`BatchEvaluator`]'s scratch.
-pub(crate) fn flagging_kernels_with(
-    kernels: &[ClusterKernel],
-    mut compiled: Option<(&[CompiledModel], &mut BatchEvaluator)>,
-    pattern: &Pattern,
-    config: &DetectorConfig,
-    threshold: f64,
-) -> Vec<usize> {
-    let window = pattern.window.core;
-    let rects: Vec<_> = pattern
-        .rects
-        .iter()
-        .filter_map(|r| r.intersection(&window))
-        .map(|r| r.translate(-window.min()))
-        .collect();
-    let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
-    let signature = TopoSignature::of(&local, &rects);
-    let grid = density_grid(pattern, Region::Core, config);
-
-    let mut memo = FeatureMemo::new(pattern, Region::Core, config);
-    let mut out = Vec::new();
-    for (idx, k) in kernels.iter().enumerate() {
-        let topo_match = signature == k.signature;
-        let density_match = if grid.nx() == k.centroid.nx() && grid.ny() == k.centroid.ny() {
-            grid.distance(&k.centroid).distance <= k.radius.max(1e-9) * config.fuzziness
-        } else {
-            false
-        };
-        if !topo_match && !density_match {
-            continue;
-        }
-        let features = memo.padded(k.feature_len);
-        let decision = match compiled.as_mut() {
-            Some((models, eval)) => eval.decision_value(&models[idx], features),
-            None => k.model.decision_value(features),
-        };
-        if decision > threshold {
-            out.push(idx);
-        }
-    }
-    out
+    EvalEngine::reference(kernels, config, threshold)
+        .flagging_kernels(pattern, &mut EvalScratch::new())
 }
 
 /// The trained feedback kernel.
@@ -133,12 +293,15 @@ pub fn train_feedback(
     nonhotspot_clusters: &[PatternCluster],
     config: &DetectorConfig,
 ) -> Result<Option<FeedbackKernel>, TrainError> {
-    // Self-evaluation: push every nonhotspot medoid through the kernels.
+    // Self-evaluation: push every nonhotspot medoid through the kernels
+    // (reference engine — training does not depend on the compiled path).
+    let engine = EvalEngine::reference(kernels, config, config.decision_threshold);
+    let mut scratch = EvalScratch::new();
     let mut offending_kernels: BTreeSet<usize> = BTreeSet::new();
     let mut extra_cluster_ids: BTreeSet<usize> = BTreeSet::new();
     for (cid, cluster) in nonhotspot_clusters.iter().enumerate() {
         let medoid = &nonhotspots[cluster.medoid];
-        let flags = flagging_kernels(kernels, medoid, config, config.decision_threshold);
+        let flags = engine.flagging_kernels(medoid, &mut scratch);
         if !flags.is_empty() {
             extra_cluster_ids.insert(cid);
             offending_kernels.extend(flags);
@@ -282,16 +445,38 @@ mod tests {
     fn flagging_kernels_fire_on_hotspots() {
         let (_, _, kernels, _, _) = trained_world();
         let hs = pattern(&hotspot_core(70));
-        let flags = flagging_kernels(&kernels, &hs, &config(), 0.0);
+        let cfg = config();
+        let mut scratch = EvalScratch::new();
+        let flags = EvalEngine::reference(&kernels, &cfg, 0.0).flagging_kernels(&hs, &mut scratch);
         assert!(!flags.is_empty(), "hotspot-like clip should be flagged");
+        assert!(scratch.admissions() >= flags.len() as u64);
+        assert_eq!(
+            scratch.admission_skips(),
+            0,
+            "reference engine never prunes"
+        );
     }
 
     #[test]
     fn flagging_kernels_pass_safe_patterns() {
         let (_, _, kernels, _, _) = trained_world();
         let safe = pattern(&safe_core(720));
-        let flags = flagging_kernels(&kernels, &safe, &config(), 0.0);
+        let cfg = config();
+        let flags = EvalEngine::reference(&kernels, &cfg, 0.0)
+            .flagging_kernels(&safe, &mut EvalScratch::new());
         assert!(flags.is_empty(), "safe clip should pass, got {flags:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flagging_kernels_shim_forwards() {
+        let (_, _, kernels, _, _) = trained_world();
+        let hs = pattern(&hotspot_core(70));
+        let cfg = config();
+        let via_shim = flagging_kernels(&kernels, &hs, &cfg, 0.0);
+        let via_engine = EvalEngine::reference(&kernels, &cfg, 0.0)
+            .flagging_kernels(&hs, &mut EvalScratch::new());
+        assert_eq!(via_shim, via_engine);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod removal;
 pub mod scan;
 pub mod training;
 
-pub use config::{AblationSwitches, DetectorConfig, DistributionFilter};
+pub use config::{AblationSwitches, AdmissionParams, DetectorConfig, DistributionFilter, EvalMode};
 #[allow(deprecated)]
 pub use detector::TrainPipelineError;
 pub use detector::{DetectError, DetectionReport, DetectorBuilder, HotspotDetector};
@@ -67,6 +67,7 @@ pub use engine::{
     FaultPlan, FaultSite, PipelineTelemetry, StageTelemetry, TaskFailure, TELEMETRY_SCHEMA_VERSION,
 };
 pub use extraction::{extract_clips, RectIndex};
+pub use feedback::{EvalEngine, EvalScratch};
 pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
 pub use pattern::{Label, Pattern, TrainingSet};

@@ -181,8 +181,7 @@ impl DoublePatterningDetector {
         for k in &self.kernels {
             let topo_match = signature == k.signature;
             let density_match = grid.nx() == k.centroid.nx()
-                && grid.distance(&k.centroid).distance
-                    <= k.radius.max(1e-9) * self.config.fuzziness;
+                && grid.distance(&k.centroid).distance <= self.config.admission.threshold(k.radius);
             if !topo_match && !density_match {
                 continue;
             }

@@ -310,6 +310,10 @@ struct TileOutcome {
     flagged: usize,
     reclaimed: usize,
     flagged_cores: Vec<Rect>,
+    /// Clip-kernel pairs admitted to SVM evaluation on this tile.
+    admissions: u64,
+    /// Centroid-orientation rows the admission router pruned on this tile.
+    admission_skips: u64,
     prefilter_time: Duration,
     extract_time: Duration,
     eval_time: Duration,
@@ -332,7 +336,8 @@ impl TileOutcome {
     }
 
     /// Rebuilds the outcome a journaled tile contributed, with zero wall
-    /// time (the work already happened in the journaled run).
+    /// time and zero admission counters (the work already happened in the
+    /// journaled run; the counters are provenance, not content).
     fn from_record(record: &TileOutcomeRecord) -> TileOutcome {
         let mut outcome = TileOutcome {
             prefiltered: false,
@@ -340,6 +345,8 @@ impl TileOutcome {
             flagged: 0,
             reclaimed: 0,
             flagged_cores: Vec::new(),
+            admissions: 0,
+            admission_skips: 0,
             prefilter_time: Duration::ZERO,
             extract_time: Duration::ZERO,
             eval_time: Duration::ZERO,
@@ -643,6 +650,11 @@ impl HotspotDetector {
                 Some(&stats),
                 batch_evals,
             );
+            recorder.record_admissions(
+                StageId::KernelEvaluation,
+                outcomes.iter().map(|o| o.admissions).sum(),
+                outcomes.iter().map(|o| o.admission_skips).sum(),
+            );
             // First-attempt failures came in through the executor stats;
             // fold in the sequential retries and their failures.
             if batch_retries > 0 {
@@ -722,6 +734,8 @@ impl HotspotDetector {
             flagged: 0,
             reclaimed: 0,
             flagged_cores: Vec::new(),
+            admissions: 0,
+            admission_skips: 0,
             prefilter_time: Duration::ZERO,
             extract_time: Duration::ZERO,
             eval_time: Duration::ZERO,
@@ -776,14 +790,15 @@ impl HotspotDetector {
         outcome.extract_time = t1.elapsed();
 
         // Multiple-kernel (and feedback) evaluation: the tile's clips form
-        // one batch sharing a `BatchEvaluator`'s scratch.
+        // one batch sharing an `EvalScratch`'s buffers.
         if !fault.is_empty() {
             fault.inject(FaultSite::Evaluation, tile_id, attempt);
         }
         let t2 = Instant::now();
-        let mut eval = hotspot_svm::BatchEvaluator::new();
+        let engine = self.eval_engine_with_threshold(threshold);
+        let mut scratch = crate::feedback::EvalScratch::new();
         for pattern in &patterns {
-            let (flagged, reclaimed) = self.flag_pattern_with(pattern, threshold, &mut eval);
+            let (flagged, reclaimed) = Self::flag_with_engine(&engine, pattern, &mut scratch);
             if flagged {
                 outcome.flagged += 1;
                 if reclaimed {
@@ -793,6 +808,8 @@ impl HotspotDetector {
                 }
             }
         }
+        outcome.admissions = scratch.admissions();
+        outcome.admission_skips = scratch.admission_skips();
         outcome.eval_time = t2.elapsed();
         outcome
     }

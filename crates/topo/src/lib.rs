@@ -15,7 +15,10 @@
 //!   diagonal, and segment rule rectangles plus the five nontopological
 //!   features (Figs. 7–8),
 //! - [`multilayer`] and [`patterning`]: the Section IV extensions to
-//!   multilayer patterns and double patterning.
+//!   multilayer patterns and double patterning,
+//! - [`route`]: the **compiled admission router** — all kernel centroids ×
+//!   8 D8 orientations packed into one matrix, queried by an
+//!   allocation-free fused pass per clip.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -26,10 +29,12 @@ pub mod features;
 pub mod mtcg;
 pub mod multilayer;
 pub mod patterning;
+pub mod route;
 pub mod tiling;
 
 pub use cluster::{Cluster, ClusterParams, DensityClustering};
 pub use dirstring::{DirectionalStrings, TopoSignature};
 pub use features::{CriticalFeatures, FeatureConfig, FeatureKind, RuleRect};
 pub use mtcg::{EdgeKind, Mtcg};
+pub use route::{orientation_expansions, Admission, CentroidRouter, RouteStats};
 pub use tiling::{Tile, TileKind, Tiling};

@@ -1,0 +1,552 @@
+//! Compiled admission routing: the batched 8-orientation centroid search.
+//!
+//! Kernel admission evaluates the eq. (1) distance — the per-pixel L1
+//! difference minimised over the eight D8 orientations — between a clip's
+//! core density grid and every kernel centroid. The naive search
+//! ([`DensityGrid::distance`]) allocates a transformed copy of the centroid
+//! per orientation per kernel per clip; with the SVM hot loop compiled,
+//! that routing search dominates the evaluation stage.
+//!
+//! [`CentroidRouter`] gives routing the same compiled-engine treatment: at
+//! model-compile time every kernel centroid is expanded into its D8
+//! orientations ([`orientation_expansions`]) and packed into one contiguous
+//! row-major matrix with precomputed row norms and masses. A query is then
+//! admitted in a single allocation-free fused pass per clip:
+//!
+//! 1. **mass gate** — `|Σx − Σc| ≤ L1(x, τ(c))` for every orientation `τ`
+//!    (the pixel sum is orientation-invariant), so one comparison against
+//!    the admission threshold can discharge all eight rows of a kernel;
+//! 2. **norm-trick screen** — the squared L2 distance
+//!    `‖x‖² + ‖cᵢ‖² − 2⟨cᵢ,x⟩` (8-lane chunked dot products, precomputed
+//!    row norms) lower-bounds the L1 distance (`‖v‖₂ ≤ ‖v‖₁`), so a row
+//!    whose screened distance exceeds the current bound is pruned without
+//!    touching the exact metric;
+//! 3. **exact pass** — the surviving rows run the exact L1 sum in the same
+//!    sequential order as [`DensityGrid::l1_distance`] (bit-identical
+//!    result), early-exiting once the running partial sum exceeds the
+//!    bound `min(admission threshold, best distance so far)` — valid
+//!    because L1 partial sums are monotone non-decreasing.
+//!
+//! Both screens are conservative (slack absorbs the summation-order
+//! rounding of the screened quantities), and rows they prune provably
+//! exceed the bound, so the admitted kernel set, the minimal distance, and
+//! the arg-min orientation (first-wins tie-break in D8 order) are exactly
+//! those of the naive search — pinned by the property tests in
+//! `tests/route_equivalence.rs`.
+
+use hotspot_geom::{DensityGrid, Orientation, D8};
+
+/// Lanes per chunk of the screening dot product: 8 independent f64
+/// accumulators autovectorize on stable rustc (no SIMD intrinsics).
+const LANES: usize = 8;
+
+/// Cells per early-exit checkpoint of the exact L1 pass. Accumulation
+/// stays strictly sequential; only the bound comparison is amortised.
+const EXIT_CHECK: usize = 8;
+
+/// Relative slack on the screening bounds, absorbing the rounding of the
+/// threshold product and the screened quantity at large magnitudes.
+const REL_SLACK: f64 = 1e-9;
+
+/// Absolute slack on the screening bounds, absorbing summation rounding of
+/// masses, norms, and dot products near zero thresholds.
+const ABS_SLACK: f64 = 1e-7;
+
+/// A kernel centroid expanded into its eight D8 orientations, in D8 order.
+///
+/// This is the compile-time export the router packs its rows from;
+/// orientations that change the grid dimensions (odd rotations of
+/// non-square grids) are still returned and must be filtered against the
+/// query dimensions by the caller, exactly as [`DensityGrid::distance`]
+/// skips them.
+pub fn orientation_expansions(grid: &DensityGrid) -> [(Orientation, DensityGrid); 8] {
+    D8.map(|o| (o, grid.transform(o)))
+}
+
+/// One admitted kernel of a routed query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Index of the kernel in the router's compile order.
+    pub kernel: usize,
+    /// The exact eq. (1) distance — identical to the naive search's.
+    pub distance: f64,
+    /// The arg-min orientation (first minimising orientation in D8 order).
+    pub orientation: Orientation,
+}
+
+/// Counters of one or more routing passes, for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Queries routed.
+    pub queries: usize,
+    /// Kernels admitted by the density metric across all queries.
+    pub admitted: usize,
+    /// Centroid-orientation rows considered (kernels × aligned
+    /// orientations).
+    pub rows_considered: usize,
+    /// Rows discharged by the orientation-invariant mass gate.
+    pub mass_skips: usize,
+    /// Rows pruned by the norm-trick squared-L2 screen.
+    pub screen_skips: usize,
+    /// Rows that ran the exact L1 pass to completion.
+    pub exact_passes: usize,
+    /// Exact passes abandoned once the partial sum exceeded the bound.
+    pub early_exits: usize,
+}
+
+impl RouteStats {
+    /// Accumulates another set of counters into this one.
+    pub fn absorb(&mut self, other: &RouteStats) {
+        self.queries += other.queries;
+        self.admitted += other.admitted;
+        self.rows_considered += other.rows_considered;
+        self.mass_skips += other.mass_skips;
+        self.screen_skips += other.screen_skips;
+        self.exact_passes += other.exact_passes;
+        self.early_exits += other.early_exits;
+    }
+
+    /// Rows pruned without computing their full exact distance — the
+    /// telemetry `admission_skips` counter.
+    pub fn rows_pruned(&self) -> usize {
+        self.mass_skips + self.screen_skips + self.early_exits
+    }
+}
+
+/// Row range and per-kernel screening constants of one compiled kernel.
+#[derive(Debug, Clone)]
+struct KernelSlot {
+    /// First row of this kernel in the packed matrix.
+    start: usize,
+    /// Orientation rows this kernel owns (0 when the centroid can never
+    /// align with the router's query dimensions).
+    len: usize,
+    /// Admission threshold: a kernel admits when the minimal exact
+    /// distance is `<= threshold`.
+    threshold: f64,
+    /// Pixel sum of the centroid (orientation-invariant).
+    mass: f64,
+}
+
+/// The compiled admission router: all kernel centroids × D8 orientations
+/// packed into one contiguous row-major matrix with precomputed row norms,
+/// queried by an allocation-free fused pass per clip.
+///
+/// Built once per model compile (alongside the flattened SVM engine) and
+/// shared read-only by every evaluation thread.
+#[derive(Debug, Clone)]
+pub struct CentroidRouter {
+    nx: usize,
+    ny: usize,
+    dim: usize,
+    /// Packed orientation rows, row-major: `rows[r*dim..(r+1)*dim]` is the
+    /// cell vector of one transformed centroid.
+    rows: Vec<f64>,
+    /// Squared Euclidean norm `‖cᵢ‖²` of each row.
+    row_norms: Vec<f64>,
+    /// The D8 orientation each row was transformed by.
+    row_orientations: Vec<Orientation>,
+    slots: Vec<KernelSlot>,
+}
+
+impl CentroidRouter {
+    /// Packs `(centroid, admission threshold)` pairs into a router for
+    /// queries of `nx × ny` cells.
+    ///
+    /// Kernels whose centroid dimensions differ from `nx × ny` get no
+    /// rows and are never density-admitted, mirroring the dimension guard
+    /// in front of the naive search. For centroids that do match, only
+    /// orientations preserving the dimensions are packed (all eight for
+    /// square grids), exactly the set [`DensityGrid::distance`] searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn compile<'a, I>(kernels: I, nx: usize, ny: usize) -> CentroidRouter
+    where
+        I: IntoIterator<Item = (&'a DensityGrid, f64)>,
+    {
+        assert!(nx > 0 && ny > 0, "router dimensions must be positive");
+        let dim = nx * ny;
+        let mut rows = Vec::new();
+        let mut row_norms = Vec::new();
+        let mut row_orientations = Vec::new();
+        let mut slots = Vec::new();
+        for (centroid, threshold) in kernels {
+            let start = row_orientations.len();
+            let mut mass = 0.0;
+            if (centroid.nx(), centroid.ny()) == (nx, ny) {
+                mass = centroid.cells().iter().sum();
+                for (orientation, transformed) in orientation_expansions(centroid) {
+                    if (transformed.nx(), transformed.ny()) != (nx, ny) {
+                        continue;
+                    }
+                    let cells = transformed.cells();
+                    row_norms.push(cells.iter().map(|c| c * c).sum());
+                    rows.extend_from_slice(cells);
+                    row_orientations.push(orientation);
+                }
+            }
+            slots.push(KernelSlot {
+                start,
+                len: row_orientations.len() - start,
+                threshold,
+                mass,
+            });
+        }
+        CentroidRouter {
+            nx,
+            ny,
+            dim,
+            rows,
+            row_norms,
+            row_orientations,
+            slots,
+        }
+    }
+
+    /// Query grid width the router was compiled for.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Query grid height the router was compiled for.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Kernels the router was compiled with.
+    pub fn kernel_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Packed centroid-orientation rows across all kernels.
+    pub fn row_count(&self) -> usize {
+        self.row_orientations.len()
+    }
+
+    /// Routes one query: fills `out` with the density-admitted kernels in
+    /// compile order, each carrying the exact eq. (1) distance and arg-min
+    /// orientation of the naive search, and accumulates counters into
+    /// `stats`.
+    ///
+    /// Allocation-free once `out` has grown to the admitted high-water
+    /// mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimensions differ from the router's.
+    pub fn route_into(
+        &self,
+        query: &DensityGrid,
+        out: &mut Vec<Admission>,
+        stats: &mut RouteStats,
+    ) {
+        assert_eq!(
+            (query.nx(), query.ny()),
+            (self.nx, self.ny),
+            "query dimensions do not match the compiled router"
+        );
+        out.clear();
+        stats.queries += 1;
+        let q = query.cells();
+        let mut q_norm = 0.0;
+        let mut q_mass = 0.0;
+        for &x in q {
+            q_mass += x;
+            q_norm += x * x;
+        }
+
+        for (kernel, slot) in self.slots.iter().enumerate() {
+            if slot.len == 0 {
+                continue;
+            }
+            stats.rows_considered += slot.len;
+            let threshold = slot.threshold;
+            // Mass gate: |Σx − Σc| lower-bounds the L1 distance at every
+            // orientation, so one comparison discharges the whole kernel.
+            if (q_mass - slot.mass).abs() > threshold * (1.0 + REL_SLACK) + ABS_SLACK {
+                stats.mass_skips += slot.len;
+                continue;
+            }
+
+            let mut best = f64::INFINITY;
+            let mut best_orientation = None;
+            for r in slot.start..slot.start + slot.len {
+                let bound = best.min(threshold);
+                let row = &self.rows[r * self.dim..(r + 1) * self.dim];
+                // Norm-trick screen: ‖x−c‖₂² ≤ ‖x−c‖₁², so a row whose
+                // screened distance clears the (slackened) squared bound
+                // provably exceeds the bound in L1 as well.
+                let d2 = (q_norm + self.row_norms[r] - 2.0 * dot(row, q)).max(0.0);
+                if d2 > bound * bound * (1.0 + REL_SLACK) + ABS_SLACK {
+                    stats.screen_skips += 1;
+                    continue;
+                }
+                // Exact L1 in the same sequential summation order as
+                // `DensityGrid::l1_distance` (bit-identical when it
+                // completes); partial sums are monotone non-decreasing, so
+                // exceeding the bound at a checkpoint is final.
+                let mut acc = 0.0;
+                let mut i = 0;
+                let mut exited = false;
+                while i < self.dim {
+                    let end = (i + EXIT_CHECK).min(self.dim);
+                    while i < end {
+                        acc += (q[i] - row[i]).abs();
+                        i += 1;
+                    }
+                    if acc > bound {
+                        exited = true;
+                        break;
+                    }
+                }
+                if exited {
+                    stats.early_exits += 1;
+                    continue;
+                }
+                stats.exact_passes += 1;
+                if acc < best {
+                    best = acc;
+                    best_orientation = Some(self.row_orientations[r]);
+                }
+            }
+            if best <= threshold {
+                stats.admitted += 1;
+                out.push(Admission {
+                    kernel,
+                    distance: best,
+                    orientation: best_orientation.expect("admitted kernel has a best row"),
+                });
+            }
+        }
+    }
+
+    /// [`route_into`](Self::route_into) into a fresh vector, for one-off
+    /// queries and tests.
+    pub fn route(&self, query: &DensityGrid) -> (Vec<Admission>, RouteStats) {
+        let mut out = Vec::new();
+        let mut stats = RouteStats::default();
+        self.route_into(query, &mut out, &mut stats);
+        (out, stats)
+    }
+}
+
+/// Chunked dot product with [`LANES`] independent accumulators, which
+/// stable rustc autovectorizes; the remainder accumulates scalar.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let main = a.len() - a.len() % LANES;
+    let mut lanes = [0.0f64; LANES];
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANES)
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        for (lane, (x, y)) in lanes.iter_mut().zip(ca.iter().zip(cb)) {
+            *lane += x * y;
+        }
+    }
+    let mut acc = lanes.iter().sum::<f64>();
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Rect;
+
+    fn grid_from(cells: Vec<f64>, n: usize) -> DensityGrid {
+        DensityGrid::from_cells(n, n, cells)
+    }
+
+    /// The naive per-kernel admission the router must reproduce exactly.
+    fn naive(
+        query: &DensityGrid,
+        kernels: &[(DensityGrid, f64)],
+    ) -> Vec<(usize, f64, Orientation)> {
+        let mut out = Vec::new();
+        for (idx, (centroid, threshold)) in kernels.iter().enumerate() {
+            if (query.nx(), query.ny()) != (centroid.nx(), centroid.ny()) {
+                continue;
+            }
+            let d = query.distance(centroid);
+            if d.distance <= *threshold {
+                out.push((idx, d.distance, d.orientation));
+            }
+        }
+        out
+    }
+
+    fn check_equivalence(query: &DensityGrid, kernels: &[(DensityGrid, f64)]) {
+        let router =
+            CentroidRouter::compile(kernels.iter().map(|(c, t)| (c, *t)), query.nx(), query.ny());
+        let (admissions, stats) = router.route(query);
+        let expected = naive(query, kernels);
+        let got: Vec<(usize, f64, Orientation)> = admissions
+            .iter()
+            .map(|a| (a.kernel, a.distance, a.orientation))
+            .collect();
+        assert_eq!(got, expected, "router disagrees with the naive search");
+        assert_eq!(stats.admitted, expected.len());
+    }
+
+    fn ramp(n: usize, scale: f64) -> DensityGrid {
+        let cells = (0..n * n).map(|i| (i as f64 * scale) % 1.0).collect();
+        grid_from(cells, n)
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a: Vec<f64> = (0..19).map(|i| i as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..19).map(|i| (19 - i) as f64 * 0.5).collect();
+        let reference: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - reference).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orientation_expansions_cover_d8_in_order() {
+        let g = ramp(4, 0.37);
+        let ex = orientation_expansions(&g);
+        for ((o, t), expected) in ex.iter().zip(D8) {
+            assert_eq!(*o, expected);
+            assert_eq!(*t, g.transform(expected));
+        }
+    }
+
+    #[test]
+    fn identical_grid_admits_at_zero_distance() {
+        let g = ramp(8, 0.13);
+        let router = CentroidRouter::compile([(&g, 0.5)], 8, 8);
+        let (adm, stats) = router.route(&g);
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].kernel, 0);
+        assert_eq!(adm[0].distance, 0.0);
+        assert_eq!(adm[0].orientation, D8[0]);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.rows_considered, 8);
+    }
+
+    #[test]
+    fn transformed_copies_admit_with_matching_orientation() {
+        let window = Rect::from_extents(0, 0, 120, 120);
+        let rects = [
+            Rect::from_extents(0, 0, 30, 120),
+            Rect::from_extents(60, 0, 120, 30),
+        ];
+        let g = DensityGrid::from_rects(&window, &rects, 6, 6);
+        for o in D8 {
+            let t = g.transform(o);
+            check_equivalence(&g, &[(t, 0.25)]);
+        }
+    }
+
+    #[test]
+    fn far_grids_are_rejected_and_mass_gated() {
+        let zeros = grid_from(vec![0.0; 64], 8);
+        let ones = grid_from(vec![1.0; 64], 8);
+        let router = CentroidRouter::compile([(&ones, 1.0)], 8, 8);
+        let (adm, stats) = router.route(&zeros);
+        assert!(adm.is_empty());
+        // |Σx − Σc| = 64 > 1, so the mass gate discharges all 8 rows.
+        assert_eq!(stats.mass_skips, 8);
+        assert_eq!(stats.exact_passes, 0);
+    }
+
+    #[test]
+    fn dimension_mismatched_kernels_get_no_rows() {
+        let q = ramp(8, 0.21);
+        let small = ramp(4, 0.21);
+        let router = CentroidRouter::compile([(&small, 100.0), (&q, 100.0)], 8, 8);
+        assert_eq!(router.kernel_count(), 2);
+        assert_eq!(router.row_count(), 8);
+        let (adm, _) = router.route(&q);
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].kernel, 1);
+    }
+
+    #[test]
+    fn non_square_grids_search_only_aligned_orientations() {
+        let q = DensityGrid::from_cells(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let c = DensityGrid::from_cells(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.7]);
+        let router = CentroidRouter::compile([(&c, 10.0)], 3, 2);
+        // Odd rotations of a 3×2 grid are 2×3 and must be excluded.
+        assert_eq!(router.row_count(), 4);
+        check_equivalence(&q, &[(c, 10.0)]);
+    }
+
+    #[test]
+    fn huge_ablation_threshold_never_overflows_the_screen() {
+        let q = ramp(8, 0.41);
+        let c = ramp(8, 0.29);
+        // The single-kernel ablation uses radius ≈ f64::MAX/4; the squared
+        // screening bound overflows to +inf and must disable pruning, not
+        // wrap into a rejection.
+        let threshold = f64::MAX / 4.0 * 1.5;
+        let router = CentroidRouter::compile([(&c, threshold)], 8, 8);
+        let (adm, stats) = router.route(&q);
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].distance, q.distance(&c).distance);
+        assert_eq!(adm[0].orientation, q.distance(&c).orientation);
+        assert_eq!(stats.mass_skips, 0);
+        assert_eq!(stats.screen_skips, 0);
+    }
+
+    #[test]
+    fn tie_break_is_first_orientation_in_d8_order() {
+        // A fully symmetric grid ties at every orientation; the arg-min
+        // must be the first D8 element, as the naive search returns.
+        let q = grid_from(vec![0.5; 16], 4);
+        let c = grid_from(vec![0.25; 16], 4);
+        let router = CentroidRouter::compile([(&c, 10.0)], 4, 4);
+        let (adm, _) = router.route(&q);
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].orientation, D8[0]);
+        assert_eq!(adm[0].distance, q.distance(&c).distance);
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let q = grid_from(vec![0.0; 4], 2);
+        let c = grid_from(vec![0.25; 4], 2);
+        // Exact distance is 1.0 at every orientation.
+        check_equivalence(&q, &[(c.clone(), 1.0)]);
+        let router = CentroidRouter::compile([(&c, 1.0)], 2, 2);
+        let (adm, _) = router.route(&q);
+        assert_eq!(adm.len(), 1, "<= threshold must admit");
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = RouteStats {
+            queries: 1,
+            admitted: 2,
+            rows_considered: 16,
+            mass_skips: 3,
+            screen_skips: 4,
+            exact_passes: 5,
+            early_exits: 2,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.rows_considered, 32);
+        assert_eq!(a.rows_pruned(), 18);
+    }
+
+    #[test]
+    fn multi_kernel_admission_matches_naive() {
+        let window = Rect::from_extents(0, 0, 120, 120);
+        let q = DensityGrid::from_rects(&window, &[Rect::from_extents(0, 0, 60, 120)], 8, 8);
+        let kernels: Vec<(DensityGrid, f64)> = (0..6)
+            .map(|i| {
+                let r = Rect::from_extents(0, 0, 15 * (i + 1), 120);
+                let g = DensityGrid::from_rects(&window, &[r], 8, 8);
+                (g, 0.5 + 0.5 * i as f64)
+            })
+            .collect();
+        check_equivalence(&q, &kernels);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests pinning the compiled admission router to the naive
+//! 8-orientation search: admitted kernel sets and best orientations must be
+//! identical, distances within 1e-9 (they are in fact bit-identical — the
+//! exact pass reuses `l1_distance`'s summation order — but the property
+//! asserts the contract from the issue).
+
+use hotspot_geom::{DensityGrid, Orientation};
+use hotspot_topo::route::CentroidRouter;
+use proptest::prelude::*;
+
+/// Random density grid with cells in the unit interval, n × n.
+fn grid(n: usize) -> impl Strategy<Value = DensityGrid> {
+    proptest::collection::vec(0.0f64..1.0, n * n)
+        .prop_map(move |cells| DensityGrid::from_cells(n, n, cells))
+}
+
+/// A kernel: a centroid grid plus an admission threshold. Thresholds are
+/// drawn around the typical distance scale so both admissions and
+/// rejections occur, with occasional near-zero and huge (single-cluster
+/// ablation) values.
+fn kernel(n: usize) -> impl Strategy<Value = (DensityGrid, f64)> {
+    (grid(n), 0.0f64..1.0, 0u8..7).prop_map(|(g, t, sel)| {
+        let threshold = match sel {
+            0..=4 => t * 25.0,
+            5 => t * 1e-3,
+            _ => f64::MAX / 4.0 * 1.5,
+        };
+        (g, threshold)
+    })
+}
+
+/// The naive oracle: per-kernel dimension guard + `DensityGrid::distance`
+/// (exhaustive D8 search) + inclusive threshold compare — exactly the
+/// reference admission loop in `hotspot-core`.
+fn naive_admissions(
+    query: &DensityGrid,
+    kernels: &[(DensityGrid, f64)],
+) -> Vec<(usize, f64, Orientation)> {
+    kernels
+        .iter()
+        .enumerate()
+        .filter(|(_, (c, _))| (c.nx(), c.ny()) == (query.nx(), query.ny()))
+        .filter_map(|(i, (c, threshold))| {
+            let d = query.distance(c);
+            (d.distance <= *threshold).then_some((i, d.distance, d.orientation))
+        })
+        .collect()
+}
+
+fn assert_router_matches(query: &DensityGrid, kernels: &[(DensityGrid, f64)]) {
+    let router =
+        CentroidRouter::compile(kernels.iter().map(|(c, t)| (c, *t)), query.nx(), query.ny());
+    let (admissions, stats) = router.route(query);
+    let expected = naive_admissions(query, kernels);
+    assert_eq!(
+        admissions.len(),
+        expected.len(),
+        "admitted kernel count diverged from the naive search"
+    );
+    for (a, (kernel, distance, orientation)) in admissions.iter().zip(&expected) {
+        assert_eq!(a.kernel, *kernel, "admitted kernel set diverged");
+        assert_eq!(
+            a.orientation, *orientation,
+            "best orientation diverged on kernel {kernel}"
+        );
+        assert!(
+            (a.distance - distance).abs() <= 1e-9,
+            "distance diverged on kernel {kernel}: {} vs {}",
+            a.distance,
+            distance
+        );
+    }
+    assert_eq!(stats.admitted, expected.len());
+    // Every considered row is accounted for by exactly one outcome.
+    assert_eq!(
+        stats.mass_skips + stats.screen_skips + stats.early_exits + stats.exact_passes,
+        stats.rows_considered
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random 8×8 clips against a bank of random kernels: the production
+    /// grid shape (`ClusterParams::grid = 8`).
+    #[test]
+    fn router_matches_naive_on_production_grids(
+        query in grid(8),
+        kernels in proptest::collection::vec(kernel(8), 0..12),
+    ) {
+        assert_router_matches(&query, &kernels);
+    }
+
+    /// Small odd-sized grids exercise the dot-product tail lanes and the
+    /// early-exit checkpoint remainder.
+    #[test]
+    fn router_matches_naive_on_small_grids(
+        query in grid(3),
+        kernels in proptest::collection::vec(kernel(3), 0..10),
+    ) {
+        assert_router_matches(&query, &kernels);
+    }
+
+    /// Near-duplicate centroids (query plus a sparse perturbation) stress
+    /// the tie-break and tight-threshold paths where distances cluster
+    /// around the admission boundary.
+    #[test]
+    fn router_matches_naive_on_near_duplicates(
+        query in grid(4),
+        deltas in proptest::collection::vec((0usize..16, 0.0f64..0.1), 1..8),
+        threshold in 0.0f64..1.0,
+    ) {
+        let mut cells = query.cells().to_vec();
+        for (idx, delta) in deltas {
+            cells[idx] = (cells[idx] + delta - 0.05).clamp(0.0, 1.0);
+        }
+        let near = DensityGrid::from_cells(4, 4, cells);
+        let kernels = vec![
+            (near.clone(), threshold),
+            (near.transform(hotspot_geom::D8[3]), threshold),
+            (query.clone(), threshold),
+        ];
+        assert_router_matches(&query, &kernels);
+    }
+
+    /// Mixed-dimension kernel banks: mismatched centroids must be ignored
+    /// by both searches.
+    #[test]
+    fn router_matches_naive_with_mismatched_dimensions(
+        query in grid(5),
+        matching in proptest::collection::vec(kernel(5), 0..5),
+        mismatched in proptest::collection::vec(kernel(3), 0..5),
+    ) {
+        let mut kernels = Vec::new();
+        for (i, k) in matching.into_iter().enumerate() {
+            kernels.push(k);
+            if i < mismatched.len() {
+                kernels.push(mismatched[i].clone());
+            }
+        }
+        assert_router_matches(&query, &kernels);
+    }
+}

@@ -25,13 +25,18 @@ echo "==> examples (quickstart, stream_scan)"
 cargo run --release --quiet --example quickstart
 cargo run --release --quiet --example stream_scan
 
-echo "==> eval bench smoke (small suite: schema round-trip + speedup gate)"
-# The binary asserts identical hotspot sets on both engines, round-trips
-# the JSON schema, and exits non-zero if the hot-loop speedup dips below
-# the gate.
+echo "==> eval bench smoke (small suite: schema round-trip + speedup gates)"
+# The binary asserts identical hotspot sets on both engines (and identical
+# admitted clip-kernel pairs on both admission paths), round-trips the
+# JSON schema, and exits non-zero if the hot-loop or admission-routing
+# speedup dips below its gate.
 HOTSPOT_EVAL_SCALES=small HOTSPOT_EVAL_MIN_SPEEDUP=1.0 \
+  HOTSPOT_EVAL_MIN_ADMIT_SPEEDUP=1.0 \
   HOTSPOT_BENCH_OUT=target/BENCH_eval_ci.json \
   cargo run --release --quiet -p hotspot-bench --bin eval
+grep -q '"schema_version": 2' target/BENCH_eval_ci.json
+grep -q '"admit_speedup"' target/BENCH_eval_ci.json
+grep -q '"full_speedup"' target/BENCH_eval_ci.json
 
 echo "==> corrupt-GDSII corpus (typed errors, no panics)"
 cargo test --release -q -p hotspot-layout --test corrupt_corpus

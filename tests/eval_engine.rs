@@ -6,7 +6,7 @@
 
 use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
 use hotspot_suite::core::engine::StageId;
-use hotspot_suite::core::{HotspotDetector, ScanConfig};
+use hotspot_suite::core::{EvalMode, HotspotDetector, ScanConfig};
 use hotspot_suite::layout::ClipShape;
 use std::sync::OnceLock;
 
@@ -55,7 +55,7 @@ fn compiled_detect_matches_reference_across_thread_counts() {
         let reference = base
             .clone()
             .with_threads(threads)
-            .with_reference_eval(true)
+            .with_eval_mode(EvalMode::Reference)
             .detect(&bm.layout, bm.layer)
             .expect("reference detect");
 
@@ -76,6 +76,20 @@ fn compiled_detect_matches_reference_across_thread_counts() {
             .expect("eval stage");
         assert_eq!(stage.batches, compiled.eval_batches);
         assert_eq!(stage.items_in, compiled.clips_extracted);
+
+        // Admission accounting: both modes admit the identical clip-kernel
+        // pairs; only the compiled router records pruned rows, and the
+        // reference path never prunes.
+        let ref_stage = reference
+            .telemetry
+            .stage(StageId::KernelEvaluation)
+            .expect("reference eval stage");
+        assert_eq!(stage.admissions, ref_stage.admissions);
+        assert!(
+            stage.admissions >= compiled.clips_flagged as u64,
+            "every flag requires an admission"
+        );
+        assert_eq!(ref_stage.admission_skips, 0, "reference path never prunes");
 
         // Thread count must not change the flagged set either.
         match &reported {
@@ -99,26 +113,72 @@ fn compiled_scan_matches_reference_engine() {
         ..Default::default()
     };
 
-    let compiled = detector
-        .scan_layout(&bm.layout, bm.layer, &scan)
-        .expect("compiled scan");
-    let reference = detector
+    let mut reported = None;
+    for threads in [1, 2, 4] {
+        let compiled = detector
+            .clone()
+            .with_threads(threads)
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("compiled scan");
+        let reference = detector
+            .clone()
+            .with_threads(threads)
+            .with_eval_mode(EvalMode::Reference)
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("reference scan");
+
+        assert_eq!(
+            compiled.reported, reference.reported,
+            "scan engines disagree at {threads} threads"
+        );
+        assert_eq!(compiled.clips_extracted, reference.clips_extracted);
+        assert_eq!(compiled.clips_flagged, reference.clips_flagged);
+        assert!(compiled.eval_batches >= 1, "no eval batches recorded");
+
+        // The flagged set is pinned across thread counts in both modes.
+        match &reported {
+            None => reported = Some(compiled.reported.clone()),
+            Some(first) => assert_eq!(
+                &compiled.reported, first,
+                "scan flagged set changed between thread counts"
+            ),
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_reference_eval_shim_still_routes() {
+    let bm = benchmark();
+    let detector = trained(bm);
+
+    // `with_reference_eval` is a deprecated forwarding shim; it must keep
+    // selecting the same engines as the `EvalMode` API it forwards to.
+    let via_shim = detector
         .clone()
         .with_reference_eval(true)
-        .scan_layout(&bm.layout, bm.layer, &scan)
-        .expect("reference scan");
+        .detect(&bm.layout, bm.layer)
+        .expect("shim reference detect");
+    let via_mode = detector
+        .clone()
+        .with_eval_mode(EvalMode::Reference)
+        .detect(&bm.layout, bm.layer)
+        .expect("mode reference detect");
+    assert_eq!(via_shim.reported, via_mode.reported);
 
-    assert_eq!(compiled.reported, reference.reported);
-    assert_eq!(compiled.clips_extracted, reference.clips_extracted);
-    assert_eq!(compiled.clips_flagged, reference.clips_flagged);
-    assert!(compiled.eval_batches >= 1, "no eval batches recorded");
+    let back_to_compiled = detector
+        .clone()
+        .with_reference_eval(false)
+        .detect(&bm.layout, bm.layer)
+        .expect("shim compiled detect");
+    assert_eq!(back_to_compiled.reported, via_mode.reported);
 }
 
 #[test]
 fn classify_agrees_between_engines() {
     let bm = benchmark();
     let detector = trained(bm);
-    let reference = detector.clone().with_reference_eval(true);
+    let reference = detector.clone().with_eval_mode(EvalMode::Reference);
 
     for pattern in bm.training.hotspots.iter().chain(&bm.training.nonhotspots) {
         assert_eq!(

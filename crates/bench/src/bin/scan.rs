@@ -10,13 +10,18 @@
 //! ```
 //!
 //! Environment knobs: `HOTSPOT_SCALE` (suite scale; `huge` quadruples the
-//! Table-I area), `HOTSPOT_TILE_CORES`, `HOTSPOT_MAX_IN_FLIGHT`, and
-//! `HOTSPOT_BENCH_OUT` (output path, default `BENCH_scan.json`).
+//! Table-I area), `HOTSPOT_TILE_CORES`, `HOTSPOT_MAX_IN_FLIGHT`,
+//! `HOTSPOT_BENCH_OUT` (output path, default `BENCH_scan.json`),
+//! `HOTSPOT_SCAN_PROGRESS=1` (live stderr progress line), and
+//! `HOTSPOT_METRICS_ADDR` (serve Prometheus `/metrics` during the scan).
 
 use hotspot_bench::{print_header, scale_from_env, ScanBenchReport};
 use hotspot_benchgen::{iccad_suite, Benchmark};
-use hotspot_core::{DetectorConfig, HotspotDetector, ScanConfig};
-use std::time::Instant;
+use hotspot_core::{
+    DetectorConfig, HotspotDetector, MetricsServer, ObsHub, ProgressSink, Sampler, ScanConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -40,13 +45,35 @@ fn main() {
     let benchmark = Benchmark::generate(spec);
 
     let t0 = Instant::now();
-    let detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())
+    let mut detector = HotspotDetector::train(&benchmark.training, DetectorConfig::default())
         .expect("framework training");
     println!(
         "trained {} kernels in {:.1?}",
         detector.kernels().len(),
         t0.elapsed()
     );
+
+    // Optional live observability while a long scan runs. Observation
+    // only: the report (and the emitted BENCH_scan.json) is bit-identical
+    // with or without the hub attached.
+    let progress = std::env::var("HOTSPOT_SCAN_PROGRESS").is_ok_and(|v| v == "1");
+    let metrics_addr = std::env::var("HOTSPOT_METRICS_ADDR").ok();
+    let hub = (progress || metrics_addr.is_some()).then(ObsHub::new);
+    let mut server = None;
+    let mut sampler = None;
+    if let Some(hub) = &hub {
+        if progress {
+            hub.register(Box::new(ProgressSink::new()));
+        }
+        if let Some(addr) = &metrics_addr {
+            let bound = MetricsServer::bind(addr.as_str(), Arc::clone(hub))
+                .expect("bind HOTSPOT_METRICS_ADDR");
+            println!("metrics: http://{}/metrics", bound.local_addr());
+            server = Some(bound);
+        }
+        sampler = Some(Sampler::start(Arc::clone(hub), Duration::from_millis(500)));
+        detector = detector.with_obs(Arc::clone(hub));
+    }
 
     let defaults = ScanConfig::default();
     let scan = ScanConfig {
@@ -58,6 +85,12 @@ fn main() {
     let report = detector
         .scan_layout(&benchmark.layout, benchmark.layer, &scan)
         .expect("streaming scan");
+    if let Some(sampler) = sampler {
+        sampler.stop();
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
 
     println!(
         "scanned {} of {} tiles ({} prefiltered) in {:.2?}: {} clips ({:.0} clips/s), flagged {}, reported {}",

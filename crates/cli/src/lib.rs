@@ -7,8 +7,11 @@
 //! - `train` — train the framework on a training set and persist the model,
 //! - `detect` — run a trained model on a GDSII layout and write the report,
 //! - `scan` — stream a layout through the tiled, density-prefiltered scan,
+//!   optionally with live observability (`--progress`, `--metrics-addr`,
+//!   `--events`),
 //! - `score` — score a report against ground truth,
-//! - `info` — print layout statistics.
+//! - `info` — print layout statistics,
+//! - `events` — validate and summarise an NDJSON observability event log.
 //!
 //! Every command is a pure function from arguments to an output string, so
 //! the whole surface is unit-testable without spawning processes.
@@ -18,12 +21,14 @@
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
 use hotspot_core::{
-    DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector, ScanConfig,
-    TrainingSet,
+    DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector,
+    MetricsServer, NdjsonSink, ObsEvent, ObsHub, ProgressSink, Sampler, ScanConfig, TrainingSet,
 };
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Error running a CLI command.
 #[derive(Debug)]
@@ -109,9 +114,13 @@ USAGE:
                    [--journal <journal.log>] [--resume] [--max-failed-tiles N]
                    [--fault-seed N] [--fault-panic-per-mille N]
                    [--fault-transient-per-mille N]
+                   [--progress] [--metrics-addr <host:port>]
+                   [--events <events.ndjson>] [--obs-interval-ms N]
+                   [--metrics-linger-ms N]
   hotspot score    --report <report.json> --actual <actual.json> --area-um2 <X>
                    [--min-overlap X] [--json]
   hotspot info     --layout <layout.gds>
+  hotspot events   --file <events.ndjson> [--json]
   hotspot render   --layout <layout.gds> --out <image.svg>
                    [--report <report.json>] [--actual <actual.json>]
 
@@ -130,6 +139,14 @@ replays it and re-scans only the missing tiles (bit-identical results).
 --max-failed-tiles quarantines panicking tiles instead of aborting, up to
 the given bound. The --fault-* flags drive the deterministic
 fault-injection harness (testing only).
+`scan` observability (pure observation — the report is bit-identical with
+or without it): --progress renders a live tiles/clips/ETA line to stderr,
+--metrics-addr serves Prometheus text format on http://<host:port>/metrics
+for the duration of the scan (--metrics-linger-ms keeps it up that much
+longer so scrapers can catch the final totals), and --events appends every
+structured pipeline event to a schema-versioned NDJSON log.
+--obs-interval-ms sets the counter sampling period (default 1000).
+`events` validates such a log line by line and summarises it.
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline,
 7 completed with quarantined tiles.";
@@ -170,6 +187,7 @@ pub fn run_with_status(args: &[String]) -> Result<(String, i32), CliError> {
         "scan" => cmd_scan(&opts),
         "score" => cmd_score(&opts).map(clean),
         "info" => cmd_info(&opts).map(clean),
+        "events" => cmd_events(&opts).map(clean),
         "render" => cmd_render(&opts).map(clean),
         "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(CliError::Usage(format!(
@@ -186,7 +204,7 @@ fn clean(out: String) -> (String, i32) {
 struct Opts(Vec<(String, String)>);
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json", "resume"];
+const BOOL_FLAGS: &[&str] = &["json", "resume", "progress"];
 
 impl Opts {
     fn get(&self, key: &str) -> Option<&str> {
@@ -401,7 +419,48 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
             fault_plan,
         };
 
+    // Live observability: build the hub and its sinks before the scan and
+    // tear them down after. The hub observes only — the report below is
+    // bit-identical whether or not any sink is installed.
+    let events_path = opts.get("events").map(PathBuf::from);
+    let metrics_addr = opts.get("metrics-addr");
+    let obs_interval = opts.parse("obs-interval-ms", 1000u64)?.max(10);
+    let linger_ms = opts.parse("metrics-linger-ms", 0u64)?;
+    let hub =
+        (events_path.is_some() || metrics_addr.is_some() || opts.has("progress")).then(ObsHub::new);
+    let mut server = None;
+    let mut sampler = None;
+    if let Some(hub) = &hub {
+        if let Some(path) = &events_path {
+            hub.register(Box::new(NdjsonSink::create(path)?));
+        }
+        if opts.has("progress") {
+            hub.register(Box::new(ProgressSink::new()));
+        }
+        if let Some(addr) = metrics_addr {
+            server = Some(MetricsServer::bind(addr, Arc::clone(hub))?);
+        }
+        sampler = Some(Sampler::start(
+            Arc::clone(hub),
+            Duration::from_millis(obs_interval),
+        ));
+        detector = detector.with_obs(Arc::clone(hub));
+    }
+    let metrics_local = server.as_ref().map(MetricsServer::local_addr);
+
     let report = detector.scan_layout_with_threshold(&layout, layer, &scan, threshold)?;
+
+    // Final snapshot first, then give scrapers a chance to read the
+    // totals before the listener goes away.
+    if let Some(sampler) = sampler {
+        sampler.stop();
+    }
+    if let Some(server) = server {
+        if linger_ms > 0 {
+            std::thread::sleep(Duration::from_millis(linger_ms));
+        }
+        server.shutdown();
+    }
     write_json(&out, &report.reported)?;
     if let Some(path) = opts.get("telemetry") {
         let merged = detector.summary().telemetry.merge(&report.telemetry);
@@ -445,6 +504,12 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
         for failed in &report.failed_tiles {
             text.push_str(&format!("\n  tile {}: {}", failed.tile, failed.reason));
         }
+    }
+    if let Some(addr) = metrics_local {
+        text.push_str(&format!("\nmetrics were served at http://{addr}/metrics"));
+    }
+    if let Some(path) = &events_path {
+        text.push_str(&format!("\nevent log written to {}", path.display()));
     }
     text.push_str(&format!("\nreport written to {}", out.display()));
     Ok((text, status))
@@ -500,6 +565,39 @@ fn cmd_info(opts: &Opts) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+fn cmd_events(opts: &Opts) -> Result<String, CliError> {
+    let path = opts.require("file")?;
+    // `read_events` rejects unknown schema versions and malformed lines
+    // with an InvalidData error naming the offending line, which surfaces
+    // here as a non-zero exit.
+    let records = hotspot_core::obs::read_events(path)?;
+    if opts.has("json") {
+        return Ok(serde_json::to_string_pretty(&records)?);
+    }
+    let mut scans = 0usize;
+    let mut batches = 0usize;
+    let mut snapshots = 0usize;
+    let mut quarantined = 0usize;
+    for record in &records {
+        match record.event {
+            ObsEvent::ScanStarted { .. } => scans += 1,
+            ObsEvent::BatchCompleted { .. } => batches += 1,
+            ObsEvent::Snapshot { .. } => snapshots += 1,
+            ObsEvent::TileQuarantined { .. } => quarantined += 1,
+            _ => {}
+        }
+    }
+    Ok(format!(
+        "{} event(s), schema v{}: {} scan(s), {} batch(es), {} snapshot(s), {} quarantined tile(s)",
+        records.len(),
+        hotspot_core::OBS_SCHEMA_VERSION,
+        scans,
+        batches,
+        snapshots,
+        quarantined,
+    ))
 }
 
 fn cmd_render(opts: &Opts) -> Result<String, CliError> {
@@ -869,6 +967,94 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_observability_flags_leave_report_identical() {
+        let dir = workdir("obs_flags");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        let report = dir.join("report.json");
+        let base_args = |report: &Path, extra: &[&str]| {
+            let mut args = argv(&[
+                "scan",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args
+        };
+
+        // Sink-less baseline.
+        run(&base_args(&report, &[])).unwrap();
+        let baseline = std::fs::read_to_string(&report).unwrap();
+
+        // Full observability: NDJSON events, progress, and a metrics
+        // endpoint on an ephemeral port. The written report must not
+        // change by a single byte.
+        let observed = dir.join("observed.json");
+        let events = dir.join("events.ndjson");
+        let out = run(&base_args(
+            &observed,
+            &[
+                "--events",
+                events.to_str().unwrap(),
+                "--progress",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--obs-interval-ms",
+                "50",
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("event log written"), "{out}");
+        assert!(out.contains("/metrics"), "{out}");
+        assert_eq!(std::fs::read_to_string(&observed).unwrap(), baseline);
+
+        // The event log round-trips through the schema-versioned reader.
+        let out = run(&argv(&["events", "--file", events.to_str().unwrap()])).unwrap();
+        assert!(out.contains("1 scan(s)"), "{out}");
+        assert!(out.contains("schema v1"), "{out}");
+        let out = run(&argv(&[
+            "events",
+            "--json",
+            "--file",
+            events.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("\"ScanStarted\""), "{out}");
+
+        // A corrupt log is an error, not a silent success.
+        std::fs::write(&events, "not json\n").unwrap();
+        let err = run(&argv(&["events", "--file", events.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

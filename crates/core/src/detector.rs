@@ -8,6 +8,7 @@ use crate::engine::{
 use crate::extraction::{extract_clips_indexed, RectIndex};
 use crate::feedback::{train_feedback, EvalEngine, EvalScratch, FeedbackKernel};
 use crate::metrics::{score, Evaluation};
+use crate::obs::{Counter, ObsHub};
 use crate::pattern::{Pattern, TrainingSet};
 use crate::removal::remove_redundant_clips;
 use crate::training::{
@@ -20,7 +21,7 @@ use hotspot_topo::route::CentroidRouter;
 use hotspot_topo::TopoSignature;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Clips per evaluation batch in [`HotspotDetector::detect`]: one batch is
@@ -222,6 +223,8 @@ pub struct HotspotDetector {
     compiled: CompiledCache,
     #[serde(skip)]
     fault_plan: FaultPlan,
+    #[serde(skip)]
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl HotspotDetector {
@@ -230,6 +233,38 @@ impl HotspotDetector {
     /// This is the preferred way to configure a detector; constructing a
     /// [`DetectorConfig`] by struct literal is deprecated in favour of the
     /// builder's validated setters.
+    ///
+    /// # Examples
+    ///
+    /// Train a tiny detector on synthetic bar pairs:
+    ///
+    /// ```
+    /// use hotspot_core::{HotspotDetector, Label, Pattern, TrainingSet};
+    /// use hotspot_geom::{Point, Rect};
+    /// use hotspot_layout::ClipShape;
+    ///
+    /// // Two bars separated by `gap` nm inside an ICCAD-2012 clip window.
+    /// let clip = |gap: i64| {
+    ///     let window = ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0));
+    ///     let rects = [
+    ///         Rect::from_extents(0, 0, 300, 300),
+    ///         Rect::from_extents(300 + gap, 0, 600 + gap, 300),
+    ///     ];
+    ///     Pattern::new(window, &rects)
+    /// };
+    /// let mut training = TrainingSet::new();
+    /// for i in 0..4 {
+    ///     training.push(clip(60 + 10 * i), Label::Hotspot);
+    /// }
+    /// for i in 0..8 {
+    ///     training.push(clip(480 + 10 * i), Label::NonHotspot);
+    /// }
+    ///
+    /// let config = HotspotDetector::builder().max_learning_rounds(2).build()?;
+    /// let detector = HotspotDetector::train(&training, config)?;
+    /// assert!(!detector.kernels().is_empty());
+    /// # Ok::<(), hotspot_core::DetectError>(())
+    /// ```
     pub fn builder() -> DetectorBuilder {
         DetectorBuilder::new()
     }
@@ -355,6 +390,7 @@ impl HotspotDetector {
             summary,
             compiled: CompiledCache::default(),
             fault_plan: FaultPlan::default(),
+            obs: None,
         };
         // Compile the inference engine eagerly so evaluation never pays the
         // flattening cost inside a timed phase.
@@ -430,6 +466,7 @@ impl HotspotDetector {
                 compiled_kernels: None,
                 compiled_feedback: None,
                 router: None,
+                obs: self.obs.as_deref(),
             },
             EvalMode::Compiled => {
                 let set = self.compiled_set();
@@ -441,6 +478,7 @@ impl HotspotDetector {
                     compiled_kernels: Some(&set.kernels),
                     compiled_feedback: set.feedback.as_ref(),
                     router: Some(&set.router),
+                    obs: self.obs.as_deref(),
                 }
             }
         }
@@ -451,6 +489,24 @@ impl HotspotDetector {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self
+    }
+
+    /// Returns this detector with an observability hub attached:
+    /// [`detect`](Self::detect) and
+    /// [`scan_layout`](Self::scan_layout) emit span events and record
+    /// lock-free progress counters into `hub`, and the run's telemetry
+    /// lists the hub's sinks (schema v6). Observation only — reports,
+    /// digests and telemetry contents are bit-identical with and without
+    /// a hub. Not persisted with the model.
+    pub fn with_obs(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
+        self
+    }
+
+    /// The attached observability hub, when one was installed with
+    /// [`with_obs`](Self::with_obs).
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref()
     }
 
     /// Returns this detector with a deterministic [`FaultPlan`] armed for
@@ -556,6 +612,10 @@ impl HotspotDetector {
             extraction_time,
             None,
         );
+        if let Some(hub) = &self.obs {
+            hub.counters()
+                .add(Counter::ClipsExtracted, clips.len() as u64);
+        }
 
         // 2. Multiple-kernel (and feedback) evaluation. Clips are chunked
         //    into batches — one executor task each, sharing one
@@ -566,8 +626,12 @@ impl HotspotDetector {
         let t1 = Instant::now();
         let batches: Vec<&[Pattern]> = clips.chunks(EVAL_BATCH).collect();
         let eval_batches = batches.len();
+        let mut executor = Executor::new(threads);
+        if let Some(hub) = &self.obs {
+            executor = executor.with_obs(Arc::clone(hub));
+        }
         let (flag_results, exec_stats) =
-            Executor::new(threads).try_map("kernel_evaluation", &batches, |i, batch| {
+            executor.try_map("kernel_evaluation", &batches, |i, batch| {
                 if !self.fault_plan.is_empty() {
                     self.fault_plan.inject(FaultSite::Evaluation, i, 0);
                 }
@@ -615,6 +679,12 @@ impl HotspotDetector {
             eval_batches,
         );
         recorder.record_admissions(StageId::KernelEvaluation, admissions, admission_skips);
+        if let Some(hub) = &self.obs {
+            let counters = hub.counters();
+            counters.add(Counter::ClipsFlagged, clips_flagged as u64);
+            counters.add(Counter::ClipsReclaimed, feedback_reclaimed as u64);
+            counters.add(Counter::EvalBatches, eval_batches as u64);
+        }
 
         // 3. Redundant clip removal.
         let t2 = Instant::now();
@@ -639,6 +709,9 @@ impl HotspotDetector {
             None,
         );
 
+        if let Some(hub) = &self.obs {
+            recorder.set_obs_sinks(hub.sink_names());
+        }
         Ok(DetectionReport {
             reported,
             clips_extracted: clips.len(),

@@ -19,8 +19,11 @@
 //! semantics without the double-panic abort hazard the old
 //! `join().expect(...)` drain had.
 
+use super::stage::StageId;
+use crate::obs::{Counter, ObsEvent, ObsHub, StageCounter};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 /// Utilisation counters of one [`Executor::map`] run, for telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,9 +79,10 @@ pub(crate) fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> S
 }
 
 /// A scoped work-stealing executor over a fixed thread count.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl Executor {
@@ -86,7 +90,17 @@ impl Executor {
     pub fn new(threads: usize) -> Self {
         Executor {
             threads: threads.max(1),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability hub: every subsequent stage run emits
+    /// span-style [`ObsEvent::StageBegin`]/[`ObsEvent::StageEnd`] events
+    /// and each worker records completed tasks into the hub's lock-free
+    /// counters. Without a hub every instrumentation point is one branch.
+    pub fn with_obs(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
+        self
     }
 
     /// Configured worker count.
@@ -144,20 +158,48 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
-        let run = |i: usize| -> Result<R, TaskFailure> {
-            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| {
-                TaskFailure {
-                    stage: stage.to_string(),
-                    index: i,
-                    payload: panic_payload_to_string(payload.as_ref()),
+        let obs = self.obs.as_deref();
+        let stage_id = StageId::from_name(stage);
+        if let Some(hub) = obs {
+            hub.emit(|| ObsEvent::StageBegin {
+                stage: stage.to_string(),
+                items: n,
+            });
+        }
+        let run =
+            |i: usize| -> Result<R, TaskFailure> {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                    .map_err(|payload| TaskFailure {
+                        stage: stage.to_string(),
+                        index: i,
+                        payload: panic_payload_to_string(payload.as_ref()),
+                    });
+                // Per-worker hot-path recording: relaxed atomic adds on the
+                // calling worker's counter shard, no allocation.
+                if let Some(hub) = obs {
+                    let counters = hub.counters();
+                    counters.add(Counter::ExecutorTasks, 1);
+                    if let Some(id) = stage_id {
+                        counters.add_stage(id, StageCounter::Tasks, 1);
+                        if result.is_err() {
+                            counters.add_stage(id, StageCounter::Failures, 1);
+                        }
+                    }
                 }
-            })
-        };
+                result
+            };
 
         let threads = self.threads.min(n.max(1));
         if threads <= 1 {
             let results: Vec<Result<R, TaskFailure>> = (0..n).map(run).collect();
             let tasks_failed = results.iter().filter(|r| r.is_err()).count();
+            if let Some(hub) = obs {
+                hub.emit(|| ObsEvent::StageEnd {
+                    stage: stage.to_string(),
+                    items: n,
+                    failures: tasks_failed,
+                });
+            }
             return (
                 results,
                 ExecutorStats {
@@ -251,6 +293,13 @@ impl Executor {
                 }
             })
             .collect();
+        if let Some(hub) = obs {
+            hub.emit(|| ObsEvent::StageEnd {
+                stage: stage.to_string(),
+                items: n,
+                failures: stats.tasks_failed,
+            });
+        }
         (results, stats)
     }
 }
@@ -392,6 +441,69 @@ mod tests {
         assert!(result.is_err(), "map must propagate the panic");
         // Panic isolation drained every other task before resuming.
         assert_eq!(completed.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn obs_hub_sees_spans_and_per_worker_task_counters() {
+        use crate::obs::{ObsRecord, ObsSink};
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<ObsRecord>>);
+        impl ObsSink for Capture {
+            fn name(&self) -> &str {
+                "capture"
+            }
+            fn on_event(&self, record: &ObsRecord) {
+                self.0.lock().push(record.clone());
+            }
+        }
+
+        let hub = ObsHub::new();
+        let sink = Arc::new(Capture::default());
+        struct Fwd(Arc<Capture>);
+        impl ObsSink for Fwd {
+            fn name(&self) -> &str {
+                "capture"
+            }
+            fn on_event(&self, record: &ObsRecord) {
+                self.0.on_event(record);
+            }
+        }
+        hub.register(Box::new(Fwd(Arc::clone(&sink))));
+
+        let items: Vec<usize> = (0..50).collect();
+        let (out, stats) = Executor::new(4).with_obs(Arc::clone(&hub)).try_map(
+            "kernel_evaluation",
+            &items,
+            |_, &v| {
+                if v == 7 {
+                    panic!("boom");
+                }
+                v
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert_eq!(stats.tasks_failed, 1);
+
+        let events = sink.0.lock();
+        assert!(matches!(
+            &events[0].event,
+            ObsEvent::StageBegin { stage, items: 50 } if stage == "kernel_evaluation"
+        ));
+        assert!(matches!(
+            &events[events.len() - 1].event,
+            ObsEvent::StageEnd { stage, items: 50, failures: 1 } if stage == "kernel_evaluation"
+        ));
+        let snap = hub.snapshot();
+        assert_eq!(snap.executor_tasks, 50);
+        let eval = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == "kernel_evaluation")
+            .unwrap();
+        assert_eq!(eval.tasks, 50);
+        assert_eq!(eval.failures, 1);
     }
 
     #[test]

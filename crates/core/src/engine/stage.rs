@@ -58,12 +58,28 @@ impl StageId {
         }
     }
 
-    /// Position in the canonical order, for sorting telemetry output.
-    fn rank(self) -> usize {
+    /// Resolves a stable snake_case [`name`](Self::name) back to its stage.
+    ///
+    /// Returns `None` for labels that are not canonical stage names (the
+    /// executor also runs ad-hoc stages such as `"scan_tile"`).
+    pub fn from_name(name: &str) -> Option<StageId> {
+        StageId::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// Position in the canonical order (`0..8`), matching [`StageId::ALL`].
+    ///
+    /// Used to index per-stage observability counter slots and to sort
+    /// telemetry output.
+    pub fn index(self) -> usize {
         StageId::ALL
             .iter()
             .position(|&s| s == self)
             .expect("stage is canonical")
+    }
+
+    /// Position in the canonical order, for sorting telemetry output.
+    fn rank(self) -> usize {
+        self.index()
     }
 }
 
@@ -85,6 +101,7 @@ pub struct StageRecorder {
     stages: Vec<(StageId, StageTelemetry)>,
     started: Instant,
     resumed_tiles: usize,
+    obs_sinks: Vec<String>,
 }
 
 impl StageRecorder {
@@ -97,7 +114,15 @@ impl StageRecorder {
             stages: Vec::new(),
             started: Instant::now(),
             resumed_tiles: 0,
+            obs_sinks: Vec::new(),
         }
+    }
+
+    /// Records the observability sinks active during this phase (schema
+    /// v6). The list is carried verbatim into the finished telemetry;
+    /// phases run without an [`ObsHub`](crate::obs::ObsHub) leave it empty.
+    pub fn set_obs_sinks(&mut self, sinks: Vec<String>) {
+        self.obs_sinks = sinks;
     }
 
     /// Records one stage execution. `stats` carries work-stealing executor
@@ -227,6 +252,7 @@ impl StageRecorder {
             stages: self.stages.into_iter().map(|(_, s)| s).collect(),
             total_wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
             resumed_tiles: self.resumed_tiles,
+            obs_sinks: self.obs_sinks,
         }
     }
 }
@@ -243,6 +269,16 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), 8);
         assert_eq!(StageId::KernelTraining.to_string(), "kernel_training");
+    }
+
+    #[test]
+    fn from_name_and_index_round_trip() {
+        for (i, stage) in StageId::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(StageId::from_name(stage.name()), Some(*stage));
+        }
+        assert_eq!(StageId::from_name("scan_tile"), None);
+        assert_eq!(StageId::from_name("unlabelled"), None);
     }
 
     #[test]

@@ -29,7 +29,11 @@ use std::time::Duration;
 /// router pruned via its mass gate, norm screen, or early exit; 0 under
 /// the reference engine). Both deserialise as 0 from v4 and older records
 /// via `#[serde(default)]`.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
+/// v6 added the run-level `obs_sinks` list: names of the observability
+/// sinks and endpoints active during the run (empty when the pipeline ran
+/// unobserved). Deserialises as empty from v5 and older records via
+/// `#[serde(default)]`.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 6;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +138,12 @@ pub struct PipelineTelemetry {
     /// Absent in pre-v4 records, which deserialise with 0.
     #[serde(default)]
     pub resumed_tiles: usize,
+    /// Observability sinks and endpoints active during the run (schema
+    /// v6): sink names in registration order, e.g. `["ndjson",
+    /// "progress", "prometheus"]`. Empty for unobserved runs and absent
+    /// in pre-v6 records, which deserialise with an empty list.
+    #[serde(default)]
+    pub obs_sinks: Vec<String>,
 }
 
 impl Default for PipelineTelemetry {
@@ -145,6 +155,7 @@ impl Default for PipelineTelemetry {
             stages: Vec::new(),
             total_wall_ms: 0.0,
             resumed_tiles: 0,
+            obs_sinks: Vec::new(),
         }
     }
 }
@@ -176,6 +187,12 @@ impl PipelineTelemetry {
                 entry
             })
             .collect();
+        let mut obs_sinks = self.obs_sinks.clone();
+        for name in &other.obs_sinks {
+            if !obs_sinks.contains(name) {
+                obs_sinks.push(name.clone());
+            }
+        }
         PipelineTelemetry {
             schema_version: TELEMETRY_SCHEMA_VERSION,
             phase: format!("{}+{}", self.phase, other.phase),
@@ -183,52 +200,81 @@ impl PipelineTelemetry {
             stages,
             total_wall_ms: self.total_wall_ms + other.total_wall_ms,
             resumed_tiles: self.resumed_tiles + other.resumed_tiles,
+            obs_sinks,
         }
     }
 
     /// A human-readable per-stage breakdown table, for the bench binaries
     /// and the CLI.
+    ///
+    /// Header and rows are rendered from one shared column spec
+    /// (`BREAKDOWN_COLUMNS`), so stage names and every numeric column —
+    /// including the v5 admission columns — stay aligned by construction.
     pub fn breakdown(&self) -> String {
         let mut out = format!(
             "pipeline telemetry (schema v{}, phase {}, {} thread(s), total {:.2} ms, {} resumed tile(s))\n",
             self.schema_version, self.phase, self.threads, self.total_wall_ms, self.resumed_tiles
         );
-        let _ = writeln!(
-            out,
-            "  {:<28} {:>12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>9} {:>10}",
-            "stage",
-            "wall (ms)",
-            "in",
-            "out",
-            "threads",
-            "tasks",
-            "stolen",
-            "batches",
-            "failed",
-            "retried",
-            "admitted",
-            "adm-skips"
-        );
+        let header: Vec<String> = BREAKDOWN_COLUMNS
+            .iter()
+            .map(|(title, _)| (*title).to_string())
+            .collect();
+        out.push_str(&breakdown_row("stage", &header));
         for s in &self.stages {
-            let _ = writeln!(
-                out,
-                "  {:<28} {:>12.3} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>9} {:>10}",
-                s.stage,
-                s.wall_ms,
-                s.items_in,
-                s.items_out,
-                s.threads_used,
-                s.tasks_executed,
-                s.tasks_stolen,
-                s.batches,
-                s.failures,
-                s.retries,
-                s.admissions,
-                s.admission_skips
-            );
+            let cells = vec![
+                format!("{:.3}", s.wall_ms),
+                s.items_in.to_string(),
+                s.items_out.to_string(),
+                s.threads_used.to_string(),
+                s.tasks_executed.to_string(),
+                s.tasks_stolen.to_string(),
+                s.batches.to_string(),
+                s.failures.to_string(),
+                s.retries.to_string(),
+                s.admissions.to_string(),
+                s.admission_skips.to_string(),
+            ];
+            out.push_str(&breakdown_row(&s.stage, &cells));
+        }
+        if !self.obs_sinks.is_empty() {
+            let _ = writeln!(out, "  obs sinks: {}", self.obs_sinks.join(", "));
         }
         out
     }
+}
+
+/// Width of the left-aligned stage-name column in [`breakdown`]
+/// (PipelineTelemetry::breakdown) output: the widest canonical stage name
+/// (`topological_classification`, 26 chars) plus two spaces of air.
+const STAGE_NAME_WIDTH: usize = 28;
+
+/// The numeric columns of the breakdown table — `(header, width)` pairs
+/// used for both the header and every data row, so the two can never
+/// drift apart.
+const BREAKDOWN_COLUMNS: [(&str, usize); 11] = [
+    ("wall (ms)", 12),
+    ("in", 9),
+    ("out", 9),
+    ("threads", 8),
+    ("tasks", 7),
+    ("stolen", 7),
+    ("batches", 7),
+    ("failed", 6),
+    ("retried", 7),
+    ("admitted", 9),
+    ("adm-skips", 10),
+];
+
+/// Renders one breakdown line: the stage cell left-padded to
+/// [`STAGE_NAME_WIDTH`], then each cell right-aligned to its column width.
+fn breakdown_row(stage: &str, cells: &[String]) -> String {
+    debug_assert_eq!(cells.len(), BREAKDOWN_COLUMNS.len());
+    let mut line = format!("  {stage:<STAGE_NAME_WIDTH$}");
+    for (cell, (_, width)) in cells.iter().zip(BREAKDOWN_COLUMNS) {
+        let _ = write!(line, " {cell:>width$}");
+    }
+    line.push('\n');
+    line
 }
 
 #[cfg(test)]
@@ -263,7 +309,8 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":5"), "{json}");
+        assert!(json.contains("\"schema_version\":6"), "{json}");
+        assert!(json.contains("\"obs_sinks\":[]"), "{json}");
         assert!(json.contains("\"batches\""), "{json}");
         assert!(json.contains("\"failures\""), "{json}");
         assert!(json.contains("\"retries\""), "{json}");
@@ -312,6 +359,80 @@ mod tests {
             merged.stage(StageId::KernelEvaluation).unwrap().admissions,
             0
         );
+    }
+
+    #[test]
+    fn v5_records_deserialise_without_obs_sinks() {
+        // A full v5 pipeline record: admission counters present, no
+        // obs_sinks list.
+        let json = r#"{"schema_version":5,"phase":"detection","threads":2,
+            "stages":[{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
+            "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0,
+            "batches":1,"failures":0,"retries":0,"admissions":4,
+            "admission_skips":12}],
+            "total_wall_ms":1.0,"resumed_tiles":0}"#;
+        let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
+        assert!(t.obs_sinks.is_empty());
+        let merged = t.merge(&PipelineTelemetry::default());
+        assert_eq!(merged.schema_version, TELEMETRY_SCHEMA_VERSION);
+        assert!(merged.obs_sinks.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_obs_sinks_preserving_order() {
+        let mut a = PipelineTelemetry {
+            phase: "training".to_string(),
+            ..PipelineTelemetry::default()
+        };
+        a.obs_sinks = vec!["ndjson".to_string(), "prometheus".to_string()];
+        let mut b = PipelineTelemetry {
+            phase: "detection".to_string(),
+            ..PipelineTelemetry::default()
+        };
+        b.obs_sinks = vec!["prometheus".to_string(), "progress".to_string()];
+        let merged = a.merge(&b);
+        assert_eq!(merged.obs_sinks, vec!["ndjson", "prometheus", "progress"]);
+    }
+
+    #[test]
+    fn breakdown_rendering_is_pinned() {
+        let mut t = PipelineTelemetry {
+            phase: "detection".to_string(),
+            threads: 2,
+            total_wall_ms: 12.5,
+            ..PipelineTelemetry::default()
+        };
+        let mut eval = StageTelemetry::empty(StageId::KernelEvaluation);
+        eval.wall_ms = 3.25;
+        eval.items_in = 128;
+        eval.items_out = 5;
+        eval.threads_used = 2;
+        eval.tasks_executed = 2;
+        eval.batches = 2;
+        eval.admissions = 96;
+        eval.admission_skips = 1024;
+        let mut removal = StageTelemetry::empty(StageId::ClipRemoval);
+        removal.wall_ms = 0.5;
+        removal.items_in = 5;
+        removal.items_out = 3;
+        removal.threads_used = 1;
+        removal.tasks_executed = 1;
+        t.stages = vec![eval, removal];
+        let expected = "\
+pipeline telemetry (schema v6, phase detection, 2 thread(s), total 12.50 ms, 0 resumed tile(s))
+  stage                           wall (ms)        in       out  threads   tasks  stolen batches failed retried  admitted  adm-skips
+  kernel_evaluation                   3.250       128         5        2       2       0       2      0       0        96       1024
+  clip_removal                        0.500         5         3        1       1       0       0      0       0         0          0
+";
+        assert_eq!(t.breakdown(), expected);
+        // Header and every row share the column spec, so all lines after
+        // the summary have equal length.
+        let rendered = t.breakdown();
+        let lines: Vec<&str> = rendered.lines().skip(1).map(str::trim_end).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        // An observed run appends the sink list.
+        t.obs_sinks = vec!["ndjson".to_string(), "prometheus".to_string()];
+        assert!(t.breakdown().ends_with("  obs sinks: ndjson, prometheus\n"));
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub struct EvalEngine<'d> {
     pub(crate) compiled_kernels: Option<&'d [CompiledModel]>,
     pub(crate) compiled_feedback: Option<&'d CompiledModel>,
     pub(crate) router: Option<&'d CentroidRouter>,
+    pub(crate) obs: Option<&'d crate::obs::ObsHub>,
 }
 
 impl<'d> EvalEngine<'d> {
@@ -104,6 +105,7 @@ impl<'d> EvalEngine<'d> {
             compiled_kernels: None,
             compiled_feedback: None,
             router: None,
+            obs: None,
         }
     }
 
@@ -122,6 +124,40 @@ impl<'d> EvalEngine<'d> {
     /// under the eq. (1) distance. Features are extracted once per clip
     /// and padded vectors are shared across kernels of the same feature
     /// length ([`FeatureMemo`]).
+    ///
+    /// ```
+    /// use hotspot_core::{EvalScratch, HotspotDetector, Label, Pattern, TrainingSet};
+    /// use hotspot_geom::{Point, Rect};
+    /// use hotspot_layout::ClipShape;
+    ///
+    /// // A toy training set: narrow-gap bar pairs are hotspots.
+    /// let clip = |gap: i64| {
+    ///     let window = ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0));
+    ///     let rects = [
+    ///         Rect::from_extents(0, 0, 300, 300),
+    ///         Rect::from_extents(300 + gap, 0, 600 + gap, 300),
+    ///     ];
+    ///     Pattern::new(window, &rects)
+    /// };
+    /// let mut training = TrainingSet::new();
+    /// for i in 0..4 {
+    ///     training.push(clip(60 + 10 * i), Label::Hotspot);
+    /// }
+    /// for i in 0..8 {
+    ///     training.push(clip(480 + 10 * i), Label::NonHotspot);
+    /// }
+    /// let config = HotspotDetector::builder().max_learning_rounds(2).build()?;
+    /// let detector = HotspotDetector::train(&training, config)?;
+    ///
+    /// // Reuse one scratch across clips: queries are allocation-free once
+    /// // its buffers have grown to their high-water marks.
+    /// let engine = detector.eval_engine();
+    /// let mut scratch = EvalScratch::new();
+    /// let flagged_by = engine.flagging_kernels(&clip(65), &mut scratch);
+    /// assert!(!flagged_by.is_empty(), "a narrow-gap clip should be flagged");
+    /// assert!(engine.flagging_kernels(&clip(500), &mut scratch).is_empty());
+    /// # Ok::<(), hotspot_core::DetectError>(())
+    /// ```
     pub fn flagging_kernels(&self, pattern: &Pattern, scratch: &mut EvalScratch) -> Vec<usize> {
         let mut out = Vec::new();
         self.for_each_admitted(pattern, scratch, |idx, decision| {
@@ -141,6 +177,11 @@ impl<'d> EvalEngine<'d> {
         scratch: &mut EvalScratch,
         mut visit: impl FnMut(usize, f64),
     ) {
+        // One branch + one relaxed add per clip when a hub is attached;
+        // one branch when not.
+        if let Some(hub) = self.obs {
+            hub.counters().add(crate::obs::Counter::ClipsEvaluated, 1);
+        }
         let window = pattern.window.core;
         let rects: Vec<_> = pattern
             .rects

@@ -31,6 +31,7 @@
 //! [`scan_layout`]: crate::HotspotDetector::scan_layout
 
 use crate::engine::FaultPlan;
+use crate::obs::{Counter, ObsEvent, ObsHub};
 use hotspot_geom::Rect;
 use hotspot_layout::LayerId;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic string identifying a scan journal.
 pub const JOURNAL_MAGIC: &str = "hotspot-scan-journal";
@@ -221,6 +223,7 @@ pub struct JournalWriter {
     file: File,
     appended: usize,
     dirty: bool,
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl JournalWriter {
@@ -239,6 +242,7 @@ impl JournalWriter {
             file,
             appended: 0,
             dirty: false,
+            obs: None,
         })
     }
 
@@ -257,7 +261,16 @@ impl JournalWriter {
             file,
             appended: 0,
             dirty: false,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability hub: appends and syncs are counted into
+    /// the hub's lock-free counters and each durable sync emits an
+    /// [`ObsEvent::JournalSynced`] event. Without a hub each journal
+    /// operation performs exactly one extra branch.
+    pub fn set_obs(&mut self, hub: Arc<ObsHub>) {
+        self.obs = Some(hub);
     }
 
     /// Appends one tile record. Durability is deferred to
@@ -281,6 +294,9 @@ impl JournalWriter {
         self.file.write_all(frame(&payload).as_bytes())?;
         self.appended += 1;
         self.dirty = true;
+        if let Some(hub) = &self.obs {
+            hub.counters().add(Counter::JournalAppends, 1);
+        }
         Ok(())
     }
 
@@ -295,6 +311,11 @@ impl JournalWriter {
             self.file.flush()?;
             self.file.sync_data()?;
             self.dirty = false;
+            if let Some(hub) = &self.obs {
+                hub.counters().add(Counter::JournalSyncs, 1);
+                let appended = self.appended;
+                hub.emit(|| ObsEvent::JournalSynced { appended });
+            }
         }
         Ok(())
     }

@@ -21,7 +21,10 @@
 //! on, and the serialisable [`PipelineTelemetry`] they produce. For
 //! production-scale layouts, [`scan`] streams tiles through the evaluation
 //! pipeline with a density prefilter and bounded memory
-//! ([`HotspotDetector::scan_layout`](detector::HotspotDetector::scan_layout)).
+//! ([`HotspotDetector::scan_layout`](detector::HotspotDetector::scan_layout)),
+//! and [`obs`] watches long runs live — lock-free progress counters, a
+//! Prometheus `/metrics` endpoint and an NDJSON event log — without
+//! changing a single output bit.
 //!
 //! The one-stop API is [`HotspotDetector`], configured through its builder:
 //!
@@ -53,6 +56,7 @@ pub mod feedback;
 pub mod journal;
 pub mod metrics;
 pub mod multilayer;
+pub mod obs;
 pub mod pattern;
 pub mod patterning;
 pub mod removal;
@@ -70,6 +74,10 @@ pub use extraction::{extract_clips, RectIndex};
 pub use feedback::{EvalEngine, EvalScratch};
 pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
+pub use obs::{
+    CounterSnapshot, MetricsServer, NdjsonSink, ObsEvent, ObsHub, ObsRecord, ObsSink, ProgressSink,
+    Sampler, OBS_SCHEMA_VERSION,
+};
 pub use pattern::{Label, Pattern, TrainingSet};
 pub use patterning::{DecomposedPattern, DoublePatterningDetector};
 pub use scan::{FailurePolicy, QuarantinedTile, ScanConfig, ScanReport};

@@ -95,6 +95,7 @@ use crate::engine::{
 };
 use crate::extraction::{passes_filter, split_oversized, RectIndex};
 use crate::journal::{read_journal, JournalHeader, JournalWriter, TileOutcomeRecord, TileRecord};
+use crate::obs::{Counter, ObsEvent};
 use crate::pattern::Pattern;
 use crate::removal::remove_redundant_clips;
 use hotspot_geom::Rect;
@@ -105,6 +106,7 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a scan does when a tile task fails (panics on both attempts).
@@ -391,6 +393,46 @@ impl HotspotDetector {
     /// [`ScanConfig::failure_policy`]; see the [module docs](crate::scan)
     /// for the journal/resume machinery.
     ///
+    /// # Examples
+    ///
+    /// Scan a layout with live observability attached — counters stream to
+    /// any registered sink, while the report stays bit-identical to an
+    /// unobserved run:
+    ///
+    /// ```
+    /// use hotspot_core::{HotspotDetector, Label, ObsHub, Pattern, ScanConfig, TrainingSet};
+    /// use hotspot_geom::{Point, Rect};
+    /// use hotspot_layout::{ClipShape, LayerId, Layout};
+    ///
+    /// let clip = |gap: i64| {
+    ///     let window = ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0));
+    ///     let rects = [
+    ///         Rect::from_extents(0, 0, 300, 300),
+    ///         Rect::from_extents(300 + gap, 0, 600 + gap, 300),
+    ///     ];
+    ///     Pattern::new(window, &rects)
+    /// };
+    /// let mut training = TrainingSet::new();
+    /// for i in 0..4 {
+    ///     training.push(clip(60 + 10 * i), Label::Hotspot);
+    /// }
+    /// for i in 0..8 {
+    ///     training.push(clip(480 + 10 * i), Label::NonHotspot);
+    /// }
+    /// let config = HotspotDetector::builder().max_learning_rounds(2).build()?;
+    /// let hub = ObsHub::new();
+    /// let detector = HotspotDetector::train(&training, config)?.with_obs(hub.clone());
+    ///
+    /// let mut layout = Layout::new("chip");
+    /// layout.add_rect(LayerId::METAL1, Rect::from_extents(0, 0, 300, 300));
+    /// layout.add_rect(LayerId::METAL1, Rect::from_extents(370, 0, 670, 300));
+    /// let report = detector.scan_layout(&layout, LayerId::METAL1, &ScanConfig::default())?;
+    ///
+    /// let snapshot = hub.snapshot();
+    /// assert_eq!(snapshot.clips_extracted, report.clips_extracted as u64);
+    /// # Ok::<(), hotspot_core::DetectError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`DetectError::Config`] for invalid scan settings,
@@ -444,6 +486,14 @@ impl HotspotDetector {
         let mut scanner = TileScanner::from_rects(index.rects().to_vec(), spec);
         let tiles_total = scanner.grid().tile_count();
         let grid_cols = scanner.grid().cols();
+        let obs = self.obs();
+        if let Some(hub) = obs {
+            hub.emit(|| ObsEvent::ScanStarted {
+                tiles_total,
+                threads,
+                window: window_cap,
+            });
+        }
 
         // Resume: replay the valid prefix of an earlier journal, and open
         // the journal writer (appending in place when resuming the same
@@ -493,7 +543,14 @@ impl HotspotDetector {
             }
         }
 
-        let executor = Executor::new(threads);
+        if let (Some(writer), Some(hub)) = (journal_writer.as_mut(), obs) {
+            writer.set_obs(Arc::clone(hub));
+        }
+
+        let mut executor = Executor::new(threads);
+        if let Some(hub) = obs {
+            executor = executor.with_obs(Arc::clone(hub));
+        }
         let in_flight = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
 
@@ -555,7 +612,17 @@ impl HotspotDetector {
                     let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                     let _guard = InFlightGuard(&in_flight);
                     peak.fetch_max(current, Ordering::SeqCst);
-                    self.process_tile(&batch[pos], &index, config, scan, threshold, id, 0)
+                    // Worker-side progress: one relaxed add per transition,
+                    // recorded into the worker's own counter shard.
+                    if let Some(hub) = obs {
+                        hub.counters().add(Counter::TilesStarted, 1);
+                    }
+                    let outcome =
+                        self.process_tile(&batch[pos], &index, config, scan, threshold, id, 0);
+                    if let Some(hub) = obs {
+                        hub.counters().add(Counter::TilesDone, 1);
+                    }
+                    outcome
                 })
             };
 
@@ -568,14 +635,29 @@ impl HotspotDetector {
                     Ok(outcome) => slots[pos] = Some(outcome),
                     Err(failure) => {
                         batch_retries += 1;
+                        if let Some(hub) = obs {
+                            hub.counters().add(Counter::TaskRetries, 1);
+                        }
                         let retry = catch_unwind(AssertUnwindSafe(|| {
                             self.process_tile(&batch[pos], &index, config, scan, threshold, id, 1)
                         }));
                         match retry {
-                            Ok(outcome) => slots[pos] = Some(outcome),
+                            Ok(outcome) => {
+                                if let Some(hub) = obs {
+                                    hub.counters().add(Counter::TilesDone, 1);
+                                }
+                                slots[pos] = Some(outcome);
+                            }
                             Err(payload) => {
                                 retry_failures += 1;
                                 let reason = panic_payload_to_string(payload.as_ref());
+                                if let Some(hub) = obs {
+                                    hub.counters().add(Counter::TilesQuarantined, 1);
+                                    hub.emit(|| ObsEvent::TileQuarantined {
+                                        tile: id as u64,
+                                        stage: failure.stage.clone(),
+                                    });
+                                }
                                 match scan.failure_policy {
                                     FailurePolicy::Abort => {
                                         return Err(DetectError::TaskPanicked(TaskFailure {
@@ -650,10 +732,12 @@ impl HotspotDetector {
                 Some(&stats),
                 batch_evals,
             );
+            let batch_admissions: u64 = outcomes.iter().map(|o| o.admissions).sum();
+            let batch_admission_skips: u64 = outcomes.iter().map(|o| o.admission_skips).sum();
             recorder.record_admissions(
                 StageId::KernelEvaluation,
-                outcomes.iter().map(|o| o.admissions).sum(),
-                outcomes.iter().map(|o| o.admission_skips).sum(),
+                batch_admissions,
+                batch_admission_skips,
             );
             // First-attempt failures came in through the executor stats;
             // fold in the sequential retries and their failures.
@@ -664,9 +748,30 @@ impl HotspotDetector {
             clips_extracted += batch_clips;
             clips_flagged += batch_flagged;
             eval_batches += batch_evals;
+            let mut batch_reclaimed = 0usize;
             for mut o in slots.into_iter().flatten() {
-                feedback_reclaimed += o.reclaimed;
+                batch_reclaimed += o.reclaimed;
                 flagged_cores.append(&mut o.flagged_cores);
+            }
+            feedback_reclaimed += batch_reclaimed;
+            if let Some(hub) = obs {
+                let counters = hub.counters();
+                // Replayed tiles count as started+done so live progress
+                // reaches 100% on a resumed scan.
+                counters.add(Counter::TilesStarted, batch_resumed as u64);
+                counters.add(Counter::TilesDone, batch_resumed as u64);
+                counters.add(Counter::TilesPrefiltered, prefiltered as u64);
+                counters.add(Counter::ClipsExtracted, batch_clips as u64);
+                counters.add(Counter::ClipsFlagged, batch_flagged as u64);
+                counters.add(Counter::ClipsReclaimed, batch_reclaimed as u64);
+                counters.add(Counter::EvalBatches, batch_evals as u64);
+                hub.emit(|| ObsEvent::BatchCompleted {
+                    tiles: batch.len(),
+                    clips: batch_clips,
+                    flagged: batch_flagged,
+                    admissions: batch_admissions,
+                    admission_skips: batch_admission_skips,
+                });
             }
         }
 
@@ -691,6 +796,14 @@ impl HotspotDetector {
             None,
         );
 
+        if let Some(hub) = obs {
+            hub.emit(|| ObsEvent::ScanCompleted {
+                tiles_scanned,
+                reported: reported.len(),
+                quarantined: failed_tiles.len(),
+            });
+            recorder.set_obs_sinks(hub.sink_names());
+        }
         Ok(ScanReport {
             reported,
             tiles_total,

@@ -1,0 +1,220 @@
+//! Observability integration tests: attaching the full sink stack to a
+//! streaming scan must not change a single bit of the report, the
+//! Prometheus endpoint must serve the per-stage counter families over
+//! plain HTTP, and the NDJSON event log must round-trip through the
+//! schema-versioned reader.
+
+use hotspot_suite::benchgen::{Benchmark, BenchmarkSpec, LithoOracle};
+use hotspot_suite::core::obs::read_events;
+use hotspot_suite::core::{
+    HotspotDetector, MetricsServer, NdjsonSink, ObsEvent, ObsHub, ScanConfig, OBS_SCHEMA_VERSION,
+};
+use hotspot_suite::layout::ClipShape;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn benchmark() -> &'static Benchmark {
+    static BM: OnceLock<Benchmark> = OnceLock::new();
+    BM.get_or_init(|| {
+        Benchmark::generate(BenchmarkSpec {
+            name: "obs-test".into(),
+            process_nm: 32,
+            width: 40_000,
+            height: 40_000,
+            train_hotspots: 16,
+            train_nonhotspots: 56,
+            test_hotspots: 5,
+            seed: 23,
+            clip_shape: ClipShape::ICCAD2012,
+            oracle: LithoOracle::default(),
+            background_fill: 0.55,
+            ambit_filler: true,
+        })
+    })
+}
+
+fn trained(bm: &Benchmark) -> &'static HotspotDetector {
+    static DET: OnceLock<HotspotDetector> = OnceLock::new();
+    DET.get_or_init(|| {
+        HotspotDetector::builder()
+            .threads(2)
+            .train(&bm.training)
+            .expect("training")
+    })
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hotspot_obs_it_{}_{name}", std::process::id()))
+}
+
+/// Issues a blocking HTTP/1.0 GET and returns the raw response.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn full_sink_stack_leaves_scan_report_bit_identical() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let scan = ScanConfig {
+        tile_cores: 6,
+        max_in_flight: 3,
+        ..Default::default()
+    };
+
+    for threads in [1usize, 2, 4] {
+        let bare = detector
+            .clone()
+            .with_threads(threads)
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("unobserved scan");
+        assert!(bare.telemetry.obs_sinks.is_empty());
+
+        let events = temp_path(&format!("identical_{threads}.ndjson"));
+        let hub = ObsHub::new();
+        hub.register(Box::new(NdjsonSink::create(&events).expect("event log")));
+        let server = MetricsServer::bind("127.0.0.1:0", hub.clone()).expect("bind");
+        let observed = detector
+            .clone()
+            .with_threads(threads)
+            .with_obs(hub.clone())
+            .scan_layout(&bm.layout, bm.layer, &scan)
+            .expect("observed scan");
+        server.shutdown();
+
+        // The acceptance bar: deterministic content is bit-identical with
+        // the whole sink stack attached, at every thread count.
+        assert_eq!(
+            observed.digest(),
+            bare.digest(),
+            "observed scan diverged at {threads} thread(s)"
+        );
+        assert_eq!(observed.reported, bare.reported);
+        // Telemetry (schema v6) records which sinks watched the run.
+        assert_eq!(
+            observed.telemetry.obs_sinks,
+            vec!["ndjson".to_string(), "prometheus".to_string()]
+        );
+        std::fs::remove_file(&events).ok();
+    }
+}
+
+#[test]
+fn metrics_endpoint_serves_per_stage_counter_families() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let hub = ObsHub::new();
+    let server = MetricsServer::bind("127.0.0.1:0", hub.clone()).expect("bind");
+    let addr = server.local_addr();
+
+    let report = detector
+        .clone()
+        .with_obs(hub.clone())
+        .scan_layout(&bm.layout, bm.layer, &ScanConfig::default())
+        .expect("scan");
+
+    let response = http_get(addr, "/metrics");
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    // Global counter families reflect the finished scan exactly.
+    assert!(
+        body.contains(&format!(
+            "hotspot_clips_extracted_total {}",
+            report.clips_extracted
+        )),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!(
+            "hotspot_tiles_done_total {}",
+            report.tiles_scanned
+        )),
+        "{body}"
+    );
+    assert!(body.contains("hotspot_tiles_in_flight 0"), "{body}");
+    // Per-stage families carry the stage label.
+    assert!(
+        body.contains("hotspot_stage_tasks_total{stage=\"kernel_evaluation\"}"),
+        "{body}"
+    );
+    assert!(
+        body.contains("hotspot_stage_admissions_total{stage=\"kernel_evaluation\"}"),
+        "{body}"
+    );
+    // Every sample line is `name[{labels}] value` with a numeric value —
+    // minimal Prometheus text-format validity.
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in line: {line}"
+        );
+    }
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    server.shutdown();
+}
+
+#[test]
+fn ndjson_event_log_round_trips_and_matches_report() {
+    let bm = benchmark();
+    let detector = trained(bm);
+    let events = temp_path("roundtrip.ndjson");
+    let hub = ObsHub::new();
+    hub.register(Box::new(NdjsonSink::create(&events).expect("event log")));
+
+    let report = detector
+        .clone()
+        .with_obs(hub.clone())
+        .scan_layout(&bm.layout, bm.layer, &ScanConfig::default())
+        .expect("scan");
+
+    let records = read_events(&events).expect("valid NDJSON event log");
+    assert!(!records.is_empty());
+    assert!(records.iter().all(|r| r.v == OBS_SCHEMA_VERSION));
+    // Sequence numbers are monotonic, so the log orders causally.
+    assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    match &records.first().expect("first event").event {
+        ObsEvent::ScanStarted { tiles_total, .. } => {
+            assert_eq!(*tiles_total, report.tiles_total);
+        }
+        other => panic!("expected ScanStarted first, got {other:?}"),
+    }
+    match &records.last().expect("last event").event {
+        ObsEvent::ScanCompleted {
+            tiles_scanned,
+            reported,
+            ..
+        } => {
+            assert_eq!(*tiles_scanned, report.tiles_scanned);
+            assert_eq!(*reported, report.reported.len());
+        }
+        other => panic!("expected ScanCompleted last, got {other:?}"),
+    }
+    // Batch events sum to the report's totals.
+    let (batch_clips, batch_flagged) =
+        records
+            .iter()
+            .fold((0usize, 0usize), |(c, f), r| match r.event {
+                ObsEvent::BatchCompleted { clips, flagged, .. } => (c + clips, f + flagged),
+                _ => (c, f),
+            });
+    assert_eq!(batch_clips, report.clips_extracted);
+    assert_eq!(batch_flagged, report.clips_flagged);
+    std::fs::remove_file(&events).ok();
+}

@@ -1,0 +1,66 @@
+//! Shared core-region density-grid construction for the baselines.
+//!
+//! Both the single-kernel "Basic" SVM and the fuzzy pattern matcher
+//! featurise a clip the same way: clamp the clip's rects to the core
+//! region, translate into the core-local frame, and rasterise a
+//! `grid × grid` density grid. This module is the single home of that
+//! construction so the two baselines cannot drift apart.
+
+use hotspot_core::Pattern;
+use hotspot_geom::{DensityGrid, Rect};
+
+/// Rasterises `pattern`'s core-region geometry into a `grid × grid`
+/// density grid in the core-local frame (origin at the core's min
+/// corner).
+pub fn core_density_grid(pattern: &Pattern, grid: usize) -> DensityGrid {
+    let core = pattern.window.core;
+    let local = Rect::from_extents(0, 0, core.width(), core.height());
+    let rects: Vec<Rect> = pattern
+        .rects
+        .iter()
+        .filter_map(|r| r.intersection(&core))
+        .map(|r| r.translate(-core.min()))
+        .collect();
+    DensityGrid::from_rects(&local, &rects, grid, grid)
+}
+
+/// The density grid's cells as a flat feature vector (row-major), the
+/// fixed-length feature layout of the "Basic" baseline.
+pub fn core_density_features(pattern: &Pattern, grid: usize) -> Vec<f64> {
+    core_density_grid(pattern, grid).cells().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geom::Point;
+    use hotspot_layout::ClipShape;
+
+    #[test]
+    fn grid_and_features_agree_and_are_core_local() {
+        let window = ClipShape::ICCAD2012.window_from_core_corner(Point::new(1000, 2000));
+        let core = window.core;
+        let rect = Rect::from_extents(
+            core.min().x,
+            core.min().y,
+            core.min().x + 400,
+            core.min().y + 300,
+        );
+        let pattern = Pattern::new(window, &[rect]);
+        let g = core_density_grid(&pattern, 4);
+        let f = core_density_features(&pattern, 4);
+        assert_eq!(g.cells(), f.as_slice());
+        // Same geometry at a different absolute position featurises
+        // identically: the construction is core-local.
+        let window2 = ClipShape::ICCAD2012.window_from_core_corner(Point::new(0, 0));
+        let core2 = window2.core;
+        let rect2 = Rect::from_extents(
+            core2.min().x,
+            core2.min().y,
+            core2.min().x + 400,
+            core2.min().y + 300,
+        );
+        let f2 = core_density_features(&Pattern::new(window2, &[rect2]), 4);
+        assert_eq!(f, f2);
+    }
+}

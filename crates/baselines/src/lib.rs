@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod density;
 pub mod pattern_match;
 pub mod single_kernel;
 pub mod window_scan;

@@ -8,8 +8,9 @@
 //! the first-place entry: very high accuracy on seen-pattern layouts, large
 //! extra counts (any fuzzily similar clip matches).
 
+use crate::density::core_density_grid as core_grid;
 use hotspot_core::{extract_clips, DetectorConfig, Pattern, TrainingSet};
-use hotspot_geom::{DensityGrid, Rect};
+use hotspot_geom::DensityGrid;
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use std::time::{Duration, Instant};
 
@@ -151,23 +152,11 @@ impl PatternMatcher {
     }
 }
 
-fn core_grid(pattern: &Pattern, grid: usize) -> DensityGrid {
-    let core = pattern.window.core;
-    let local = Rect::from_extents(0, 0, core.width(), core.height());
-    let rects: Vec<Rect> = pattern
-        .rects
-        .iter()
-        .filter_map(|r| r.intersection(&core))
-        .map(|r| r.translate(-core.min()))
-        .collect();
-    DensityGrid::from_rects(&local, &rects, grid, grid)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hotspot_core::Label;
-    use hotspot_geom::Point;
+    use hotspot_geom::{Point, Rect};
     use hotspot_layout::ClipShape;
 
     fn pattern(rects: &[Rect]) -> Pattern {

@@ -7,8 +7,8 @@
 //! of Wuu et al. \[9\]), which have a fixed length for every pattern — the
 //! property the paper's critical features only gain *within* a cluster.
 
+use crate::density::core_density_features as grid_features;
 use hotspot_core::{extract_clips, DetectorConfig, Pattern, TrainingSet};
-use hotspot_geom::{DensityGrid, Rect};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use hotspot_svm::{Kernel, SvmModel, SvmTrainer, TrainError};
 use std::time::{Duration, Instant};
@@ -95,26 +95,11 @@ impl SingleKernelSvm {
     }
 }
 
-/// Core-region density-grid features in the window-local frame.
-fn grid_features(pattern: &Pattern, grid: usize) -> Vec<f64> {
-    let core = pattern.window.core;
-    let local = Rect::from_extents(0, 0, core.width(), core.height());
-    let rects: Vec<Rect> = pattern
-        .rects
-        .iter()
-        .filter_map(|r| r.intersection(&core))
-        .map(|r| r.translate(-core.min()))
-        .collect();
-    DensityGrid::from_rects(&local, &rects, grid, grid)
-        .cells()
-        .to_vec()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hotspot_core::Label;
-    use hotspot_geom::Point;
+    use hotspot_geom::{Point, Rect};
     use hotspot_layout::ClipShape;
 
     fn pattern(rects: &[Rect]) -> Pattern {

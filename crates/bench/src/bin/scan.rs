@@ -1,9 +1,13 @@
-//! Streaming-scan throughput benchmark.
+//! Streaming-scan throughput benchmark with warm-rescan measurement.
 //!
 //! Trains the framework on benchmark 1 of the suite and stream-scans its
-//! testing layout tile by tile, then writes `BENCH_scan.json` (schema in
+//! testing layout three times through a content-addressed tile cache:
+//! cold (fresh cache), warm (unchanged layout — every tile served from
+//! the cache), and edited (one rect added — only the touched tiles
+//! recompute). Writes `BENCH_scan.json` (schema v2, documented in
 //! `DESIGN.md`): clips/second, tiles scanned vs prefiltered, the observed
-//! peak in-flight window, a peak-RSS proxy, and the per-stage breakdown.
+//! peak in-flight window, a peak-RSS proxy, the per-stage breakdown, and
+//! the warm/edited re-scan columns.
 //!
 //! ```sh
 //! HOTSPOT_SCALE=huge cargo run --release --bin scan
@@ -12,14 +16,17 @@
 //! Environment knobs: `HOTSPOT_SCALE` (suite scale; `huge` quadruples the
 //! Table-I area), `HOTSPOT_TILE_CORES`, `HOTSPOT_MAX_IN_FLIGHT`,
 //! `HOTSPOT_BENCH_OUT` (output path, default `BENCH_scan.json`),
-//! `HOTSPOT_SCAN_PROGRESS=1` (live stderr progress line), and
-//! `HOTSPOT_METRICS_ADDR` (serve Prometheus `/metrics` during the scan).
+//! `HOTSPOT_SCAN_MIN_WARM_SPEEDUP` (exit non-zero when the warm re-scan
+//! speedup falls below this floor), `HOTSPOT_SCAN_PROGRESS=1` (live
+//! stderr progress line), and `HOTSPOT_METRICS_ADDR` (serve Prometheus
+//! `/metrics` during the scan).
 
 use hotspot_bench::{print_header, scale_from_env, ScanBenchReport};
 use hotspot_benchgen::{iccad_suite, Benchmark};
 use hotspot_core::{
     DetectorConfig, HotspotDetector, MetricsServer, ObsHub, ProgressSink, Sampler, ScanConfig,
 };
+use hotspot_geom::Rect;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,7 +39,10 @@ fn env_usize(key: &str, default: usize) -> usize {
 
 fn main() {
     let scale = scale_from_env();
-    print_header("Streaming scan — throughput & memory bound", scale);
+    print_header(
+        "Streaming scan — throughput, memory bound & warm re-scan",
+        scale,
+    );
 
     let spec = iccad_suite(scale).remove(0);
     let name = spec.name.clone();
@@ -75,25 +85,26 @@ fn main() {
         detector = detector.with_obs(Arc::clone(hub));
     }
 
+    let cache_path = std::env::temp_dir().join(format!(
+        "hotspot-bench-scan-cache-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+
     let defaults = ScanConfig::default();
     let scan = ScanConfig {
         tile_cores: env_usize("HOTSPOT_TILE_CORES", defaults.tile_cores),
         max_in_flight: env_usize("HOTSPOT_MAX_IN_FLIGHT", defaults.max_in_flight),
         tile_density: None,
+        cache: Some(cache_path.clone()),
         ..Default::default()
     };
     let report = detector
         .scan_layout(&benchmark.layout, benchmark.layer, &scan)
-        .expect("streaming scan");
-    if let Some(sampler) = sampler {
-        sampler.stop();
-    }
-    if let Some(server) = server {
-        server.shutdown();
-    }
+        .expect("cold streaming scan");
 
     println!(
-        "scanned {} of {} tiles ({} prefiltered) in {:.2?}: {} clips ({:.0} clips/s), flagged {}, reported {}",
+        "cold: scanned {} of {} tiles ({} prefiltered) in {:.2?}: {} clips ({:.0} clips/s), flagged {}, reported {}",
         report.tiles_scanned,
         report.tiles_total,
         report.tiles_prefiltered,
@@ -113,7 +124,68 @@ fn main() {
     }
 
     let threads = detector.config().effective_threads().max(1);
-    let bench = ScanBenchReport::from_scan(&report, &name, scale, threads, &scan);
+    let mut bench = ScanBenchReport::from_scan(&report, &name, scale, threads, &scan);
+
+    // Warm re-scan: unchanged layout, every non-empty tile must be a
+    // cache hit and the report digest must match the cold pass.
+    let warm = detector
+        .scan_layout(&benchmark.layout, benchmark.layer, &scan)
+        .expect("warm streaming scan");
+    assert_eq!(
+        warm.digest(),
+        report.digest(),
+        "warm re-scan digest must be byte-identical to the cold scan"
+    );
+    assert_eq!(warm.cache_misses, 0, "warm re-scan must be all cache hits");
+    bench.record_warm(&warm);
+    println!(
+        "warm: {:.2?} ({} hits, {} misses) — {:.1}x speedup",
+        warm.scan_time, warm.cache_hits, warm.cache_misses, bench.warm_speedup
+    );
+
+    // Edited re-scan: add one small rect at the layout centre; only the
+    // tiles whose core+ambit window covers it may recompute.
+    let mut edited_layout = benchmark.layout.clone();
+    let bbox = edited_layout.bbox().expect("non-empty benchmark layout");
+    let cx = (bbox.min().x + bbox.max().x) / 2;
+    let cy = (bbox.min().y + bbox.max().y) / 2;
+    edited_layout.add_rect(
+        benchmark.layer,
+        Rect::from_extents(cx, cy, cx + 300, cy + 300),
+    );
+    let edited = detector
+        .scan_layout(&edited_layout, benchmark.layer, &scan)
+        .expect("edited streaming scan");
+    bench.record_edited(&edited);
+    println!(
+        "edited: {:.2?} ({} hits, {} misses recomputed)",
+        edited.scan_time, edited.cache_hits, edited.cache_misses
+    );
+    if std::env::var("HOTSPOT_SCAN_CHECK_EDITED").is_ok_and(|v| v == "1") {
+        // Paranoia pass (CI): a cache-free scan of the edited layout must
+        // produce the identical digest. Costs one extra cold scan.
+        let uncached = ScanConfig {
+            cache: None,
+            ..scan.clone()
+        };
+        let reference = detector
+            .scan_layout(&edited_layout, benchmark.layer, &uncached)
+            .expect("edited reference scan");
+        assert_eq!(
+            edited.digest(),
+            reference.digest(),
+            "edited cached re-scan digest must match a cache-free scan"
+        );
+        println!("edited digest check passed (cache-free reference identical)");
+    }
+
+    if let Some(sampler) = sampler {
+        sampler.stop();
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
     if let Some(bytes) = bench.peak_rss_bytes {
         println!("peak RSS: {:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
     }
@@ -121,4 +193,22 @@ fn main() {
     let json = serde_json::to_string_pretty(&bench).expect("serialise BENCH_scan.json");
     std::fs::write(&out, json).expect("write BENCH_scan.json");
     println!("wrote {out}");
+    let _ = std::fs::remove_file(&cache_path);
+
+    if let Ok(floor) = std::env::var("HOTSPOT_SCAN_MIN_WARM_SPEEDUP") {
+        let floor: f64 = floor
+            .parse()
+            .expect("HOTSPOT_SCAN_MIN_WARM_SPEEDUP must be a number");
+        if bench.warm_speedup < floor {
+            eprintln!(
+                "FAIL: warm re-scan speedup {:.2}x below HOTSPOT_SCAN_MIN_WARM_SPEEDUP={floor}",
+                bench.warm_speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "warm speedup gate passed: {:.2}x >= {floor}",
+            bench.warm_speedup
+        );
+    }
 }

@@ -162,7 +162,13 @@ pub fn run_basic(benchmark: &Benchmark, config: DetectorConfig) -> MethodResult 
 
 /// Version of the `BENCH_scan.json` schema (bump on breaking changes; the
 /// field-by-field layout is documented in `DESIGN.md`).
-pub const SCAN_BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 measured a single cold streaming scan; v2 adds the
+/// incremental re-scan columns (`warm_*`, `edited_*`) timing a second
+/// scan through the content-addressed tile result cache — unchanged
+/// layout (all hits) and after a one-tile edit (only touched tiles
+/// recompute). v1 records deserialise with the new fields zeroed.
+pub const SCAN_BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// The `BENCH_scan.json` record written by the `scan` benchmark binary:
 /// streaming-scan throughput, prefilter effectiveness, the memory bound
@@ -202,7 +208,32 @@ pub struct ScanBenchReport {
     pub peak_rss_bytes: Option<u64>,
     /// Total scan wall time in milliseconds.
     pub scan_wall_ms: f64,
-    /// Per-stage telemetry of the scan phase.
+    /// Wall time of the warm re-scan (unchanged layout, all tiles served
+    /// from the cache), in milliseconds; `0.0` in v1 records.
+    #[serde(default)]
+    pub warm_wall_ms: f64,
+    /// Cold-over-warm speedup: `scan_wall_ms / warm_wall_ms`; `0.0` in
+    /// v1 records.
+    #[serde(default)]
+    pub warm_speedup: f64,
+    /// Tiles served from the cache on the warm re-scan.
+    #[serde(default)]
+    pub warm_cache_hits: usize,
+    /// Tiles recomputed on the warm re-scan (expected `0`).
+    #[serde(default)]
+    pub warm_cache_misses: usize,
+    /// Wall time of the re-scan after a one-rect edit, in milliseconds;
+    /// `0.0` in v1 records.
+    #[serde(default)]
+    pub edited_wall_ms: f64,
+    /// Tiles recomputed after the edit (misses = tiles whose core+ambit
+    /// window intersects the edited rect).
+    #[serde(default)]
+    pub edited_cache_misses: usize,
+    /// Tiles still served from the cache after the edit.
+    #[serde(default)]
+    pub edited_cache_hits: usize,
+    /// Per-stage telemetry of the cold scan phase.
     pub telemetry: PipelineTelemetry,
 }
 
@@ -232,8 +263,36 @@ impl ScanBenchReport {
             peak_in_flight: report.peak_in_flight,
             peak_rss_bytes: peak_rss_bytes(),
             scan_wall_ms: report.scan_time.as_secs_f64() * 1e3,
+            warm_wall_ms: 0.0,
+            warm_speedup: 0.0,
+            warm_cache_hits: 0,
+            warm_cache_misses: 0,
+            edited_wall_ms: 0.0,
+            edited_cache_misses: 0,
+            edited_cache_hits: 0,
             telemetry: report.telemetry.clone(),
         }
+    }
+
+    /// Records the warm re-scan pass (unchanged layout through the tile
+    /// cache) and derives `warm_speedup` from the cold wall time.
+    pub fn record_warm(&mut self, report: &ScanReport) {
+        self.warm_wall_ms = report.scan_time.as_secs_f64() * 1e3;
+        self.warm_speedup = if self.warm_wall_ms > 0.0 {
+            self.scan_wall_ms / self.warm_wall_ms
+        } else {
+            0.0
+        };
+        self.warm_cache_hits = report.cache_hits;
+        self.warm_cache_misses = report.cache_misses;
+    }
+
+    /// Records the edited re-scan pass (one-rect edit, touched tiles
+    /// recomputed through the cache).
+    pub fn record_edited(&mut self, report: &ScanReport) {
+        self.edited_wall_ms = report.scan_time.as_secs_f64() * 1e3;
+        self.edited_cache_misses = report.cache_misses;
+        self.edited_cache_hits = report.cache_hits;
     }
 }
 
@@ -497,12 +556,20 @@ mod tests {
             .scan_layout(&bm.layout, bm.layer, &scan)
             .expect("scan");
         let threads = detector.config().effective_threads().max(1);
-        let bench =
+        let mut bench =
             ScanBenchReport::from_scan(&report, &bm.spec.name, SuiteScale::Tiny, threads, &scan);
         assert_eq!(bench.schema_version, SCAN_BENCH_SCHEMA_VERSION);
+        assert_eq!(bench.schema_version, 2);
         assert_eq!(bench.scale, "tiny");
         assert_eq!(bench.tiles_scanned, report.tiles_scanned);
         assert!(bench.max_in_flight >= 1);
+        // Cold-only record leaves the warm-rescan columns defaulted.
+        assert_eq!(bench.warm_speedup, 0.0);
+        assert_eq!(bench.warm_cache_hits, 0);
+        bench.record_warm(&report);
+        bench.record_edited(&report);
+        assert!(bench.warm_wall_ms > 0.0);
+        assert!(bench.warm_speedup > 0.0);
         let json = serde_json::to_string_pretty(&bench).expect("serialise");
         let back: ScanBenchReport = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, bench);
@@ -513,9 +580,53 @@ mod tests {
             "\"clips_per_second\"",
             "\"peak_in_flight\"",
             "\"peak_rss_bytes\"",
+            "\"warm_wall_ms\"",
+            "\"warm_speedup\"",
+            "\"warm_cache_hits\"",
+            "\"edited_cache_misses\"",
             "\"telemetry\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn v1_scan_records_deserialise_without_warm_columns() {
+        // A v1 record (no warm/edited columns) must still parse, with the
+        // v2 fields defaulted to zero.
+        let v1 = r#"{
+            "schema_version": 1,
+            "benchmark": "bm1",
+            "scale": "tiny",
+            "threads": 2,
+            "tile_cores": 3,
+            "max_in_flight": 8,
+            "tiles_total": 9,
+            "tiles_scanned": 7,
+            "tiles_prefiltered": 2,
+            "clips_extracted": 40,
+            "clips_flagged": 5,
+            "reported": 4,
+            "clips_per_second": 1000.0,
+            "peak_in_flight": 4,
+            "peak_rss_bytes": null,
+            "scan_wall_ms": 12.5,
+            "telemetry": {
+                "schema_version": 6,
+                "phase": "scan",
+                "threads": 2,
+                "stages": [],
+                "total_wall_ms": 12.5
+            }
+        }"#;
+        let back: ScanBenchReport = serde_json::from_str(v1).expect("parse v1");
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.warm_wall_ms, 0.0);
+        assert_eq!(back.warm_speedup, 0.0);
+        assert_eq!(back.warm_cache_hits, 0);
+        assert_eq!(back.warm_cache_misses, 0);
+        assert_eq!(back.edited_wall_ms, 0.0);
+        assert_eq!(back.edited_cache_hits, 0);
+        assert_eq!(back.edited_cache_misses, 0);
     }
 }

@@ -111,6 +111,7 @@ USAGE:
                    [--max-in-flight N] [--tile-density X] [--json]
                    [--eval-mode reference|compiled]
                    [--telemetry <telemetry.json>]
+                   [--cache <cache.bin>] [--cache-verify]
                    [--journal <journal.log>] [--resume] [--max-failed-tiles N]
                    [--fault-seed N] [--fault-panic-per-mille N]
                    [--fault-transient-per-mille N]
@@ -136,6 +137,12 @@ as a cross-checking oracle. Both flag the identical hotspot set.
 --tile-density enables the aggressive mean-coverage prefilter.
 --journal appends each finished tile to a checksummed journal; --resume
 replays it and re-scans only the missing tiles (bit-identical results).
+--cache keeps a content-addressed tile result cache across scans: a warm
+re-scan replays unchanged tiles by content fingerprint and recomputes only
+edited ones, with a report byte-identical to a cold scan. Retraining or
+changing detector/scan config invalidates the whole cache; corrupt entries
+are dropped individually. --cache-verify also recomputes every hit and
+fails if any stored entry disagrees (debugging/CI).
 --max-failed-tiles quarantines panicking tiles instead of aborting, up to
 the given bound. The --fault-* flags drive the deterministic
 fault-injection harness (testing only).
@@ -204,7 +211,7 @@ fn clean(out: String) -> (String, i32) {
 struct Opts(Vec<(String, String)>);
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json", "resume", "progress"];
+const BOOL_FLAGS: &[&str] = &["json", "resume", "progress", "cache-verify"];
 
 impl Opts {
     fn get(&self, key: &str) -> Option<&str> {
@@ -374,6 +381,12 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
             "--resume needs --journal to name the journal to replay".into(),
         ));
     }
+    let cache = opts.get("cache").map(PathBuf::from);
+    if opts.has("cache-verify") && cache.is_none() {
+        return Err(CliError::Usage(
+            "--cache-verify needs --cache to name the cache to check".into(),
+        ));
+    }
     let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
     let layout = gdsii::read_file(opts.require("layout")?)?;
     let out = PathBuf::from(opts.require("out")?);
@@ -417,6 +430,8 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
             journal,
             failure_policy,
             fault_plan,
+            cache,
+            cache_verify: opts.has("cache-verify"),
         };
 
     // Live observability: build the hub and its sinks before the scan and
@@ -491,6 +506,12 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
         text.push_str(&format!(
             "\nresumed {} tile(s) from the journal",
             report.resumed_tiles
+        ));
+    }
+    if report.cache_hits > 0 || report.cache_misses > 0 {
+        text.push_str(&format!(
+            "\ncache: {} hit(s), {} miss(es)",
+            report.cache_hits, report.cache_misses
         ));
     }
     if report.retries > 0 {
@@ -580,23 +601,29 @@ fn cmd_events(opts: &Opts) -> Result<String, CliError> {
     let mut batches = 0usize;
     let mut snapshots = 0usize;
     let mut quarantined = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
     for record in &records {
         match record.event {
             ObsEvent::ScanStarted { .. } => scans += 1,
             ObsEvent::BatchCompleted { .. } => batches += 1,
             ObsEvent::Snapshot { .. } => snapshots += 1,
             ObsEvent::TileQuarantined { .. } => quarantined += 1,
+            ObsEvent::CacheHit { .. } => cache_hits += 1,
+            ObsEvent::CacheMiss { .. } => cache_misses += 1,
             _ => {}
         }
     }
     Ok(format!(
-        "{} event(s), schema v{}: {} scan(s), {} batch(es), {} snapshot(s), {} quarantined tile(s)",
+        "{} event(s), schema v{}: {} scan(s), {} batch(es), {} snapshot(s), {} quarantined tile(s), {} cache hit(s), {} cache miss(es)",
         records.len(),
         hotspot_core::OBS_SCHEMA_VERSION,
         scans,
         batches,
         snapshots,
         quarantined,
+        cache_hits,
+        cache_misses,
     ))
 }
 
@@ -897,6 +924,86 @@ mod tests {
         assert_eq!(status, EXIT_QUARANTINED, "{out}");
         assert!(out.contains("quarantined"), "{out}");
         assert!(out.contains("injected fault"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_cache_flags_warm_rescan_is_identical() {
+        let dir = workdir("cache_flags");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        // --cache-verify without --cache is a usage error.
+        let err = run(&argv(&[
+            "scan",
+            "--cache-verify",
+            "--model",
+            "x",
+            "--layout",
+            "y",
+            "--out",
+            "z",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--cache"), "{err}");
+
+        let cache = dir.join("tiles.cache");
+        let report = dir.join("report.json");
+        let scan_args = |extra: &[&str]| {
+            let mut args = argv(&[
+                "scan",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--cache",
+                cache.to_str().unwrap(),
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args
+        };
+
+        // Cold scan populates the cache; all tiles miss.
+        let (out, status) = run_with_status(&scan_args(&[])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("miss(es)"), "{out}");
+        assert!(cache.exists());
+        let cold = std::fs::read_to_string(&report).unwrap();
+
+        // Warm re-scan: every tile hits, report byte-identical.
+        let (out, status) = run_with_status(&scan_args(&[])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("cache:"), "{out}");
+        assert!(out.contains(" 0 miss(es)"), "{out}");
+        assert_eq!(std::fs::read_to_string(&report).unwrap(), cold);
+
+        // Paranoid verify recomputes hits and still agrees.
+        let (out, status) = run_with_status(&scan_args(&["--cache-verify"])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert_eq!(std::fs::read_to_string(&report).unwrap(), cold);
         std::fs::remove_dir_all(&dir).ok();
     }
 

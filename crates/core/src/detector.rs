@@ -44,6 +44,10 @@ pub enum DetectError {
     TaskPanicked(TaskFailure),
     /// The scan journal could not be created, appended, or replayed.
     Journal(String),
+    /// The tile result cache could not be written back — or, under
+    /// [`crate::ScanConfig::cache_verify`], a cache hit's stored outcome
+    /// disagreed with a fresh recompute of the same tile.
+    Cache(String),
     /// More tiles failed than
     /// [`FailurePolicy::SkipAndRecord`](crate::scan::FailurePolicy)
     /// tolerates.
@@ -74,6 +78,7 @@ impl fmt::Display for DetectError {
                 write!(f, "pipeline task panicked: {failure}")
             }
             DetectError::Journal(msg) => write!(f, "scan journal error: {msg}"),
+            DetectError::Cache(msg) => write!(f, "tile cache error: {msg}"),
             DetectError::TooManyFailures { failed, max } => write!(
                 f,
                 "{failed} tile(s) failed, exceeding the quarantine bound of {max}"

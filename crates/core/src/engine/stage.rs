@@ -101,6 +101,9 @@ pub struct StageRecorder {
     stages: Vec<(StageId, StageTelemetry)>,
     started: Instant,
     resumed_tiles: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    recomputed_tiles: usize,
     obs_sinks: Vec<String>,
 }
 
@@ -114,6 +117,9 @@ impl StageRecorder {
             stages: Vec::new(),
             started: Instant::now(),
             resumed_tiles: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            recomputed_tiles: 0,
             obs_sinks: Vec::new(),
         }
     }
@@ -227,6 +233,15 @@ impl StageRecorder {
         self.resumed_tiles += tiles;
     }
 
+    /// Adds one batch's tile-cache traffic to the run-level cache counters
+    /// (schema v7): `hits` cache-served tiles, `misses` the cache could
+    /// not serve, and `recomputed` tiles that ran the full pipeline.
+    pub fn add_cache_stats(&mut self, hits: usize, misses: usize, recomputed: usize) {
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+        self.recomputed_tiles += recomputed;
+    }
+
     /// Times `f` as one execution of `stage`; the closure returns its value
     /// together with the stage's output item count.
     pub fn time<T>(
@@ -252,6 +267,9 @@ impl StageRecorder {
             stages: self.stages.into_iter().map(|(_, s)| s).collect(),
             total_wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
             resumed_tiles: self.resumed_tiles,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            recomputed_tiles: self.recomputed_tiles,
             obs_sinks: self.obs_sinks,
         }
     }
@@ -361,6 +379,17 @@ mod tests {
         let pre = t.stage(StageId::DensityPrefilter).unwrap();
         assert_eq!(pre.admissions, 1);
         assert_eq!(pre.wall_ms, 0.0);
+    }
+
+    #[test]
+    fn add_cache_stats_accumulates_run_level_counters() {
+        let mut rec = StageRecorder::new("scan", 2);
+        rec.add_cache_stats(3, 1, 1);
+        rec.add_cache_stats(0, 4, 4);
+        let t = rec.finish();
+        assert_eq!(t.cache_hits, 3);
+        assert_eq!(t.cache_misses, 5);
+        assert_eq!(t.recomputed_tiles, 5);
     }
 
     #[test]

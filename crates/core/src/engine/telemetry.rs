@@ -33,7 +33,12 @@ use std::time::Duration;
 /// sinks and endpoints active during the run (empty when the pipeline ran
 /// unobserved). Deserialises as empty from v5 and older records via
 /// `#[serde(default)]`.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 6;
+/// v7 added the tile-cache counters: run-level `cache_hits` (tiles served
+/// from the content-addressed result cache), `cache_misses` (tiles the
+/// cache could not serve), and `recomputed_tiles` (tiles that actually ran
+/// the prefilter/extraction/evaluation pipeline this run). All three
+/// deserialise as 0 from v6 and older records via `#[serde(default)]`.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 7;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,6 +143,19 @@ pub struct PipelineTelemetry {
     /// Absent in pre-v4 records, which deserialise with 0.
     #[serde(default)]
     pub resumed_tiles: usize,
+    /// Tiles served from the content-addressed result cache (schema v7).
+    /// Absent in pre-v7 records, which deserialise with 0.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Tiles the result cache could not serve (schema v7). Absent in
+    /// pre-v7 records, which deserialise with 0.
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Tiles that actually ran the prefilter/extraction/evaluation
+    /// pipeline this run — neither journal-replayed nor cache-served
+    /// (schema v7). Absent in pre-v7 records, which deserialise with 0.
+    #[serde(default)]
+    pub recomputed_tiles: usize,
     /// Observability sinks and endpoints active during the run (schema
     /// v6): sink names in registration order, e.g. `["ndjson",
     /// "progress", "prometheus"]`. Empty for unobserved runs and absent
@@ -155,6 +173,9 @@ impl Default for PipelineTelemetry {
             stages: Vec::new(),
             total_wall_ms: 0.0,
             resumed_tiles: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            recomputed_tiles: 0,
             obs_sinks: Vec::new(),
         }
     }
@@ -200,6 +221,9 @@ impl PipelineTelemetry {
             stages,
             total_wall_ms: self.total_wall_ms + other.total_wall_ms,
             resumed_tiles: self.resumed_tiles + other.resumed_tiles,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            recomputed_tiles: self.recomputed_tiles + other.recomputed_tiles,
             obs_sinks,
         }
     }
@@ -309,8 +333,11 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":6"), "{json}");
+        assert!(json.contains("\"schema_version\":7"), "{json}");
         assert!(json.contains("\"obs_sinks\":[]"), "{json}");
+        assert!(json.contains("\"cache_hits\""), "{json}");
+        assert!(json.contains("\"cache_misses\""), "{json}");
+        assert!(json.contains("\"recomputed_tiles\""), "{json}");
         assert!(json.contains("\"batches\""), "{json}");
         assert!(json.contains("\"failures\""), "{json}");
         assert!(json.contains("\"retries\""), "{json}");
@@ -379,6 +406,43 @@ mod tests {
     }
 
     #[test]
+    fn v6_records_deserialise_without_cache_counters() {
+        // A full v6 pipeline record: obs_sinks present, no cache counters.
+        let json = r#"{"schema_version":6,"phase":"scan","threads":2,
+            "stages":[],"total_wall_ms":1.0,"resumed_tiles":3,
+            "obs_sinks":["ndjson"]}"#;
+        let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.cache_misses, 0);
+        assert_eq!(t.recomputed_tiles, 0);
+        let merged = t.merge(&PipelineTelemetry::default());
+        assert_eq!(merged.schema_version, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(merged.resumed_tiles, 3);
+    }
+
+    #[test]
+    fn merge_sums_cache_counters() {
+        let a = PipelineTelemetry {
+            phase: "scan".to_string(),
+            cache_hits: 5,
+            cache_misses: 2,
+            recomputed_tiles: 2,
+            ..PipelineTelemetry::default()
+        };
+        let b = PipelineTelemetry {
+            phase: "scan".to_string(),
+            cache_hits: 1,
+            cache_misses: 4,
+            recomputed_tiles: 4,
+            ..PipelineTelemetry::default()
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.cache_misses, 6);
+        assert_eq!(merged.recomputed_tiles, 6);
+    }
+
+    #[test]
     fn merge_unions_obs_sinks_preserving_order() {
         let mut a = PipelineTelemetry {
             phase: "training".to_string(),
@@ -419,7 +483,7 @@ mod tests {
         removal.tasks_executed = 1;
         t.stages = vec![eval, removal];
         let expected = "\
-pipeline telemetry (schema v6, phase detection, 2 thread(s), total 12.50 ms, 0 resumed tile(s))
+pipeline telemetry (schema v7, phase detection, 2 thread(s), total 12.50 ms, 0 resumed tile(s))
   stage                           wall (ms)        in       out  threads   tasks  stolen batches failed retried  admitted  adm-skips
   kernel_evaluation                   3.250       128         5        2       2       0       2      0       0        96       1024
   clip_removal                        0.500         5         3        1       1       0       0      0       0         0          0

@@ -61,6 +61,14 @@ impl RectIndex {
 /// `side` (Fig. 11(a)): a hotspot core must be anchorable on every piece.
 pub fn split_oversized(rects: &[Rect], side: Coord) -> Vec<Rect> {
     let mut out = Vec::with_capacity(rects.len());
+    split_oversized_into(rects, side, &mut out);
+    out
+}
+
+/// [`split_oversized`] into a caller-owned buffer, clearing it first —
+/// the allocation-reusing form the per-tile scan scratch threads through.
+pub fn split_oversized_into(rects: &[Rect], side: Coord, out: &mut Vec<Rect>) {
+    out.clear();
     for r in rects {
         let mut y = r.min().y;
         while y < r.max().y {
@@ -74,7 +82,6 @@ pub fn split_oversized(rects: &[Rect], side: Coord) -> Vec<Rect> {
             y = y1;
         }
     }
-    out
 }
 
 /// Extracts candidate clips from a layout layer per Section III-E.

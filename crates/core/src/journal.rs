@@ -115,8 +115,10 @@ pub struct TileRecord {
     pub outcome: TileOutcomeRecord,
 }
 
-/// FNV-1a 64-bit hash of `bytes` — the per-line checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash of `bytes` — the per-line checksum. Shared with the
+/// tile result cache ([`crate::tile_cache`]), which frames its entries the
+/// same way.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
@@ -126,13 +128,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Frames `payload` as one checksummed journal line.
-fn frame(payload: &str) -> String {
+pub(crate) fn frame(payload: &str) -> String {
     format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()))
 }
 
 /// Parses one framed line (without its trailing newline) back into its
 /// payload, verifying the checksum. `None` when malformed or corrupt.
-fn unframe(line: &str) -> Option<&str> {
+pub(crate) fn unframe(line: &str) -> Option<&str> {
     let (hex, payload) = line.split_at_checked(17)?;
     let (hex, sep) = hex.split_at_checked(16)?;
     if sep != " " {

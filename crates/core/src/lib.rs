@@ -61,6 +61,7 @@ pub mod pattern;
 pub mod patterning;
 pub mod removal;
 pub mod scan;
+pub mod tile_cache;
 pub mod training;
 
 pub use config::{AblationSwitches, AdmissionParams, DetectorConfig, DistributionFilter, EvalMode};
@@ -81,4 +82,5 @@ pub use obs::{
 pub use pattern::{Label, Pattern, TrainingSet};
 pub use patterning::{DecomposedPattern, DoublePatterningDetector};
 pub use scan::{FailurePolicy, QuarantinedTile, ScanConfig, ScanReport};
+pub use tile_cache::{CacheEntry, CacheHeader, CacheLoadStats, TileCache};
 pub use training::{ClusterKernel, PatternCluster};

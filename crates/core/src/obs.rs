@@ -89,10 +89,17 @@ pub enum Counter {
     JournalAppends,
     /// `fsync` barriers issued by the scan resume journal.
     JournalSyncs,
+    /// Tiles served from the content-addressed result cache.
+    CacheHits,
+    /// Tiles the cache could not serve (new, edited, or lost).
+    CacheMisses,
+    /// Cache entries invalidated: stale fingerprints, corrupt lines, or a
+    /// wholesale header-mismatch discard.
+    CacheInvalidated,
 }
 
 /// Number of [`Counter`] variants (global slot count).
-const GLOBAL_SLOTS: usize = 13;
+const GLOBAL_SLOTS: usize = 16;
 
 /// Per-stage counter families recorded alongside the global counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +227,9 @@ impl Counters {
             executor_tasks: g(Counter::ExecutorTasks),
             journal_appends: g(Counter::JournalAppends),
             journal_syncs: g(Counter::JournalSyncs),
+            cache_hits: g(Counter::CacheHits),
+            cache_misses: g(Counter::CacheMisses),
+            cache_invalidated: g(Counter::CacheInvalidated),
             stages: StageId::ALL
                 .iter()
                 .map(|&stage| StageCounterSnapshot {
@@ -265,6 +275,17 @@ pub struct CounterSnapshot {
     pub journal_appends: u64,
     /// `fsync` barriers issued by the scan resume journal.
     pub journal_syncs: u64,
+    /// Tiles served from the content-addressed result cache. Absent in
+    /// pre-cache snapshots, which deserialise with 0.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Tiles the cache could not serve. Absent in pre-cache snapshots.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Cache entries invalidated (stale, corrupt, or discarded). Absent
+    /// in pre-cache snapshots.
+    #[serde(default)]
+    pub cache_invalidated: u64,
     /// Per-stage counter families in canonical stage order.
     pub stages: Vec<StageCounterSnapshot>,
 }
@@ -352,6 +373,29 @@ pub enum ObsEvent {
     JournalSynced {
         /// Records appended since the journal was opened or resumed.
         appended: usize,
+    },
+    /// A tile was served from the content-addressed result cache.
+    CacheHit {
+        /// Stable row-major tile id.
+        tile: u64,
+    },
+    /// A tile could not be served from the cache and was recomputed.
+    CacheMiss {
+        /// Stable row-major tile id.
+        tile: u64,
+        /// `true` when a stored entry existed but its content fingerprint
+        /// no longer matched (the tile was edited).
+        invalidated: bool,
+    },
+    /// The cache store was (partly) invalidated at open time.
+    CacheInvalidated {
+        /// Entries that survived loading (0 on a wholesale discard).
+        entries: usize,
+        /// Corrupt entry lines rejected individually.
+        rejected: usize,
+        /// `true` when the whole store was discarded (header mismatch:
+        /// different model, grid, layer, or threshold).
+        discarded: bool,
     },
     /// A streaming layout scan finished.
     ScanCompleted {
@@ -631,7 +675,7 @@ pub fn read_events(path: impl AsRef<Path>) -> io::Result<Vec<ObsRecord>> {
 pub fn render_prometheus(snapshot: &CounterSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(4096);
-    let globals: [(&str, &str, u64); 13] = [
+    let globals: [(&str, &str, u64); 16] = [
         (
             "hotspot_tiles_started_total",
             "Tiles handed to a scan worker.",
@@ -696,6 +740,21 @@ pub fn render_prometheus(snapshot: &CounterSnapshot) -> String {
             "hotspot_journal_syncs_total",
             "fsync barriers issued by the scan resume journal.",
             snapshot.journal_syncs,
+        ),
+        (
+            "hotspot_cache_hits_total",
+            "Tiles served from the content-addressed result cache.",
+            snapshot.cache_hits,
+        ),
+        (
+            "hotspot_cache_misses_total",
+            "Tiles the result cache could not serve.",
+            snapshot.cache_misses,
+        ),
+        (
+            "hotspot_cache_invalidated_total",
+            "Cache entries invalidated (stale, corrupt, or discarded).",
+            snapshot.cache_invalidated,
         ),
     ];
     for (name, help, value) in globals {

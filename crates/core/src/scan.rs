@@ -93,15 +93,18 @@ use crate::engine::{
     Executor, ExecutorStats, FaultPlan, FaultSite, PipelineTelemetry, StageId, StageRecorder,
     TaskFailure,
 };
-use crate::extraction::{passes_filter, split_oversized, RectIndex};
+use crate::extraction::{passes_filter, split_oversized_into, RectIndex};
+use crate::feedback::EvalScratch;
 use crate::journal::{read_journal, JournalHeader, JournalWriter, TileOutcomeRecord, TileRecord};
 use crate::obs::{Counter, ObsEvent};
 use crate::pattern::Pattern;
 use crate::removal::remove_redundant_clips;
-use hotspot_geom::Rect;
+use crate::tile_cache::{self, CacheHeader, TileCache};
+use hotspot_geom::{Point, Rect};
 use hotspot_layout::scan::{Tile, TileScanner, TileSpec};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -169,6 +172,18 @@ pub struct ScanConfig {
     /// costs nothing.
     #[serde(default)]
     pub fault_plan: FaultPlan,
+    /// Content-addressed tile result cache ([`crate::tile_cache`]): tiles
+    /// whose content fingerprint matches a stored entry replay their cached
+    /// outcome instead of recomputing, and the store is rewritten with this
+    /// scan's results on completion. `None` disables caching.
+    #[serde(default)]
+    pub cache: Option<PathBuf>,
+    /// Paranoid cache mode: hits are *also* recomputed and the stored
+    /// outcome is asserted byte-equal to the fresh one — any disagreement
+    /// fails the scan with [`DetectError::Cache`]. Costs a full recompute;
+    /// for debugging and CI only.
+    #[serde(default)]
+    pub cache_verify: bool,
 }
 
 impl Default for ScanConfig {
@@ -181,6 +196,8 @@ impl Default for ScanConfig {
             journal: None,
             resume_from: None,
             fault_plan: FaultPlan::default(),
+            cache: None,
+            cache_verify: false,
         }
     }
 }
@@ -199,6 +216,9 @@ impl ScanConfig {
             if !d.is_finite() || d <= 0.0 {
                 return Err(format!("tile_density must be positive and finite, got {d}"));
             }
+        }
+        if self.cache_verify && self.cache.is_none() {
+            return Err("cache_verify requires a cache path".into());
         }
         self.fault_plan.validate()
     }
@@ -250,6 +270,16 @@ pub struct ScanReport {
     /// recomputed. Absent in pre-v4 reports, which deserialise with 0.
     #[serde(default)]
     pub resumed_tiles: usize,
+    /// Tiles replayed from the [`ScanConfig::cache`] by content
+    /// fingerprint. Provenance, not content — excluded from the digest.
+    /// Absent in pre-cache reports, which deserialise with 0.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Tiles the cache could not serve (new, edited, or lost to
+    /// corruption) — always 0 when caching is off. Provenance, not
+    /// content. Absent in pre-cache reports, which deserialise with 0.
+    #[serde(default)]
+    pub cache_misses: usize,
     /// Most tiles simultaneously in flight — never exceeds the configured
     /// window ([`ScanConfig::effective_in_flight`]).
     pub peak_in_flight: usize,
@@ -274,9 +304,10 @@ impl ScanReport {
     /// Canonical JSON digest of the report's *deterministic* content: the
     /// reported clips, every tile/clip/flag count, and the quarantine
     /// list. Wall-clock and scheduling artefacts (telemetry, scan time,
-    /// `peak_in_flight`) and the resume/retry provenance counters are
-    /// excluded — so a killed-and-resumed scan digests byte-identically to
-    /// an uninterrupted one, which `tests/fault_tolerance.rs` pins.
+    /// `peak_in_flight`) and the resume/retry/cache provenance counters
+    /// are excluded — so a killed-and-resumed scan and a warm cached
+    /// re-scan both digest byte-identically to an uninterrupted cold run,
+    /// which `tests/fault_tolerance.rs` and `tests/tile_cache.rs` pin.
     pub fn digest(&self) -> String {
         #[derive(Serialize)]
         struct Digest {
@@ -379,6 +410,27 @@ impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Per-worker scratch reused across tiles, like [`EvalScratch`] but for
+/// the whole of `process_tile`: the split-piece buffer, the anchor-dedup
+/// set, the extracted patterns, and the evaluation scratch itself. Buffers
+/// grow to their high-water marks once and are cleared — not freed — at
+/// the start of every tile, so outcomes never depend on what ran before.
+#[derive(Default)]
+struct TileScratch {
+    eval: EvalScratch,
+    pieces: Vec<Rect>,
+    seen: HashSet<Point>,
+    patterns: Vec<Pattern>,
+}
+
+thread_local! {
+    /// One [`TileScratch`] per worker thread. Thread-local rather than
+    /// task-local because the executor closure is shared by every worker;
+    /// a panicking tile releases the borrow on unwind, so the sequential
+    /// retry reuses the same (cleared) scratch safely.
+    static TILE_SCRATCH: RefCell<TileScratch> = RefCell::new(TileScratch::default());
 }
 
 impl HotspotDetector {
@@ -547,6 +599,42 @@ impl HotspotDetector {
             writer.set_obs(Arc::clone(hub));
         }
 
+        // Content-addressed tile result cache: open (never fails — a
+        // corrupt or mismatched store is discarded, not trusted) and look
+        // tiles up by content fingerprint as they stream past.
+        let mut cache: Option<TileCache> = None;
+        if let Some(cache_path) = &scan.cache {
+            let cache_header = CacheHeader::new(
+                self.model_fingerprint(),
+                scan.tile_cores,
+                layer,
+                threshold,
+                scan.tile_density,
+            );
+            let opened = TileCache::open(cache_path, cache_header);
+            if let Some(hub) = obs {
+                let stats = opened.load_stats();
+                if stats.discarded || stats.rejected > 0 {
+                    hub.counters().add(
+                        Counter::CacheInvalidated,
+                        if stats.discarded {
+                            1
+                        } else {
+                            stats.rejected as u64
+                        },
+                    );
+                    hub.emit(|| ObsEvent::CacheInvalidated {
+                        entries: if stats.discarded { 0 } else { stats.loaded },
+                        rejected: stats.rejected,
+                        discarded: stats.discarded,
+                    });
+                }
+            }
+            cache = Some(opened);
+        }
+        let mut cache_hits_total = 0usize;
+        let mut cache_misses_total = 0usize;
+
         let mut executor = Executor::new(threads);
         if let Some(hub) = obs {
             executor = executor.with_obs(Arc::clone(hub));
@@ -574,28 +662,81 @@ impl HotspotDetector {
             }
             tiles_scanned += batch.len();
 
-            // Partition the batch in order: journaled tiles replay, the
-            // rest run fresh. Slots keep batch positions, so the final
-            // aggregation order — and with it the report content — is the
-            // same as an uninterrupted run's.
+            // Partition the batch in order: journaled tiles replay, cached
+            // tiles replay by content fingerprint, the rest run fresh.
+            // Slots keep batch positions, so the final aggregation order —
+            // and with it the report content — is the same as an
+            // uninterrupted, uncached run's.
             let mut slots: Vec<Option<TileOutcome>> = Vec::with_capacity(batch.len());
             let mut fresh_tasks: Vec<(usize, usize)> = Vec::new(); // (batch pos, tile id)
+                                                                   // Content fingerprints, parallel to `batch` (0 when uncached).
+            let mut fingerprints: Vec<u64> = vec![0; batch.len()];
+            // Verified hits: tile id → the stored outcome a fresh
+            // recompute must reproduce under `cache_verify`.
+            let mut verify_expected: HashMap<usize, TileOutcomeRecord> = HashMap::new();
             let mut batch_resumed = 0usize;
+            let mut batch_hits = 0usize;
+            let mut batch_misses = 0usize;
+            let mut batch_stale = 0usize;
             for (pos, tile) in batch.iter().enumerate() {
                 let id = (tile.iy * grid_cols + tile.ix) as usize;
-                match replayed.get(&id) {
-                    Some(record) => {
-                        slots.push(Some(TileOutcome::from_record(record)));
-                        batch_resumed += 1;
+                if let Some(record) = replayed.get(&id) {
+                    // Journal replay wins over the cache: it is this very
+                    // scan's own prior progress. Feed it back into the
+                    // cache so resume and caching compose.
+                    slots.push(Some(TileOutcome::from_record(record)));
+                    batch_resumed += 1;
+                    if let Some(c) = cache.as_mut() {
+                        let fp = tile.content_fingerprint();
+                        fingerprints[pos] = fp;
+                        c.record(
+                            id,
+                            fp,
+                            tile_cache::translate_record(record, -tile.window.min()),
+                        );
                     }
-                    None => {
-                        slots.push(None);
-                        fresh_tasks.push((pos, id));
+                    continue;
+                }
+                if let Some(c) = cache.as_mut() {
+                    let fp = tile.content_fingerprint();
+                    fingerprints[pos] = fp;
+                    if let Some(local) = c.lookup(id, fp).cloned() {
+                        batch_hits += 1;
+                        if let Some(hub) = obs {
+                            hub.emit(|| ObsEvent::CacheHit { tile: id as u64 });
+                        }
+                        if scan.cache_verify {
+                            // Paranoid mode: recompute the hit and compare.
+                            verify_expected.insert(
+                                id,
+                                tile_cache::translate_record(&local, tile.window.min()),
+                            );
+                        } else {
+                            let global = tile_cache::translate_record(&local, tile.window.min());
+                            slots.push(Some(TileOutcome::from_record(&global)));
+                            c.record(id, fp, local);
+                            continue;
+                        }
+                    } else {
+                        batch_misses += 1;
+                        let stale = c.is_stale(id, fp);
+                        batch_stale += stale as usize;
+                        if let Some(hub) = obs {
+                            hub.emit(|| ObsEvent::CacheMiss {
+                                tile: id as u64,
+                                invalidated: stale,
+                            });
+                        }
                     }
                 }
+                slots.push(None);
+                fresh_tasks.push((pos, id));
             }
             resumed_total += batch_resumed;
             recorder.add_resumed_tiles(batch_resumed);
+            cache_hits_total += batch_hits;
+            cache_misses_total += batch_misses;
+            recorder.add_cache_stats(batch_hits, batch_misses, fresh_tasks.len());
 
             let (results, stats) = if fresh_tasks.is_empty() {
                 (
@@ -683,6 +824,41 @@ impl HotspotDetector {
             }
             retries_total += batch_retries;
 
+            // Paranoid cache verification: every hit was recomputed above;
+            // the fresh outcome must reproduce the stored record exactly.
+            if !verify_expected.is_empty() {
+                for &(pos, id) in &fresh_tasks {
+                    let (Some(outcome), Some(expected)) = (&slots[pos], verify_expected.get(&id))
+                    else {
+                        continue;
+                    };
+                    if &outcome.to_record() != expected {
+                        return Err(DetectError::Cache(format!(
+                            "cache_verify: tile {id} recompute disagrees with stored entry"
+                        )));
+                    }
+                }
+            }
+
+            // Record this batch's fresh completions into the cache, keyed
+            // by content fingerprint in tile-local coordinates. Quarantined
+            // tiles left their slot empty and are never cached as
+            // successes.
+            if let Some(c) = cache.as_mut() {
+                for &(pos, id) in &fresh_tasks {
+                    if let Some(outcome) = &slots[pos] {
+                        c.record(
+                            id,
+                            fingerprints[pos],
+                            tile_cache::translate_record(
+                                &outcome.to_record(),
+                                -batch[pos].window.min(),
+                            ),
+                        );
+                    }
+                }
+            }
+
             // Append this batch's fresh completions to the journal, then
             // make them durable in one fsync.
             if let Some(writer) = journal_writer.as_mut() {
@@ -756,10 +932,15 @@ impl HotspotDetector {
             feedback_reclaimed += batch_reclaimed;
             if let Some(hub) = obs {
                 let counters = hub.counters();
-                // Replayed tiles count as started+done so live progress
-                // reaches 100% on a resumed scan.
-                counters.add(Counter::TilesStarted, batch_resumed as u64);
-                counters.add(Counter::TilesDone, batch_resumed as u64);
+                // Replayed and cache-served tiles count as started+done so
+                // live progress reaches 100% without recompute (verify-mode
+                // hits ran fresh and were counted by their workers).
+                let served = if scan.cache_verify { 0 } else { batch_hits };
+                counters.add(Counter::TilesStarted, (batch_resumed + served) as u64);
+                counters.add(Counter::TilesDone, (batch_resumed + served) as u64);
+                counters.add(Counter::CacheHits, batch_hits as u64);
+                counters.add(Counter::CacheMisses, batch_misses as u64);
+                counters.add(Counter::CacheInvalidated, batch_stale as u64);
                 counters.add(Counter::TilesPrefiltered, prefiltered as u64);
                 counters.add(Counter::ClipsExtracted, batch_clips as u64);
                 counters.add(Counter::ClipsFlagged, batch_flagged as u64);
@@ -796,6 +977,15 @@ impl HotspotDetector {
             None,
         );
 
+        // Rewrite the cache with this scan's results: only tiles recorded
+        // this run survive, so entries for deleted tiles don't accumulate.
+        if let Some(c) = &cache {
+            let path = scan.cache.as_deref().expect("cache implies a path");
+            c.store().map_err(|e| {
+                DetectError::Cache(format!("{}: write-back failed: {e}", path.display()))
+            })?;
+        }
+
         if let Some(hub) = obs {
             hub.emit(|| ObsEvent::ScanCompleted {
                 tiles_scanned,
@@ -816,6 +1006,8 @@ impl HotspotDetector {
             failed_tiles,
             retries: retries_total,
             resumed_tiles: resumed_total,
+            cache_hits: cache_hits_total,
+            cache_misses: cache_misses_total,
             peak_in_flight: peak.load(Ordering::SeqCst),
             telemetry: recorder.finish(),
             scan_time: started.elapsed(),
@@ -838,6 +1030,34 @@ impl HotspotDetector {
         threshold: f64,
         tile_id: usize,
         attempt: u32,
+    ) -> TileOutcome {
+        TILE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            self.process_tile_with(
+                tile,
+                index,
+                config,
+                scan,
+                threshold,
+                tile_id,
+                attempt,
+                &mut scratch,
+            )
+        })
+    }
+
+    /// [`process_tile`](Self::process_tile) on explicit scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn process_tile_with(
+        &self,
+        tile: &Tile,
+        index: &RectIndex,
+        config: &DetectorConfig,
+        scan: &ScanConfig,
+        threshold: f64,
+        tile_id: usize,
+        attempt: u32,
+        scratch: &mut TileScratch,
     ) -> TileOutcome {
         let shape = config.clip_shape;
         let fault = &scan.fault_plan;
@@ -885,10 +1105,16 @@ impl HotspotDetector {
             fault.inject(FaultSite::Extraction, tile_id, attempt);
         }
         let t1 = Instant::now();
-        let pieces = split_oversized(&tile.rects, shape.core_side());
-        let mut seen = HashSet::new();
-        let mut patterns = Vec::new();
-        for piece in pieces {
+        let TileScratch {
+            eval,
+            pieces,
+            seen,
+            patterns,
+        } = scratch;
+        split_oversized_into(&tile.rects, shape.core_side(), pieces);
+        seen.clear();
+        patterns.clear();
+        for piece in pieces.iter() {
             let anchor = piece.min();
             if !tile.region.contains_point(anchor) || !seen.insert(anchor) {
                 continue;
@@ -903,15 +1129,16 @@ impl HotspotDetector {
         outcome.extract_time = t1.elapsed();
 
         // Multiple-kernel (and feedback) evaluation: the tile's clips form
-        // one batch sharing an `EvalScratch`'s buffers.
+        // one batch sharing the worker's `EvalScratch` buffers; only its
+        // telemetry counters are reset per tile.
         if !fault.is_empty() {
             fault.inject(FaultSite::Evaluation, tile_id, attempt);
         }
         let t2 = Instant::now();
         let engine = self.eval_engine_with_threshold(threshold);
-        let mut scratch = crate::feedback::EvalScratch::new();
-        for pattern in &patterns {
-            let (flagged, reclaimed) = Self::flag_with_engine(&engine, pattern, &mut scratch);
+        eval.reset_counters();
+        for pattern in patterns.iter() {
+            let (flagged, reclaimed) = Self::flag_with_engine(&engine, pattern, eval);
             if flagged {
                 outcome.flagged += 1;
                 if reclaimed {
@@ -921,10 +1148,27 @@ impl HotspotDetector {
                 }
             }
         }
-        outcome.admissions = scratch.admissions();
-        outcome.admission_skips = scratch.admission_skips();
+        outcome.admissions = eval.admissions();
+        outcome.admission_skips = eval.admission_skips();
         outcome.eval_time = t2.elapsed();
         outcome
+    }
+
+    /// FNV-1a fingerprint of this trained model's evaluation identity —
+    /// the kernels, the feedback kernel, and the full config minus the
+    /// thread count (scans are thread-count-invariant). Any retrain or
+    /// config change yields a new fingerprint and invalidates every tile
+    /// cache built under the old one.
+    fn model_fingerprint(&self) -> u64 {
+        let kernels = serde_json::to_string(&self.kernels().to_vec()).expect("kernels serialise");
+        let feedback = match self.feedback() {
+            Some(f) => serde_json::to_string(f).expect("feedback kernel serialises"),
+            None => "null".to_string(),
+        };
+        let mut config = self.config().clone();
+        config.threads = 0;
+        let config = serde_json::to_string(&config).expect("config serialises");
+        tile_cache::model_fingerprint(&kernels, &feedback, &config)
     }
 }
 
@@ -955,6 +1199,17 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_plan.validate().unwrap_err().contains("per_mille"));
+        let bad_verify = ScanConfig {
+            cache_verify: true,
+            ..Default::default()
+        };
+        assert!(bad_verify.validate().unwrap_err().contains("cache_verify"));
+        let ok_verify = ScanConfig {
+            cache: Some(PathBuf::from("/tmp/cache")),
+            cache_verify: true,
+            ..Default::default()
+        };
+        assert!(ok_verify.validate().is_ok());
     }
 
     #[test]
@@ -994,6 +1249,8 @@ mod tests {
             failed_tiles: Vec::new(),
             retries: 0,
             resumed_tiles: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             peak_in_flight: 0,
             telemetry: PipelineTelemetry::default(),
             scan_time: Duration::ZERO,
@@ -1017,6 +1274,8 @@ mod tests {
         let provenance = ScanReport {
             retries: 3,
             resumed_tiles: 7,
+            cache_hits: 11,
+            cache_misses: 2,
             peak_in_flight: 5,
             scan_time: Duration::from_secs(1),
             ..base.clone()

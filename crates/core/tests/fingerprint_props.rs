@@ -1,0 +1,129 @@
+//! Property-based tests of the tile content fingerprint backing the
+//! incremental re-scan cache: invariance under rect insertion order and
+//! global translation, and sensitivity to single-rect edits anywhere in
+//! a tile's core + ambit window.
+
+use hotspot_geom::{Point, Rect};
+use hotspot_layout::scan::{TileScanner, TileSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The fixed world the sensitivity test anchors: two corner rects pin the
+/// layout bounding box so a perturbation in the interior never moves the
+/// tile grid origin.
+const WORLD: i64 = 30_000;
+
+fn anchored(mut rects: Vec<Rect>) -> Vec<Rect> {
+    rects.push(Rect::from_extents(0, 0, 10, 10));
+    rects.push(Rect::from_extents(WORLD - 10, WORLD - 10, WORLD, WORLD));
+    rects
+}
+
+fn arb_interior_rects() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(
+        (
+            1_000i64..25_000,
+            1_000i64..25_000,
+            100i64..2_000,
+            100i64..2_000,
+        ),
+        1..20,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, w, h)| Rect::from_origin_size(Point::new(x, y), w, h))
+            .collect()
+    })
+}
+
+fn spec() -> TileSpec {
+    TileSpec::new(3_600, 600).expect("valid tile spec")
+}
+
+/// Fingerprints of every non-empty tile, keyed by stable grid coordinate.
+fn fingerprints(rects: Vec<Rect>) -> BTreeMap<(i64, i64), u64> {
+    TileScanner::from_rects(rects, spec())
+        .map(|t| ((t.ix, t.iy), t.content_fingerprint()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fingerprint_ignores_rect_insertion_order(rects in arb_interior_rects()) {
+        let forward = fingerprints(rects.clone());
+        let mut reversed = rects.clone();
+        reversed.reverse();
+        prop_assert_eq!(&forward, &fingerprints(reversed));
+        let mut sorted = rects;
+        sorted.sort_by_key(|r| (r.max().y, r.max().x));
+        prop_assert_eq!(&forward, &fingerprints(sorted));
+    }
+
+    #[test]
+    fn fingerprint_ignores_global_translation(
+        rects in arb_interior_rects(),
+        dx in -1_000_000i64..1_000_000,
+        dy in -1_000_000i64..1_000_000,
+    ) {
+        // The tile grid origin is the layout bbox corner, which translates
+        // with the content: every tile keeps its (ix, iy) and fingerprint.
+        let base = fingerprints(rects.clone());
+        let moved: Vec<Rect> = rects
+            .iter()
+            .map(|r| r.translate(Point::new(dx, dy)))
+            .collect();
+        prop_assert_eq!(base, fingerprints(moved));
+    }
+
+    #[test]
+    fn fingerprint_sees_single_rect_perturbation_in_halo(
+        rects in arb_interior_rects(),
+        pick in 0usize..4096,
+        grow in 10i64..90,
+    ) {
+        // Editing one rect must change the fingerprint of exactly the
+        // tiles whose core+ambit window sees it (before or after the
+        // edit) and no others. Corner anchors pin the bbox so the grid
+        // does not move.
+        let idx = pick % rects.len();
+        let old_rect = rects[idx];
+        let mut edited = rects.clone();
+        edited[idx] = Rect::from_extents(
+            old_rect.min().x,
+            old_rect.min().y,
+            old_rect.max().x + grow,
+            old_rect.max().y,
+        );
+        let new_rect = edited[idx];
+
+        let before = fingerprints(anchored(rects.clone()));
+        let after = fingerprints(anchored(edited.clone()));
+        // Same anchored bbox on both sides: one grid serves both scans.
+        let scanner = TileScanner::from_rects(anchored(rects), spec());
+        let grid = scanner.grid();
+        let mut keys: std::collections::BTreeSet<(i64, i64)> = before.keys().copied().collect();
+        keys.extend(after.keys().copied());
+        for key in keys {
+            let window = grid.window(key.0, key.1);
+            let touched = window.overlaps(&old_rect) || window.overlaps(&new_rect);
+            match (before.get(&key), after.get(&key)) {
+                (Some(fp_before), Some(fp_after)) if touched => prop_assert_ne!(
+                    fp_before, fp_after,
+                    "tile {:?} sees the edited rect but kept its fingerprint", key
+                ),
+                (Some(fp_before), Some(fp_after)) => prop_assert_eq!(
+                    fp_before, fp_after,
+                    "tile {:?} does not see the edit but changed fingerprint", key
+                ),
+                // A tile present on only one side gained or lost its only
+                // geometry — legal only when the edit touches its window.
+                _ => prop_assert!(
+                    touched,
+                    "tile {:?} appeared/vanished without the edit touching it", key
+                ),
+            }
+        }
+    }
+}

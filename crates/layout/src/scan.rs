@@ -42,6 +42,22 @@ use crate::{LayerId, Layout};
 use hotspot_geom::{Coord, GridIndex, Point, Rect};
 use std::fmt;
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a 64 over a byte slice — the same hash the scan journal frames
+/// records with, reimplemented here so the layout crate stays standalone.
+fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Error constructing a [`TileSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TileSpecError {
@@ -181,6 +197,41 @@ pub struct Tile {
     /// Layout rectangles overlapping the window, in deterministic index
     /// order (full rectangles, not clipped to the window).
     pub rects: Vec<Rect>,
+}
+
+impl Tile {
+    /// A stable content fingerprint of the geometry visible to this tile:
+    /// FNV-1a 64 over the canonicalised (sorted, tile-local) extents of
+    /// every rectangle overlapping the window.
+    ///
+    /// Coordinates are taken relative to the window's bottom-left corner,
+    /// so the fingerprint is invariant under translation of the whole
+    /// layout (the grid origin is the layout bounding-box corner, which
+    /// translates with the content) and under the insertion order of the
+    /// rectangles. Any change to the extents or membership of a rect
+    /// overlapping the window changes the fingerprint; rects are hashed
+    /// unclipped, so edits to a rect's far end outside the window
+    /// conservatively invalidate the tile too.
+    pub fn content_fingerprint(&self) -> u64 {
+        let base = self.window.min();
+        let mut locals: Vec<[Coord; 4]> = self
+            .rects
+            .iter()
+            .map(|r| {
+                let lo = r.min();
+                let hi = r.max();
+                [lo.x - base.x, lo.y - base.y, hi.x - base.x, hi.y - base.y]
+            })
+            .collect();
+        locals.sort_unstable();
+        let mut h = fnv1a64(FNV_OFFSET, &(locals.len() as u64).to_le_bytes());
+        for l in &locals {
+            for c in l {
+                h = fnv1a64(h, &c.to_le_bytes());
+            }
+        }
+        h
+    }
 }
 
 /// A streaming iterator over the non-empty tiles of a layout layer.
@@ -340,6 +391,41 @@ mod tests {
             assert_eq!(owners.len(), 1, "anchor {:?} owned by one tile", r.min());
             assert!(owners[0].rects.contains(&r));
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_order_and_translation_but_not_content() {
+        let rects = [
+            Rect::from_extents(100, 100, 500, 300),
+            Rect::from_extents(700, 100, 900, 400),
+            Rect::from_extents(1_500, 900, 1_900, 1_200),
+        ];
+        let tiles = |rs: &[Rect]| -> Vec<Tile> {
+            let mut layout = Layout::new("t");
+            for r in rs {
+                layout.add_rect(LayerId::METAL1, *r);
+            }
+            TileScanner::new(&layout, LayerId::METAL1, spec()).collect()
+        };
+        let base = tiles(&rects);
+        assert_eq!(base.len(), 1);
+        let fp = base[0].content_fingerprint();
+
+        // Insertion order is canonicalised away.
+        let reordered = tiles(&[rects[2], rects[0], rects[1]]);
+        assert_eq!(reordered[0].content_fingerprint(), fp);
+
+        // A global translation moves the grid origin with the content.
+        let shifted: Vec<Rect> = rects
+            .iter()
+            .map(|r| r.translate(Point::new(13_337, -4_200)))
+            .collect();
+        assert_eq!(tiles(&shifted)[0].content_fingerprint(), fp);
+
+        // Perturbing one rect inside the window changes the fingerprint.
+        let mut edited = rects;
+        edited[1] = Rect::from_extents(700, 100, 901, 400);
+        assert_ne!(tiles(&edited)[0].content_fingerprint(), fp);
     }
 
     #[test]

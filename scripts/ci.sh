@@ -152,4 +152,81 @@ print("digest: observed scan identical to sink-less scan")
 EOF
 echo "observability smoke OK"
 
+echo "==> tile-cache smoke (cold → warm → corrupt: identical reports, per-entry rejection)"
+CACHE_DIR=target/cache_smoke
+rm -rf "$CACHE_DIR"
+mkdir -p "$CACHE_DIR"
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  generate --name array_benchmark1 --scale tiny --out "$CACHE_DIR"
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  train --training "$CACHE_DIR/training.json" --out "$CACHE_DIR/model.json" --threads 2
+# --tile-cores 2 splits even the tiny layout into several tiles so the
+# per-entry corruption check below has entries to damage.
+for pass in cold warm; do
+  cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+    scan --model "$CACHE_DIR/model.json" --layout "$CACHE_DIR/layout.gds" \
+    --out "$CACHE_DIR/report_$pass.json" --threads 2 --tile-cores 2 \
+    --cache "$CACHE_DIR/tiles.cache" --telemetry "$CACHE_DIR/telemetry_$pass.json" \
+    > "$CACHE_DIR/out_$pass.txt"
+done
+# The warm report is byte-identical to the cold one.
+cmp "$CACHE_DIR/report_cold.json" "$CACHE_DIR/report_warm.json"
+python3 - "$CACHE_DIR/telemetry_cold.json" "$CACHE_DIR/telemetry_warm.json" <<'EOF'
+import json, sys
+cold, warm = (json.load(open(p)) for p in sys.argv[1:3])
+assert cold["cache_hits"] == 0, f"cold scan hit a fresh cache: {cold['cache_hits']}"
+assert cold["cache_misses"] > 0, "cold scan recorded no misses"
+assert warm["cache_misses"] == 0, f"warm scan missed: {warm['cache_misses']}"
+assert warm["cache_hits"] == cold["cache_misses"], "warm hits != cold misses"
+print(f"cache: {cold['cache_misses']} cold miss(es) -> {warm['cache_hits']} warm hit(s)")
+EOF
+# Flip one bit inside an entry line: the checksum rejects exactly that
+# entry, the scan recomputes it, and the report stays byte-identical.
+python3 - "$CACHE_DIR/tiles.cache" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+starts = [0] + [i + 1 for i, b in enumerate(data) if b == 0x0A]
+assert len(starts) > 3, "expected header + several cache entries"
+i = starts[2] + 24
+while data[i] == 0x0A or data[i] ^ 1 == 0x0A:
+    i += 1
+data[i] ^= 1
+open(path, "wb").write(data)
+print(f"flipped bit at byte {i}")
+EOF
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  scan --model "$CACHE_DIR/model.json" --layout "$CACHE_DIR/layout.gds" \
+  --out "$CACHE_DIR/report_damaged.json" --threads 2 --tile-cores 2 \
+  --cache "$CACHE_DIR/tiles.cache" --telemetry "$CACHE_DIR/telemetry_damaged.json" \
+  > "$CACHE_DIR/out_damaged.txt"
+cmp "$CACHE_DIR/report_cold.json" "$CACHE_DIR/report_damaged.json"
+python3 - "$CACHE_DIR/telemetry_damaged.json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+assert t["cache_misses"] == 1, f"expected exactly 1 recompute, got {t['cache_misses']}"
+assert t["cache_hits"] > 0, "undamaged entries must still serve"
+print(f"corruption: {t['cache_misses']} entry rejected, {t['cache_hits']} still served")
+EOF
+# Audit mode re-validates every hit against a recompute.
+cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
+  scan --model "$CACHE_DIR/model.json" --layout "$CACHE_DIR/layout.gds" \
+  --out "$CACHE_DIR/report_verify.json" --threads 2 --tile-cores 2 \
+  --cache "$CACHE_DIR/tiles.cache" --cache-verify > "$CACHE_DIR/out_verify.txt"
+cmp "$CACHE_DIR/report_cold.json" "$CACHE_DIR/report_verify.json"
+echo "tile-cache smoke OK"
+
+echo "==> scan bench smoke (small suite: warm-rescan schema + speedup gate)"
+# Cold → warm → edited through the tile cache; the binary asserts the
+# warm digest equals the cold one, the CI env adds the cache-free
+# reference for the edited pass, and exits non-zero if the warm speedup
+# dips below the gate.
+HOTSPOT_SCALE=small HOTSPOT_SCAN_MIN_WARM_SPEEDUP=1.0 \
+  HOTSPOT_SCAN_CHECK_EDITED=1 \
+  HOTSPOT_BENCH_OUT=target/BENCH_scan_ci.json \
+  cargo run --release --quiet -p hotspot-bench --bin scan
+grep -q '"schema_version": 2' target/BENCH_scan_ci.json
+grep -q '"warm_speedup"' target/BENCH_scan_ci.json
+grep -q '"edited_cache_misses"' target/BENCH_scan_ci.json
+
 echo "CI OK"

@@ -24,7 +24,8 @@
 use hotspot_bench::{print_header, scale_from_env, ScanBenchReport};
 use hotspot_benchgen::{iccad_suite, Benchmark};
 use hotspot_core::{
-    DetectorConfig, HotspotDetector, MetricsServer, ObsHub, ProgressSink, Sampler, ScanConfig,
+    CancelToken, DetectorConfig, HotspotDetector, MetricsServer, ObsHub, ProgressSink, Sampler,
+    ScanConfig,
 };
 use hotspot_geom::Rect;
 use std::sync::Arc;
@@ -127,15 +128,27 @@ fn main() {
     let mut bench = ScanBenchReport::from_scan(&report, &name, scale, threads, &scan);
 
     // Warm re-scan: unchanged layout, every non-empty tile must be a
-    // cache hit and the report digest must match the cold pass.
+    // cache hit and the report digest must match the cold pass. The warm
+    // pass also arms the full deadline/watchdog apparatus with generous
+    // budgets that never trip, so the digest assertion below doubles as a
+    // release-build proof that the cancellation layer is purely
+    // observational (and measures its per-tile polling overhead, which
+    // lands in the warm-speedup gate).
+    let warm_scan = ScanConfig {
+        deadline: Some(Duration::from_secs(3600)),
+        tile_timeout: Some(Duration::from_secs(600)),
+        cancel: Some(CancelToken::new()),
+        ..scan.clone()
+    };
     let warm = detector
-        .scan_layout(&benchmark.layout, benchmark.layer, &scan)
+        .scan_layout(&benchmark.layout, benchmark.layer, &warm_scan)
         .expect("warm streaming scan");
     assert_eq!(
         warm.digest(),
         report.digest(),
         "warm re-scan digest must be byte-identical to the cold scan"
     );
+    assert_eq!(warm.aborted, None, "generous budgets must never abort");
     assert_eq!(warm.cache_misses, 0, "warm re-scan must be all cache hits");
     bench.record_warm(&warm);
     println!(

@@ -16,12 +16,16 @@
 //! Every command is a pure function from arguments to an output string, so
 //! the whole surface is unit-testable without spawning processes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the `sigint` module alone can opt back
+// in for the two-line `signal(2)` shim; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod sigint;
 
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
 use hotspot_core::{
-    DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector,
+    CancelToken, DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector,
     MetricsServer, NdjsonSink, ObsEvent, ObsHub, ProgressSink, Sampler, ScanConfig, TrainingSet,
 };
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
@@ -113,8 +117,11 @@ USAGE:
                    [--telemetry <telemetry.json>]
                    [--cache <cache.bin>] [--cache-verify]
                    [--journal <journal.log>] [--resume] [--max-failed-tiles N]
+                   [--deadline DUR] [--tile-timeout DUR]
                    [--fault-seed N] [--fault-panic-per-mille N]
                    [--fault-transient-per-mille N]
+                   [--fault-stall-tasks I,J,..] [--fault-stall-per-mille N]
+                   [--fault-stall-ms N]
                    [--progress] [--metrics-addr <host:port>]
                    [--events <events.ndjson>] [--obs-interval-ms N]
                    [--metrics-linger-ms N]
@@ -145,7 +152,17 @@ are dropped individually. --cache-verify also recomputes every hit and
 fails if any stored entry disagrees (debugging/CI).
 --max-failed-tiles quarantines panicking tiles instead of aborting, up to
 the given bound. The --fault-* flags drive the deterministic
-fault-injection harness (testing only).
+fault-injection harness (testing only); the --fault-stall-* flags stall
+chosen tiles so timeout handling can be rehearsed.
+--deadline caps the whole scan's wall-clock budget and --tile-timeout
+caps each tile's. Durations take a unit suffix (30s, 500ms, 2m); a bare
+number means seconds. A scan that outlives its deadline — or is
+interrupted with Ctrl-C — stops admitting tiles, drains its in-flight
+window, syncs the journal, writes the partial report, and exits with
+code 8; re-running with --journal <path> --resume finishes it with a
+report identical to an uninterrupted run. A tile that outlives
+--tile-timeout is quarantined like a panicking one (needs
+--max-failed-tiles).
 `scan` observability (pure observation — the report is bit-identical with
 or without it): --progress renders a live tiles/clips/ETA line to stderr,
 --metrics-addr serves Prometheus text format on http://<host:port>/metrics
@@ -156,10 +173,17 @@ structured pipeline event to a schema-versioned NDJSON log.
 `events` validates such a log line by line and summarises it.
 
 Exit codes: 0 ok, 2 usage, 3 i/o, 4 json, 5 gdsii, 6 pipeline,
-7 completed with quarantined tiles.";
+7 completed with quarantined tiles, 8 aborted by deadline or Ctrl-C
+(partial results journaled; resume with --journal <path> --resume).";
 
 /// Exit code for a scan that completed but quarantined one or more tiles.
 pub const EXIT_QUARANTINED: i32 = 7;
+
+/// Exit code for a scan stopped early by its `--deadline` or by SIGINT:
+/// the report written is partial but valid, the journal holds every
+/// finished tile, and `--resume` completes the scan bit-identically.
+/// Takes precedence over [`EXIT_QUARANTINED`] when both apply.
+pub const EXIT_ABORTED: i32 = 8;
 
 /// Runs a CLI invocation (without the program name) and returns its stdout.
 ///
@@ -322,6 +346,49 @@ fn cmd_train(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
+/// Parses an optional duration flag: `30s`, `500ms`, `2m`, or a bare
+/// integer meaning seconds. Bad values are usage errors (exit code 2).
+fn parse_opt_duration(opts: &Opts, key: &str) -> Result<Option<Duration>, CliError> {
+    let Some(raw) = opts.get(key) else {
+        return Ok(None);
+    };
+    let (digits, unit_ms) = if let Some(n) = raw.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = raw.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = raw.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        (raw, 1_000)
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(unit_ms))
+        .map(|ms| Some(Duration::from_millis(ms)))
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "invalid duration `{raw}` for --{key} (try 30s, 500ms, or 2m)"
+            ))
+        })
+}
+
+/// Parses an optional comma-separated list of task indices
+/// (e.g. `--fault-stall-tasks 3,17`).
+fn parse_opt_indices(opts: &Opts, key: &str) -> Result<Vec<usize>, CliError> {
+    let Some(raw) = opts.get(key) else {
+        return Ok(Vec::new());
+    };
+    raw.split(',')
+        .map(|part| part.trim().parse::<usize>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| {
+            CliError::Usage(format!(
+                "invalid value `{raw}` for --{key} (expected comma-separated indices)"
+            ))
+        })
+}
+
 /// Parses the optional `--eval-mode` flag; absent means "keep the model's
 /// persisted mode". Bad values are usage errors (exit code 2).
 fn parse_eval_mode(opts: &Opts) -> Result<Option<EvalMode>, CliError> {
@@ -413,8 +480,18 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
         seed: opts.parse("fault-seed", 0u64)?,
         panic_per_mille: opts.parse("fault-panic-per-mille", 0u16)?,
         transient_per_mille: opts.parse("fault-transient-per-mille", 0u16)?,
+        stall_tasks: parse_opt_indices(opts, "fault-stall-tasks")?,
+        stall_per_mille: opts.parse("fault-stall-per-mille", 0u16)?,
+        stall_ms: opts.parse("fault-stall-ms", 0u64)?,
         ..Default::default()
     };
+    // Graceful Ctrl-C: the handler trips this token, the scan drains and
+    // reports `aborted`, and we exit with EXIT_ABORTED below. In unit
+    // tests the global handler stays uninstalled so concurrently running
+    // scans cannot be cancelled by a sibling test's interrupt; the real
+    // binary path is exercised end-to-end by the CI SIGINT smoke.
+    let cancel = CancelToken::new();
+    let _sigint = (!cfg!(test)).then(|| sigint::install(cancel.clone()));
     let defaults = ScanConfig::default();
     let scan =
         ScanConfig {
@@ -432,6 +509,9 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
             fault_plan,
             cache,
             cache_verify: opts.has("cache-verify"),
+            deadline: parse_opt_duration(opts, "deadline")?,
+            tile_timeout: parse_opt_duration(opts, "tile-timeout")?,
+            cancel: Some(cancel),
         };
 
     // Live observability: build the hub and its sinks before the scan and
@@ -481,7 +561,11 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
         let merged = detector.summary().telemetry.merge(&report.telemetry);
         write_json(path, &merged)?;
     }
-    let status = if report.failed_tiles.is_empty() {
+    // An abort outranks quarantined tiles: the scan is incomplete, and
+    // that is the fact a calling script must react to first.
+    let status = if report.aborted.is_some() {
+        EXIT_ABORTED
+    } else if report.failed_tiles.is_empty() {
         0
     } else {
         EXIT_QUARANTINED
@@ -525,6 +609,13 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
         for failed in &report.failed_tiles {
             text.push_str(&format!("\n  tile {}: {}", failed.tile, failed.reason));
         }
+    }
+    if let Some(reason) = report.aborted {
+        text.push_str(&format!(
+            "\nscan aborted ({reason}) after {} of {} tiles; the report is partial — \
+             re-run with --journal <path> --resume to finish it",
+            report.tiles_scanned, report.tiles_total,
+        ));
     }
     if let Some(addr) = metrics_local {
         text.push_str(&format!("\nmetrics were served at http://{addr}/metrics"));
@@ -603,6 +694,8 @@ fn cmd_events(opts: &Opts) -> Result<String, CliError> {
     let mut quarantined = 0usize;
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
+    let mut aborted = 0usize;
+    let mut timed_out = 0usize;
     for record in &records {
         match record.event {
             ObsEvent::ScanStarted { .. } => scans += 1,
@@ -611,17 +704,23 @@ fn cmd_events(opts: &Opts) -> Result<String, CliError> {
             ObsEvent::TileQuarantined { .. } => quarantined += 1,
             ObsEvent::CacheHit { .. } => cache_hits += 1,
             ObsEvent::CacheMiss { .. } => cache_misses += 1,
+            ObsEvent::ScanAborted { .. } => aborted += 1,
+            ObsEvent::TileTimedOut { .. } => timed_out += 1,
             _ => {}
         }
     }
+    // An empty (or header-only) log is a valid summary, not an error: a
+    // scan aborted right after opening its sink leaves exactly that.
     Ok(format!(
-        "{} event(s), schema v{}: {} scan(s), {} batch(es), {} snapshot(s), {} quarantined tile(s), {} cache hit(s), {} cache miss(es)",
+        "{} event(s), schema v{}: {} scan(s), {} batch(es), {} snapshot(s), {} quarantined tile(s), {} timed-out tile(s), {} aborted scan(s), {} cache hit(s), {} cache miss(es)",
         records.len(),
         hotspot_core::OBS_SCHEMA_VERSION,
         scans,
         batches,
         snapshots,
         quarantined,
+        timed_out,
+        aborted,
         cache_hits,
         cache_misses,
     ))
@@ -1246,6 +1345,218 @@ mod tests {
         assert!(out.contains("rendered"), "{out}");
         let content = std::fs::read_to_string(&svg).unwrap();
         assert!(content.contains("data-overlay=\"actual\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duration_and_stall_index_flag_parsing() {
+        let opts = parse_flags(&argv(&[
+            "--deadline",
+            "30s",
+            "--tile-timeout",
+            "500ms",
+            "--fault-stall-tasks",
+            "3, 17",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parse_opt_duration(&opts, "deadline").unwrap(),
+            Some(Duration::from_secs(30))
+        );
+        assert_eq!(
+            parse_opt_duration(&opts, "tile-timeout").unwrap(),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            parse_opt_indices(&opts, "fault-stall-tasks").unwrap(),
+            [3, 17]
+        );
+        // Absent flags parse to their empty defaults.
+        assert_eq!(parse_opt_duration(&opts, "absent").unwrap(), None);
+        assert!(parse_opt_indices(&opts, "absent").unwrap().is_empty());
+
+        // `2m` is minutes, a bare integer is seconds, `0` is legal.
+        let opts = parse_flags(&argv(&["--deadline", "2m", "--tile-timeout", "45"])).unwrap();
+        assert_eq!(
+            parse_opt_duration(&opts, "deadline").unwrap(),
+            Some(Duration::from_secs(120))
+        );
+        assert_eq!(
+            parse_opt_duration(&opts, "tile-timeout").unwrap(),
+            Some(Duration::from_secs(45))
+        );
+        let opts = parse_flags(&argv(&["--deadline", "0"])).unwrap();
+        assert_eq!(
+            parse_opt_duration(&opts, "deadline").unwrap(),
+            Some(Duration::ZERO)
+        );
+
+        // Garbage is a usage error naming the flag.
+        for bad in ["1.5s", "10x", "ms", "s", "-3s", ""] {
+            let opts = parse_flags(&argv(&["--deadline", bad])).unwrap();
+            let err = parse_opt_duration(&opts, "deadline").unwrap_err();
+            assert_eq!(err.exit_code(), 2, "`{bad}` must be a usage error");
+            assert!(err.to_string().contains("--deadline"), "{err}");
+        }
+        let opts = parse_flags(&argv(&["--fault-stall-tasks", "3,x"])).unwrap();
+        let err = parse_opt_indices(&opts, "fault-stall-tasks").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn scan_deadline_aborts_resumably_with_exit_8() {
+        let dir = workdir("deadline_flags");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        let journal = dir.join("deadline.journal");
+        let report = dir.join("report.json");
+        let events = dir.join("events.ndjson");
+        let scan_args = |extra: &[&str]| {
+            let mut args = argv(&[
+                "scan",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--journal",
+                journal.to_str().unwrap(),
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args
+        };
+
+        // A zero deadline aborts before the first batch: exit 8, the
+        // message names the reason and points at --resume.
+        let (out, status) = run_with_status(&scan_args(&[
+            "--deadline",
+            "0",
+            "--events",
+            events.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(status, EXIT_ABORTED, "{out}");
+        assert!(out.contains("scan aborted (deadline_exceeded)"), "{out}");
+        assert!(out.contains("--resume"), "{out}");
+        assert!(out.contains("scanned 0 of"), "{out}");
+
+        // The event log records the abort and summarises cleanly.
+        let out = run(&argv(&["events", "--file", events.to_str().unwrap()])).unwrap();
+        assert!(out.contains("1 aborted scan(s)"), "{out}");
+
+        // Resuming without a deadline finishes the scan: exit 0 and a
+        // report byte-identical to a never-interrupted scan's.
+        let (out, status) = run_with_status(&scan_args(&["--resume"])).unwrap();
+        assert_eq!(status, 0, "{out}");
+        let resumed = std::fs::read_to_string(&report).unwrap();
+        let clean_report = dir.join("clean.json");
+        run(&argv(&[
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            clean_report.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&clean_report).unwrap(), resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_tile_timeout_quarantines_stalled_tiles() {
+        let dir = workdir("timeout_flags");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        // Stall every tile well past its soft budget: the scan completes
+        // (exit 7, not 8 — no abort) with every tile quarantined as a
+        // timeout, and the summary prints the deterministic reason.
+        let report = dir.join("report.json");
+        let (out, status) = run_with_status(&argv(&[
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--max-failed-tiles",
+            "10000",
+            "--tile-timeout",
+            "50ms",
+            "--fault-stall-per-mille",
+            "1000",
+            "--fault-stall-ms",
+            "150",
+        ]))
+        .unwrap();
+        assert_eq!(status, EXIT_QUARANTINED, "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        assert!(out.contains("soft time budget of 50 ms"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_summary_tolerates_empty_and_header_only_logs() {
+        let dir = workdir("events_empty");
+        let log = dir.join("empty.ndjson");
+        std::fs::write(&log, "").unwrap();
+        let out = run(&argv(&["events", "--file", log.to_str().unwrap()])).unwrap();
+        assert!(out.contains("0 event(s)"), "{out}");
+        assert!(out.contains("0 aborted scan(s)"), "{out}");
+        // Blank lines only ("header-only" log from a scan killed right
+        // after the sink opened) summarise the same way.
+        std::fs::write(&log, "\n\n").unwrap();
+        let out = run(&argv(&["events", "--file", log.to_str().unwrap()])).unwrap();
+        assert!(out.contains("0 event(s)"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

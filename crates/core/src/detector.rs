@@ -57,6 +57,10 @@ pub enum DetectError {
         /// The configured `max_failed_tiles` bound.
         max: usize,
     },
+    /// A pipeline invariant was violated — states that should be
+    /// unreachable (e.g. a cache handle with no configured path) surface
+    /// here as typed errors instead of panicking the scan.
+    Internal(String),
 }
 
 /// Former name of [`DetectError`].
@@ -83,6 +87,7 @@ impl fmt::Display for DetectError {
                 f,
                 "{failed} tile(s) failed, exceeding the quarantine bound of {max}"
             ),
+            DetectError::Internal(msg) => write!(f, "internal pipeline invariant violated: {msg}"),
         }
     }
 }

@@ -20,6 +20,7 @@
 //! `join().expect(...)` drain had.
 
 use super::stage::StageId;
+use crate::cancel::{CancelPanic, CancelToken};
 use crate::obs::{Counter, ObsEvent, ObsHub, StageCounter};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use std::panic::AssertUnwindSafe;
@@ -30,12 +31,31 @@ use std::sync::Arc;
 pub struct ExecutorStats {
     /// Worker threads that ran.
     pub threads_used: usize,
-    /// Tasks executed across all workers (= input length).
+    /// Tasks executed across all workers (= input length minus skips).
     pub tasks_executed: usize,
     /// Tasks a worker stole from another worker's deque.
     pub tasks_stolen: usize,
     /// Tasks whose body panicked (caught and surfaced as [`TaskFailure`]).
     pub tasks_failed: usize,
+    /// Tasks declined because the run's [`CancelToken`] tripped — never
+    /// started, or unwound cooperatively mid-body. Always 0 without a
+    /// token.
+    pub tasks_skipped: usize,
+}
+
+/// Outcome of one task under
+/// [`Executor::try_map_with_cancel`]: completed, failed (panicked), or
+/// skipped because cancellation was observed before/while it ran.
+#[derive(Debug)]
+pub enum TaskResult<R> {
+    /// The task body returned normally.
+    Done(R),
+    /// The task body panicked; the unwind was caught at the task boundary.
+    Failed(TaskFailure),
+    /// The run was cancelled before this task produced a result. Skipped
+    /// tasks are not failures: they were never attempted (or cooperatively
+    /// abandoned) and simply remain to be done by a resumed run.
+    Skipped,
 }
 
 /// A task body that panicked, caught at the task boundary.
@@ -67,12 +87,16 @@ impl std::fmt::Display for TaskFailure {
 
 impl std::error::Error for TaskFailure {}
 
-/// Renders a caught panic payload as a string.
+/// Renders a caught panic payload as a string. The cooperative
+/// [`TimeoutPanic`](crate::cancel::TimeoutPanic) marker renders its
+/// deterministic reason so timed-out failures never carry wall-clock text.
 pub(crate) fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(t) = payload.downcast_ref::<crate::cancel::TimeoutPanic>() {
+        t.reason()
     } else {
         "non-string panic payload".to_string()
     }
@@ -157,6 +181,45 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let (results, stats) = self.try_map_with_cancel(stage, items, f, None);
+        let results = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                TaskResult::Done(v) => Ok(v),
+                TaskResult::Failed(failure) => Err(failure),
+                // Unreachable without a token; keep it a typed failure
+                // rather than a panic, matching the dead-worker path.
+                TaskResult::Skipped => Err(TaskFailure {
+                    stage: stage.to_string(),
+                    index: i,
+                    payload: "task skipped without a cancel token".to_string(),
+                }),
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// [`try_map`](Self::try_map) with cooperative cancellation: each
+    /// worker polls `cancel` before popping its next task, and a tripped
+    /// token makes every not-yet-started task come back as
+    /// [`TaskResult::Skipped`] while tasks already running finish (or
+    /// unwind cooperatively — a body that panics with the crate's internal
+    /// cancellation marker is also reported as skipped, not failed). The
+    /// in-flight window therefore *drains*; nothing is abandoned half
+    /// journaled.
+    pub fn try_map_with_cancel<T, R, F>(
+        &self,
+        stage: &str,
+        items: &[T],
+        f: F,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<TaskResult<R>>, ExecutorStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
         let obs = self.obs.as_deref();
         let stage_id = StageId::from_name(stage);
@@ -166,49 +229,66 @@ impl Executor {
                 items: n,
             });
         }
-        let run =
-            |i: usize| -> Result<R, TaskFailure> {
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
-                    .map_err(|payload| TaskFailure {
-                        stage: stage.to_string(),
-                        index: i,
-                        payload: panic_payload_to_string(payload.as_ref()),
-                    });
-                // Per-worker hot-path recording: relaxed atomic adds on the
-                // calling worker's counter shard, no allocation.
-                if let Some(hub) = obs {
+        let run = |i: usize| -> TaskResult<R> {
+            // One relaxed load per task boundary: the whole cost of
+            // cancellation support on an uncancelled run.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return TaskResult::Skipped;
+            }
+            let result = match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                Ok(v) => TaskResult::Done(v),
+                Err(payload) if payload.downcast_ref::<CancelPanic>().is_some() => {
+                    TaskResult::Skipped
+                }
+                Err(payload) => TaskResult::Failed(TaskFailure {
+                    stage: stage.to_string(),
+                    index: i,
+                    payload: panic_payload_to_string(payload.as_ref()),
+                }),
+            };
+            // Per-worker hot-path recording: relaxed atomic adds on the
+            // calling worker's counter shard, no allocation.
+            if let Some(hub) = obs {
+                if !matches!(result, TaskResult::Skipped) {
                     let counters = hub.counters();
                     counters.add(Counter::ExecutorTasks, 1);
                     if let Some(id) = stage_id {
                         counters.add_stage(id, StageCounter::Tasks, 1);
-                        if result.is_err() {
+                        if matches!(result, TaskResult::Failed(_)) {
                             counters.add_stage(id, StageCounter::Failures, 1);
                         }
                     }
                 }
-                result
-            };
+            }
+            result
+        };
 
         let threads = self.threads.min(n.max(1));
         if threads <= 1 {
-            let results: Vec<Result<R, TaskFailure>> = (0..n).map(run).collect();
-            let tasks_failed = results.iter().filter(|r| r.is_err()).count();
+            let results: Vec<TaskResult<R>> = (0..n).map(run).collect();
+            let mut stats = ExecutorStats {
+                threads_used: 1,
+                ..ExecutorStats::default()
+            };
+            for r in &results {
+                match r {
+                    TaskResult::Done(_) => stats.tasks_executed += 1,
+                    TaskResult::Failed(_) => {
+                        stats.tasks_executed += 1;
+                        stats.tasks_failed += 1;
+                    }
+                    TaskResult::Skipped => stats.tasks_skipped += 1,
+                }
+            }
             if let Some(hub) = obs {
+                let failures = stats.tasks_failed;
                 hub.emit(|| ObsEvent::StageEnd {
                     stage: stage.to_string(),
                     items: n,
-                    failures: tasks_failed,
+                    failures,
                 });
             }
-            return (
-                results,
-                ExecutorStats {
-                    threads_used: 1,
-                    tasks_executed: n,
-                    tasks_stolen: 0,
-                    tasks_failed,
-                },
-            );
+            return (results, stats);
         }
 
         let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
@@ -219,12 +299,10 @@ impl Executor {
 
         let run = &run;
         let stealers = &stealers;
-        let mut slots: Vec<Option<Result<R, TaskFailure>>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<TaskResult<R>>> = (0..n).map(|_| None).collect();
         let mut stats = ExecutorStats {
             threads_used: threads,
-            tasks_executed: 0,
-            tasks_stolen: 0,
-            tasks_failed: 0,
+            ..ExecutorStats::default()
         };
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
@@ -232,7 +310,7 @@ impl Executor {
                 .enumerate()
                 .map(|(wid, local)| {
                     scope.spawn(move || {
-                        let mut out: Vec<(usize, Result<R, TaskFailure>)> = Vec::new();
+                        let mut out: Vec<(usize, TaskResult<R>)> = Vec::new();
                         let mut stolen = 0usize;
                         loop {
                             let task = local.pop().or_else(|| {
@@ -260,10 +338,16 @@ impl Executor {
                 // abort-on-double-unwind).
                 match h.join() {
                     Ok((out, stolen)) => {
-                        stats.tasks_executed += out.len();
                         stats.tasks_stolen += stolen;
                         for (i, r) in out {
-                            stats.tasks_failed += r.is_err() as usize;
+                            match &r {
+                                TaskResult::Done(_) => stats.tasks_executed += 1,
+                                TaskResult::Failed(_) => {
+                                    stats.tasks_executed += 1;
+                                    stats.tasks_failed += 1;
+                                }
+                                TaskResult::Skipped => stats.tasks_skipped += 1,
+                            }
                             slots[i] = Some(r);
                         }
                     }
@@ -275,7 +359,7 @@ impl Executor {
                 }
             }
         });
-        let results: Vec<Result<R, TaskFailure>> = slots
+        let results: Vec<TaskResult<R>> = slots
             .into_iter()
             .enumerate()
             .map(|(i, slot)| match slot {
@@ -285,7 +369,7 @@ impl Executor {
                 // `expect`.
                 None => {
                     stats.tasks_failed += 1;
-                    Err(TaskFailure {
+                    TaskResult::Failed(TaskFailure {
                         stage: stage.to_string(),
                         index: i,
                         payload: "executor worker thread died before task completion".to_string(),
@@ -504,6 +588,78 @@ mod tests {
             .unwrap();
         assert_eq!(eval.tasks, 50);
         assert_eq!(eval.failures, 1);
+    }
+
+    #[test]
+    fn pre_cancelled_run_skips_every_task() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let (out, stats) = Executor::new(threads).try_map_with_cancel(
+                "unit",
+                &items,
+                |_, &v| v * 2,
+                Some(&token),
+            );
+            assert!(out.iter().all(|r| matches!(r, TaskResult::Skipped)));
+            assert_eq!(stats.tasks_skipped, items.len(), "threads={threads}");
+            assert_eq!(stats.tasks_executed, 0);
+            assert_eq!(stats.tasks_failed, 0);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_skips_the_tail_and_drains() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        let items: Vec<usize> = (0..256).collect();
+        let fired = AtomicUsize::new(0);
+        let (out, stats) = Executor::new(4).try_map_with_cancel(
+            "unit",
+            &items,
+            |_, _| {
+                if fired.fetch_add(1, Ordering::Relaxed) == 20 {
+                    token.cancel();
+                }
+            },
+            Some(&token),
+        );
+        assert_eq!(out.len(), items.len());
+        let done = out
+            .iter()
+            .filter(|r| matches!(r, TaskResult::Done(())))
+            .count();
+        let skipped = out
+            .iter()
+            .filter(|r| matches!(r, TaskResult::Skipped))
+            .count();
+        assert_eq!(done + skipped, items.len());
+        assert!(skipped > 0, "cancellation must skip the tail");
+        assert_eq!(stats.tasks_executed, done);
+        assert_eq!(stats.tasks_skipped, skipped);
+    }
+
+    #[test]
+    fn cooperative_cancel_panic_reports_as_skipped() {
+        use crate::cancel::CancelPanic;
+        let items: Vec<usize> = (0..8).collect();
+        let (out, stats) = Executor::new(2).try_map_with_cancel(
+            "unit",
+            &items,
+            |_, &v| {
+                if v == 3 {
+                    std::panic::panic_any(CancelPanic);
+                }
+                v
+            },
+            None,
+        );
+        assert!(matches!(out[3], TaskResult::Skipped));
+        assert_eq!(stats.tasks_skipped, 1);
+        assert_eq!(stats.tasks_failed, 0);
+        assert_eq!(stats.tasks_executed, items.len() - 1);
     }
 
     #[test]

@@ -72,6 +72,21 @@ pub struct FaultPlan {
     /// to append its N-th record (0-based).
     #[serde(default)]
     pub fail_journal_at: Option<usize>,
+    /// Explicit task indices that always *stall* for
+    /// [`stall_ms`](Self::stall_ms) at the injection site — on every
+    /// attempt, so a stalled tile blows a soft per-tile budget on the
+    /// retry too. The deterministic stand-in for a pathological tile.
+    #[serde(default)]
+    pub stall_tasks: Vec<usize>,
+    /// Per-mille probability (0–1000) that a task index stalls. Keyed by
+    /// the stable task index like the panic rolls, so the stalled set is
+    /// identical across runs and thread counts.
+    #[serde(default)]
+    pub stall_per_mille: u16,
+    /// How long an injected stall sleeps, in milliseconds. A plan that
+    /// selects stall indices but leaves this at 0 injects nothing.
+    #[serde(default)]
+    pub stall_ms: u64,
 }
 
 /// SplitMix64 — a tiny, high-quality mixer for the per-index fault roll.
@@ -90,6 +105,8 @@ impl FaultPlan {
             && self.panic_tasks.is_empty()
             && self.transient_tasks.is_empty()
             && self.fail_journal_at.is_none()
+            && self.stall_tasks.is_empty()
+            && self.stall_per_mille == 0
     }
 
     /// Validates the plan's probabilities.
@@ -101,6 +118,7 @@ impl FaultPlan {
         for (name, v) in [
             ("panic_per_mille", self.panic_per_mille),
             ("transient_per_mille", self.transient_per_mille),
+            ("stall_per_mille", self.stall_per_mille),
         ] {
             if v > 1000 {
                 return Err(format!("{name} must be at most 1000, got {v}"));
@@ -137,10 +155,22 @@ impl FaultPlan {
         self.persistent(index) || (attempt == 0 && self.transient(index))
     }
 
-    /// Injection hook: panics iff the plan marks (`index`, `attempt`) as
-    /// failing at `site`. Call sites gate on [`is_empty`](Self::is_empty)
-    /// first so the empty plan costs nothing.
+    /// Whether `index` stalls for [`stall_ms`](Self::stall_ms) at the
+    /// injection site (every attempt — stalls are persistent).
+    pub fn stalls(&self, index: usize) -> bool {
+        self.stall_ms > 0
+            && (self.stall_tasks.contains(&index) || self.roll(index, 3) < self.stall_per_mille)
+    }
+
+    /// Injection hook: stalls and/or panics iff the plan marks (`index`,
+    /// `attempt`) at `site`. The stall fires first, so a stalled-and-
+    /// panicking index loses its time before it fails — the worst case a
+    /// watchdog has to handle. Call sites gate on
+    /// [`is_empty`](Self::is_empty) first so the empty plan costs nothing.
     pub fn inject(&self, site: FaultSite, index: usize, attempt: u32) {
+        if site == self.site && self.stalls(index) {
+            std::thread::sleep(std::time::Duration::from_millis(self.stall_ms));
+        }
         if site == self.site && self.fails(index, attempt) {
             panic!(
                 "injected fault at {} (task {index}, attempt {attempt})",
@@ -239,6 +269,48 @@ mod tests {
     }
 
     #[test]
+    fn stalls_are_deterministic_and_need_a_duration() {
+        let plan = FaultPlan {
+            seed: 3,
+            stall_per_mille: 100,
+            stall_ms: 10,
+            ..Default::default()
+        };
+        assert!(!plan.is_empty());
+        let hits: Vec<usize> = (0..10_000).filter(|&i| plan.stalls(i)).collect();
+        let again: Vec<usize> = (0..10_000).filter(|&i| plan.stalls(i)).collect();
+        assert_eq!(hits, again, "same seed, same stalled set");
+        assert!((700..=1300).contains(&hits.len()), "{} hits", hits.len());
+        // The stall roll is salted independently of the panic roll.
+        let panics: Vec<usize> = (0..10_000)
+            .filter(|&i| {
+                FaultPlan {
+                    panic_per_mille: 100,
+                    ..plan.clone()
+                }
+                .persistent(i)
+            })
+            .collect();
+        assert_ne!(hits, panics);
+        // stall_ms of 0 disarms the stall indices entirely.
+        let disarmed = FaultPlan {
+            stall_ms: 0,
+            stall_tasks: vec![1],
+            ..plan
+        };
+        assert!(!disarmed.stalls(1));
+    }
+
+    #[test]
+    fn stall_validation_bounds_rate() {
+        let bad = FaultPlan {
+            stall_per_mille: 1001,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("stall_per_mille"));
+    }
+
+    #[test]
     fn serde_round_trip() {
         let plan = FaultPlan {
             seed: 9,
@@ -248,6 +320,9 @@ mod tests {
             transient_tasks: vec![3],
             site: FaultSite::Extraction,
             fail_journal_at: Some(4),
+            stall_tasks: vec![5],
+            stall_per_mille: 10,
+            stall_ms: 25,
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();

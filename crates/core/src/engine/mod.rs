@@ -26,7 +26,7 @@ pub mod fault;
 pub mod stage;
 pub mod telemetry;
 
-pub use executor::{Executor, ExecutorStats, TaskFailure};
+pub use executor::{Executor, ExecutorStats, TaskFailure, TaskResult};
 pub use fault::{FaultPlan, FaultSite};
 pub use stage::{StageId, StageRecorder};
 pub use telemetry::{PipelineTelemetry, StageTelemetry, TELEMETRY_SCHEMA_VERSION};

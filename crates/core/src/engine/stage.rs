@@ -104,6 +104,8 @@ pub struct StageRecorder {
     cache_hits: usize,
     cache_misses: usize,
     recomputed_tiles: usize,
+    timed_out: usize,
+    aborted_reason: Option<String>,
     obs_sinks: Vec<String>,
 }
 
@@ -120,6 +122,8 @@ impl StageRecorder {
             cache_hits: 0,
             cache_misses: 0,
             recomputed_tiles: 0,
+            timed_out: 0,
+            aborted_reason: None,
             obs_sinks: Vec::new(),
         }
     }
@@ -173,6 +177,7 @@ impl StageRecorder {
             retries: 0,
             admissions: 0,
             admission_skips: 0,
+            timeouts: 0,
         };
         match self.stages.iter_mut().find(|(id, _)| *id == stage) {
             Some((_, existing)) => {
@@ -227,6 +232,32 @@ impl StageRecorder {
         }
     }
 
+    /// Folds soft-budget timeouts into `stage` (schema v8): `timeouts`
+    /// tasks quarantined for exceeding
+    /// [`ScanConfig::tile_timeout`](crate::ScanConfig::tile_timeout). Also
+    /// added to the run-level `timed_out` total. Creates a zero-time entry
+    /// when the stage has not been recorded yet.
+    pub fn record_timeouts(&mut self, stage: StageId, timeouts: usize) {
+        self.timed_out += timeouts;
+        match self.stages.iter_mut().find(|(id, _)| *id == stage) {
+            Some((_, existing)) => existing.timeouts += timeouts,
+            None => {
+                let mut entry = StageTelemetry::empty(stage);
+                entry.timeouts = timeouts;
+                self.stages.push((stage, entry));
+            }
+        }
+    }
+
+    /// Records that the run stopped early, with the stable
+    /// [`AbortReason::name`](crate::AbortReason::name) string (schema v8).
+    /// The first recorded reason wins.
+    pub fn set_aborted(&mut self, reason: &str) {
+        if self.aborted_reason.is_none() {
+            self.aborted_reason = Some(reason.to_string());
+        }
+    }
+
     /// Adds tiles replayed from a scan journal to the run-level resume
     /// counter (schema v4).
     pub fn add_resumed_tiles(&mut self, tiles: usize) {
@@ -270,6 +301,8 @@ impl StageRecorder {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             recomputed_tiles: self.recomputed_tiles,
+            timed_out: self.timed_out,
+            aborted_reason: self.aborted_reason,
             obs_sinks: self.obs_sinks,
         }
     }
@@ -379,6 +412,20 @@ mod tests {
         let pre = t.stage(StageId::DensityPrefilter).unwrap();
         assert_eq!(pre.admissions, 1);
         assert_eq!(pre.wall_ms, 0.0);
+    }
+
+    #[test]
+    fn record_timeouts_folds_per_stage_and_run_level() {
+        let mut rec = StageRecorder::new("scan", 2);
+        rec.record(StageId::KernelEvaluation, 10, 2, Duration::ZERO, None);
+        rec.record_timeouts(StageId::KernelEvaluation, 2);
+        rec.record_timeouts(StageId::KernelEvaluation, 1);
+        rec.set_aborted("deadline_exceeded");
+        rec.set_aborted("interrupted"); // first reason wins
+        let t = rec.finish();
+        assert_eq!(t.stage(StageId::KernelEvaluation).unwrap().timeouts, 3);
+        assert_eq!(t.timed_out, 3);
+        assert_eq!(t.aborted_reason.as_deref(), Some("deadline_exceeded"));
     }
 
     #[test]

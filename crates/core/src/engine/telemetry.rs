@@ -38,7 +38,13 @@ use std::time::Duration;
 /// cache could not serve), and `recomputed_tiles` (tiles that actually ran
 /// the prefilter/extraction/evaluation pipeline this run). All three
 /// deserialise as 0 from v6 and older records via `#[serde(default)]`.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 7;
+/// v8 added the deadline counters: per-stage `timeouts` (tasks quarantined
+/// for exceeding the soft per-tile budget), the run-level `timed_out`
+/// total, and `aborted_reason` (the stable [`crate::AbortReason::name`]
+/// string when the run stopped early; `null` for runs that completed).
+/// All deserialise as 0 / `None` from v7 and older records via
+/// `#[serde(default)]`.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 8;
 
 /// Telemetry of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,6 +88,11 @@ pub struct StageTelemetry {
     /// pre-v5 records, which deserialise with 0.
     #[serde(default)]
     pub admission_skips: u64,
+    /// Tasks in this stage quarantined for exceeding the soft per-tile
+    /// budget ([`crate::ScanConfig::tile_timeout`]) — a subset of
+    /// `failures`. Absent in pre-v8 records, which deserialise with 0.
+    #[serde(default)]
+    pub timeouts: usize,
 }
 
 impl StageTelemetry {
@@ -100,6 +111,7 @@ impl StageTelemetry {
             retries: 0,
             admissions: 0,
             admission_skips: 0,
+            timeouts: 0,
         }
     }
 
@@ -121,6 +133,7 @@ impl StageTelemetry {
         self.retries += other.retries;
         self.admissions += other.admissions;
         self.admission_skips += other.admission_skips;
+        self.timeouts += other.timeouts;
     }
 }
 
@@ -156,6 +169,18 @@ pub struct PipelineTelemetry {
     /// (schema v7). Absent in pre-v7 records, which deserialise with 0.
     #[serde(default)]
     pub recomputed_tiles: usize,
+    /// Tiles quarantined for exceeding the soft per-tile budget across the
+    /// whole run (schema v8) — the run-level sum of the per-stage
+    /// `timeouts` counters. Absent in pre-v8 records, which deserialise
+    /// with 0.
+    #[serde(default)]
+    pub timed_out: usize,
+    /// Why the run stopped early, as the stable
+    /// [`crate::AbortReason::name`] string (`"deadline_exceeded"` or
+    /// `"interrupted"`), or `None` for runs that completed (schema v8).
+    /// Absent in pre-v8 records, which deserialise as `None`.
+    #[serde(default)]
+    pub aborted_reason: Option<String>,
     /// Observability sinks and endpoints active during the run (schema
     /// v6): sink names in registration order, e.g. `["ndjson",
     /// "progress", "prometheus"]`. Empty for unobserved runs and absent
@@ -176,6 +201,8 @@ impl Default for PipelineTelemetry {
             cache_hits: 0,
             cache_misses: 0,
             recomputed_tiles: 0,
+            timed_out: 0,
+            aborted_reason: None,
             obs_sinks: Vec::new(),
         }
     }
@@ -224,6 +251,11 @@ impl PipelineTelemetry {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             recomputed_tiles: self.recomputed_tiles + other.recomputed_tiles,
+            timed_out: self.timed_out + other.timed_out,
+            aborted_reason: self
+                .aborted_reason
+                .clone()
+                .or_else(|| other.aborted_reason.clone()),
             obs_sinks,
         }
     }
@@ -257,6 +289,7 @@ impl PipelineTelemetry {
                 s.retries.to_string(),
                 s.admissions.to_string(),
                 s.admission_skips.to_string(),
+                s.timeouts.to_string(),
             ];
             out.push_str(&breakdown_row(&s.stage, &cells));
         }
@@ -275,7 +308,7 @@ const STAGE_NAME_WIDTH: usize = 28;
 /// The numeric columns of the breakdown table — `(header, width)` pairs
 /// used for both the header and every data row, so the two can never
 /// drift apart.
-const BREAKDOWN_COLUMNS: [(&str, usize); 11] = [
+const BREAKDOWN_COLUMNS: [(&str, usize); 12] = [
     ("wall (ms)", 12),
     ("in", 9),
     ("out", 9),
@@ -287,6 +320,7 @@ const BREAKDOWN_COLUMNS: [(&str, usize); 11] = [
     ("retried", 7),
     ("admitted", 9),
     ("adm-skips", 10),
+    ("timeouts", 9),
 ];
 
 /// Renders one breakdown line: the stage cell left-padded to
@@ -333,8 +367,11 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: PipelineTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
-        assert!(json.contains("\"schema_version\":7"), "{json}");
+        assert!(json.contains("\"schema_version\":8"), "{json}");
         assert!(json.contains("\"obs_sinks\":[]"), "{json}");
+        assert!(json.contains("\"timeouts\""), "{json}");
+        assert!(json.contains("\"timed_out\""), "{json}");
+        assert!(json.contains("\"aborted_reason\":null"), "{json}");
         assert!(json.contains("\"cache_hits\""), "{json}");
         assert!(json.contains("\"cache_misses\""), "{json}");
         assert!(json.contains("\"recomputed_tiles\""), "{json}");
@@ -421,6 +458,51 @@ mod tests {
     }
 
     #[test]
+    fn v7_records_deserialise_without_deadline_counters() {
+        // A full v7 pipeline record: cache counters present, no per-stage
+        // timeouts, run-level timed_out, or aborted_reason.
+        let json = r#"{"schema_version":7,"phase":"scan","threads":2,
+            "stages":[{"stage":"kernel_evaluation","wall_ms":1.0,"items_in":2,
+            "items_out":1,"threads_used":1,"tasks_executed":1,"tasks_stolen":0,
+            "batches":1,"failures":1,"retries":1,"admissions":4,
+            "admission_skips":12}],
+            "total_wall_ms":1.0,"resumed_tiles":0,"cache_hits":3,
+            "cache_misses":1,"recomputed_tiles":1,"obs_sinks":["ndjson"]}"#;
+        let t: PipelineTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(t.timed_out, 0);
+        assert_eq!(t.aborted_reason, None);
+        assert_eq!(t.stage(StageId::KernelEvaluation).unwrap().timeouts, 0);
+        let merged = t.merge(&PipelineTelemetry::default());
+        assert_eq!(merged.schema_version, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(merged.timed_out, 0);
+    }
+
+    #[test]
+    fn merge_sums_timeouts_and_keeps_first_abort_reason() {
+        let a = PipelineTelemetry {
+            phase: "scan".to_string(),
+            timed_out: 2,
+            aborted_reason: None,
+            ..PipelineTelemetry::default()
+        };
+        let b = PipelineTelemetry {
+            phase: "scan".to_string(),
+            timed_out: 1,
+            aborted_reason: Some("deadline_exceeded".to_string()),
+            ..PipelineTelemetry::default()
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.timed_out, 3);
+        assert_eq!(merged.aborted_reason.as_deref(), Some("deadline_exceeded"));
+        // When both halves aborted, the left-hand reason wins.
+        let c = PipelineTelemetry {
+            aborted_reason: Some("interrupted".to_string()),
+            ..a
+        };
+        assert_eq!(c.merge(&b).aborted_reason.as_deref(), Some("interrupted"));
+    }
+
+    #[test]
     fn merge_sums_cache_counters() {
         let a = PipelineTelemetry {
             phase: "scan".to_string(),
@@ -473,8 +555,10 @@ mod tests {
         eval.threads_used = 2;
         eval.tasks_executed = 2;
         eval.batches = 2;
+        eval.failures = 1;
         eval.admissions = 96;
         eval.admission_skips = 1024;
+        eval.timeouts = 1;
         let mut removal = StageTelemetry::empty(StageId::ClipRemoval);
         removal.wall_ms = 0.5;
         removal.items_in = 5;
@@ -483,10 +567,10 @@ mod tests {
         removal.tasks_executed = 1;
         t.stages = vec![eval, removal];
         let expected = "\
-pipeline telemetry (schema v7, phase detection, 2 thread(s), total 12.50 ms, 0 resumed tile(s))
-  stage                           wall (ms)        in       out  threads   tasks  stolen batches failed retried  admitted  adm-skips
-  kernel_evaluation                   3.250       128         5        2       2       0       2      0       0        96       1024
-  clip_removal                        0.500         5         3        1       1       0       0      0       0         0          0
+pipeline telemetry (schema v8, phase detection, 2 thread(s), total 12.50 ms, 0 resumed tile(s))
+  stage                           wall (ms)        in       out  threads   tasks  stolen batches failed retried  admitted  adm-skips  timeouts
+  kernel_evaluation                   3.250       128         5        2       2       0       2      1       0        96       1024         1
+  clip_removal                        0.500         5         3        1       1       0       0      0       0         0          0         0
 ";
         assert_eq!(t.breakdown(), expected);
         // Header and every row share the column spec, so all lines after

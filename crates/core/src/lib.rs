@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 
 pub mod balance;
+pub mod cancel;
 pub mod config;
 pub mod detector;
 pub mod engine;
@@ -64,6 +65,7 @@ pub mod scan;
 pub mod tile_cache;
 pub mod training;
 
+pub use cancel::{AbortReason, CancelToken};
 pub use config::{AblationSwitches, AdmissionParams, DetectorConfig, DistributionFilter, EvalMode};
 #[allow(deprecated)]
 pub use detector::TrainPipelineError;
@@ -81,6 +83,6 @@ pub use obs::{
 };
 pub use pattern::{Label, Pattern, TrainingSet};
 pub use patterning::{DecomposedPattern, DoublePatterningDetector};
-pub use scan::{FailurePolicy, QuarantinedTile, ScanConfig, ScanReport};
+pub use scan::{FailureKind, FailurePolicy, QuarantinedTile, ScanConfig, ScanReport};
 pub use tile_cache::{CacheEntry, CacheHeader, CacheLoadStats, TileCache};
 pub use training::{ClusterKernel, PatternCluster};

@@ -44,7 +44,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, IsTerminal, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -96,10 +96,14 @@ pub enum Counter {
     /// Cache entries invalidated: stale fingerprints, corrupt lines, or a
     /// wholesale header-mismatch discard.
     CacheInvalidated,
+    /// Tiles quarantined because they exceeded the soft per-tile budget
+    /// ([`crate::ScanConfig::tile_timeout`]) — a subset of
+    /// [`Counter::TilesQuarantined`].
+    TilesTimedOut,
 }
 
 /// Number of [`Counter`] variants (global slot count).
-const GLOBAL_SLOTS: usize = 16;
+const GLOBAL_SLOTS: usize = 17;
 
 /// Per-stage counter families recorded alongside the global counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +234,8 @@ impl Counters {
             cache_hits: g(Counter::CacheHits),
             cache_misses: g(Counter::CacheMisses),
             cache_invalidated: g(Counter::CacheInvalidated),
+            tiles_timed_out: g(Counter::TilesTimedOut),
+            deadline_remaining_ms: None,
             stages: StageId::ALL
                 .iter()
                 .map(|&stage| StageCounterSnapshot {
@@ -286,6 +292,16 @@ pub struct CounterSnapshot {
     /// in pre-cache snapshots.
     #[serde(default)]
     pub cache_invalidated: u64,
+    /// Tiles quarantined for blowing the soft per-tile budget. Absent in
+    /// pre-deadline snapshots, which deserialise with 0.
+    #[serde(default)]
+    pub tiles_timed_out: u64,
+    /// Wall-clock budget left before the scan's
+    /// [`crate::ScanConfig::deadline`] expires, stamped by the owning
+    /// [`ObsHub`] ([`ObsHub::set_deadline_remaining_ms`]). `None` when no
+    /// deadline is armed (and in pre-deadline snapshots).
+    #[serde(default)]
+    pub deadline_remaining_ms: Option<u64>,
     /// Per-stage counter families in canonical stage order.
     pub stages: Vec<StageCounterSnapshot>,
 }
@@ -397,6 +413,32 @@ pub enum ObsEvent {
         /// different model, grid, layer, or threshold).
         discarded: bool,
     },
+    /// A tile was quarantined for exceeding the soft per-tile budget
+    /// ([`crate::ScanConfig::tile_timeout`]). Paired with a
+    /// [`ObsEvent::TileQuarantined`] for the same tile.
+    TileTimedOut {
+        /// Stable row-major tile id.
+        tile: u64,
+        /// The exceeded soft budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// Periodic heartbeat from the scan's watchdog thread.
+    WatchdogTick {
+        /// Tiles currently in flight on executor workers.
+        in_flight: u64,
+        /// Milliseconds left before the global deadline, when one is
+        /// armed.
+        deadline_remaining_ms: Option<u64>,
+    },
+    /// A streaming layout scan stopped early — deadline, watchdog, or a
+    /// caller's cancel token — after draining its in-flight window and
+    /// syncing the journal, leaving a resumable prefix.
+    ScanAborted {
+        /// Stable [`crate::AbortReason::name`] string.
+        reason: String,
+        /// Tiles fully processed before the abort.
+        tiles_scanned: usize,
+    },
     /// A streaming layout scan finished.
     ScanCompleted {
         /// Tiles fully evaluated.
@@ -479,6 +521,9 @@ pub struct ObsHub {
     sinks: RwLock<Vec<Box<dyn ObsSink>>>,
     endpoint_names: Mutex<Vec<String>>,
     started: Instant,
+    /// Milliseconds left on an armed scan deadline; negative = no
+    /// deadline. Written by the scan watchdog, read into snapshots.
+    deadline_remaining_ms: AtomicI64,
 }
 
 impl ObsHub {
@@ -492,6 +537,7 @@ impl ObsHub {
             sinks: RwLock::new(Vec::new()),
             endpoint_names: Mutex::new(Vec::new()),
             started: Instant::now(),
+            deadline_remaining_ms: AtomicI64::new(-1),
         })
     }
 
@@ -537,9 +583,27 @@ impl ObsHub {
         }
     }
 
+    /// Arms (or refreshes) the `hotspot_deadline_remaining_seconds`
+    /// gauge. Called periodically by the scan's watchdog thread while a
+    /// [`crate::ScanConfig::deadline`] is set.
+    pub fn set_deadline_remaining_ms(&self, remaining_ms: u64) {
+        self.deadline_remaining_ms
+            .store(remaining_ms.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// Disarms the deadline gauge (no deadline, or the scan ended).
+    pub fn clear_deadline_remaining(&self) {
+        self.deadline_remaining_ms.store(-1, Ordering::Relaxed);
+    }
+
     /// Sums the counters into a snapshot stamped with the hub uptime.
     pub fn snapshot(&self) -> CounterSnapshot {
-        self.counters.snapshot(self.uptime_ms())
+        let mut snapshot = self.counters.snapshot(self.uptime_ms());
+        let remaining = self.deadline_remaining_ms.load(Ordering::Relaxed);
+        if remaining >= 0 {
+            snapshot.deadline_remaining_ms = Some(remaining as u64);
+        }
+        snapshot
     }
 
     /// Takes a snapshot and delivers it to every sink — both as an
@@ -675,7 +739,7 @@ pub fn read_events(path: impl AsRef<Path>) -> io::Result<Vec<ObsRecord>> {
 pub fn render_prometheus(snapshot: &CounterSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(4096);
-    let globals: [(&str, &str, u64); 16] = [
+    let globals: [(&str, &str, u64); 17] = [
         (
             "hotspot_tiles_started_total",
             "Tiles handed to a scan worker.",
@@ -756,6 +820,11 @@ pub fn render_prometheus(snapshot: &CounterSnapshot) -> String {
             "Cache entries invalidated (stale, corrupt, or discarded).",
             snapshot.cache_invalidated,
         ),
+        (
+            "hotspot_tiles_timed_out_total",
+            "Tiles quarantined for exceeding the soft per-tile budget.",
+            snapshot.tiles_timed_out,
+        ),
     ];
     for (name, help, value) in globals {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -782,6 +851,20 @@ pub fn render_prometheus(snapshot: &CounterSnapshot) -> String {
         "hotspot_obs_uptime_seconds {:.3}",
         snapshot.uptime_ms as f64 / 1e3
     );
+    // Gauge present only while a scan deadline is armed, so dashboards
+    // can alert on "remaining budget" without special-casing idle runs.
+    if let Some(remaining_ms) = snapshot.deadline_remaining_ms {
+        let _ = writeln!(
+            out,
+            "# HELP hotspot_deadline_remaining_seconds Wall-clock budget left before the scan deadline."
+        );
+        let _ = writeln!(out, "# TYPE hotspot_deadline_remaining_seconds gauge");
+        let _ = writeln!(
+            out,
+            "hotspot_deadline_remaining_seconds {:.3}",
+            remaining_ms as f64 / 1e3
+        );
+    }
     type Pick = fn(&StageCounterSnapshot) -> u64;
     let families: [(&str, &str, Pick); 4] = [
         (
@@ -888,7 +971,12 @@ fn serve(listener: &TcpListener, hub: &Arc<ObsHub>, stop: &AtomicBool) {
             break;
         }
         let Ok(mut stream) = conn else { continue };
+        // Symmetric 500 ms bounds on both directions: a client that
+        // neither sends a request nor drains the response cannot wedge
+        // the single-threaded accept loop (or block shutdown) for longer
+        // than one timeout.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
         let path = read_request_path(&mut stream);
         let response = match path.as_deref() {
             Some("/metrics") | Some("/") => http_response(
@@ -1327,6 +1415,93 @@ mod tests {
         // The port is released after shutdown: a second bind succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok());
+    }
+
+    #[test]
+    fn wedged_client_cannot_block_shutdown() {
+        let hub = ObsHub::new();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr();
+        // A client that connects, sends a request, then never reads the
+        // response (nor closes): both the read path (no request bytes on
+        // the second socket) and the write path (unread response) must
+        // time out instead of wedging the accept loop.
+        let mut wedged_writer = TcpStream::connect(addr).unwrap();
+        write!(wedged_writer, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let _wedged_reader = TcpStream::connect(addr).unwrap();
+        let begun = Instant::now();
+        server.shutdown();
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "shutdown wedged for {:?}",
+            begun.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_gauge_appears_only_when_armed() {
+        let hub = ObsHub::new();
+        let idle = render_prometheus(&hub.snapshot());
+        assert!(!idle.contains("hotspot_deadline_remaining_seconds"));
+        assert!(hub.snapshot().deadline_remaining_ms.is_none());
+        hub.set_deadline_remaining_ms(2500);
+        let armed = render_prometheus(&hub.snapshot());
+        assert!(armed.contains("hotspot_deadline_remaining_seconds 2.500"));
+        assert_eq!(hub.snapshot().deadline_remaining_ms, Some(2500));
+        hub.clear_deadline_remaining();
+        assert!(hub.snapshot().deadline_remaining_ms.is_none());
+    }
+
+    #[test]
+    fn timed_out_counter_reaches_snapshot_and_prometheus() {
+        let hub = ObsHub::new();
+        hub.counters().add(Counter::TilesTimedOut, 3);
+        let snap = hub.snapshot();
+        assert_eq!(snap.tiles_timed_out, 3);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("hotspot_tiles_timed_out_total 3"));
+        // Back-compat: a pre-deadline snapshot JSON (no tiles_timed_out,
+        // no deadline_remaining_ms) deserialises with the defaults.
+        let legacy = serde_json::to_string(&snap)
+            .unwrap()
+            .replace(",\"tiles_timed_out\":3", "")
+            .replace(",\"deadline_remaining_ms\":null", "");
+        assert!(!legacy.contains("tiles_timed_out"), "{legacy}");
+        assert!(!legacy.contains("deadline_remaining_ms"), "{legacy}");
+        let back: CounterSnapshot = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.tiles_timed_out, 0);
+        assert!(back.deadline_remaining_ms.is_none());
+    }
+
+    #[test]
+    fn abort_and_watchdog_events_round_trip() {
+        for event in [
+            ObsEvent::ScanAborted {
+                reason: "deadline_exceeded".to_string(),
+                tiles_scanned: 12,
+            },
+            ObsEvent::TileTimedOut {
+                tile: 9,
+                budget_ms: 150,
+            },
+            ObsEvent::WatchdogTick {
+                in_flight: 4,
+                deadline_remaining_ms: Some(900),
+            },
+            ObsEvent::WatchdogTick {
+                in_flight: 0,
+                deadline_remaining_ms: None,
+            },
+        ] {
+            let record = ObsRecord {
+                v: OBS_SCHEMA_VERSION,
+                seq: 0,
+                event,
+            };
+            let json = serde_json::to_string(&record).unwrap();
+            let back: ObsRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, record);
+        }
     }
 
     fn http_get(addr: SocketAddr, path: &str) -> String {

@@ -38,6 +38,30 @@
 //! - [`ScanConfig::fault_plan`] arms the deterministic fault-injection
 //!   harness that proves all of the above under test.
 //!
+//! # Deadlines and cooperative cancellation
+//!
+//! Long scans can also be *stopped* without losing their progress:
+//!
+//! - [`ScanConfig::deadline`] bounds the scan's wall-clock budget — when
+//!   it expires, the scan stops admitting tiles at the next batch
+//!   boundary, drains the in-flight window, syncs the journal and cache,
+//!   and returns a partial report marked
+//!   [`ScanReport::aborted`](ScanReport::aborted) with
+//!   [`AbortReason::DeadlineExceeded`];
+//! - [`ScanConfig::cancel`] is an external [`CancelToken`] (the CLI's
+//!   SIGINT handler trips it) that aborts the same way with
+//!   [`AbortReason::Interrupted`];
+//! - [`ScanConfig::tile_timeout`] arms a soft per-tile budget, polled
+//!   cooperatively at stage boundaries and per evaluated clip — a tile
+//!   that blows it is retried once and then quarantined as
+//!   [`FailureKind::TimedOut`], with a deterministic reason so the
+//!   quarantine list stays digest-stable across machines.
+//!
+//! Because the abort points sit at batch boundaries and the journal is
+//! fsync'd per batch, an aborted scan's journal contains only whole-tile
+//! records; resuming it via [`ScanConfig::resume_from`] completes the scan
+//! with a digest bit-identical to an uninterrupted run.
+//!
 //! # Example
 //!
 //! ```
@@ -86,17 +110,18 @@
 //! # Ok::<(), hotspot_core::DetectError>(())
 //! ```
 
+use crate::cancel::{AbortReason, CancelPanic, CancelToken, TimeoutPanic};
 use crate::config::DetectorConfig;
 use crate::detector::{DetectError, HotspotDetector};
 use crate::engine::executor::panic_payload_to_string;
 use crate::engine::{
     Executor, ExecutorStats, FaultPlan, FaultSite, PipelineTelemetry, StageId, StageRecorder,
-    TaskFailure,
+    TaskFailure, TaskResult,
 };
 use crate::extraction::{passes_filter, split_oversized_into, RectIndex};
 use crate::feedback::EvalScratch;
 use crate::journal::{read_journal, JournalHeader, JournalWriter, TileOutcomeRecord, TileRecord};
-use crate::obs::{Counter, ObsEvent};
+use crate::obs::{Counter, ObsEvent, ObsHub};
 use crate::pattern::Pattern;
 use crate::removal::remove_redundant_clips;
 use crate::tile_cache::{self, CacheHeader, TileCache};
@@ -106,9 +131,9 @@ use hotspot_layout::{ClipWindow, LayerId, Layout};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -129,13 +154,33 @@ pub enum FailurePolicy {
     },
 }
 
+/// How a quarantined tile failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FailureKind {
+    /// Both attempts panicked — the only kind before soft budgets existed,
+    /// and the serde default so older reports deserialise unchanged.
+    #[default]
+    Panicked,
+    /// Both attempts exceeded the soft per-tile budget
+    /// ([`ScanConfig::tile_timeout`]).
+    TimedOut,
+}
+
 /// A tile that failed both attempts and was skipped under
 /// [`FailurePolicy::SkipAndRecord`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuarantinedTile {
     /// Stable tile id (`iy × grid_cols + ix`), thread-count-invariant.
     pub tile: usize,
-    /// The panic payload of the failing attempt.
+    /// Whether the tile panicked or blew its soft time budget. Content,
+    /// not provenance — included in the digest. Absent in pre-timeout
+    /// reports, which deserialise as [`FailureKind::Panicked`].
+    #[serde(default)]
+    pub kind: FailureKind,
+    /// The panic payload of the failing attempt (for
+    /// [`FailureKind::TimedOut`], a deterministic budget message that
+    /// never includes measured wall time).
     pub reason: String,
 }
 
@@ -184,6 +229,30 @@ pub struct ScanConfig {
     /// for debugging and CI only.
     #[serde(default)]
     pub cache_verify: bool,
+    /// Global wall-clock budget. When it expires the scan stops admitting
+    /// tiles at the next batch boundary, drains the in-flight window,
+    /// syncs the journal and cache, and returns a partial report marked
+    /// [`ScanReport::aborted`] with [`AbortReason::DeadlineExceeded`] —
+    /// resumable via [`resume_from`](Self::resume_from). `None` (the
+    /// default) scans to completion. A zero deadline is valid and aborts
+    /// before the first batch.
+    #[serde(default)]
+    pub deadline: Option<Duration>,
+    /// Soft per-tile wall-clock budget, polled cooperatively at every
+    /// stage boundary and per evaluated clip. A tile that blows it panics
+    /// with a deterministic timeout marker, is retried once like any other
+    /// failure, and is then handled per
+    /// [`failure_policy`](Self::failure_policy) as
+    /// [`FailureKind::TimedOut`]. `None` disables the budget; zero is
+    /// rejected by [`validate`](Self::validate).
+    #[serde(default)]
+    pub tile_timeout: Option<Duration>,
+    /// External cooperative stop: when this token is cancelled (the CLI's
+    /// SIGINT handler trips it) the scan aborts at the next batch boundary
+    /// with [`AbortReason::Interrupted`]. Never serialised — deserialised
+    /// configs carry no token.
+    #[serde(skip)]
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ScanConfig {
@@ -198,6 +267,9 @@ impl Default for ScanConfig {
             fault_plan: FaultPlan::default(),
             cache: None,
             cache_verify: false,
+            deadline: None,
+            tile_timeout: None,
+            cancel: None,
         }
     }
 }
@@ -219,6 +291,9 @@ impl ScanConfig {
         }
         if self.cache_verify && self.cache.is_none() {
             return Err("cache_verify requires a cache path".into());
+        }
+        if self.tile_timeout.is_some_and(|t| t.is_zero()) {
+            return Err("tile_timeout must be positive when set".into());
         }
         self.fault_plan.validate()
     }
@@ -280,6 +355,14 @@ pub struct ScanReport {
     /// content. Absent in pre-cache reports, which deserialise with 0.
     #[serde(default)]
     pub cache_misses: usize,
+    /// Why the scan stopped early — [`ScanConfig::deadline`] expiry or an
+    /// external [`ScanConfig::cancel`] trip — or `None` when it ran to
+    /// completion. Provenance, not content: excluded from the digest, so
+    /// an aborted scan resumed to completion digests identically to an
+    /// uninterrupted run. Absent in pre-deadline reports, which
+    /// deserialise as `None`.
+    #[serde(default)]
+    pub aborted: Option<AbortReason>,
     /// Most tiles simultaneously in flight — never exceeds the configured
     /// window ([`ScanConfig::effective_in_flight`]).
     pub peak_in_flight: usize,
@@ -304,10 +387,12 @@ impl ScanReport {
     /// Canonical JSON digest of the report's *deterministic* content: the
     /// reported clips, every tile/clip/flag count, and the quarantine
     /// list. Wall-clock and scheduling artefacts (telemetry, scan time,
-    /// `peak_in_flight`) and the resume/retry/cache provenance counters
-    /// are excluded — so a killed-and-resumed scan and a warm cached
-    /// re-scan both digest byte-identically to an uninterrupted cold run,
-    /// which `tests/fault_tolerance.rs` and `tests/tile_cache.rs` pin.
+    /// `peak_in_flight`), the resume/retry/cache provenance counters, and
+    /// the [`aborted`](Self::aborted) marker are excluded — so a
+    /// killed-and-resumed scan and a warm cached re-scan both digest
+    /// byte-identically to an uninterrupted cold run, which
+    /// `tests/fault_tolerance.rs`, `tests/deadlines.rs`, and
+    /// `tests/tile_cache.rs` pin.
     pub fn digest(&self) -> String {
         #[derive(Serialize)]
         struct Digest {
@@ -409,6 +494,84 @@ struct InFlightGuard<'a>(&'a AtomicUsize);
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The scan watchdog: a low-duty background thread armed whenever a
+/// deadline, a soft tile budget, or an external cancel token is
+/// configured. Each tick it forwards the external token and an expired
+/// deadline into the scan's internal trip token (one flag stops the
+/// executor, the tile bodies, and the admission loop together), refreshes
+/// the `hotspot_deadline_remaining_seconds` gauge, and periodically emits
+/// an [`ObsEvent::WatchdogTick`] heartbeat. Joined on drop, so it can
+/// never outlive the scan that armed it.
+struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Tick period: coarse enough to cost nothing, fine enough that an
+    /// expired deadline stops tile admission within one batch boundary.
+    const TICK: Duration = Duration::from_millis(20);
+    /// A heartbeat event is emitted every `HEARTBEAT`-th tick.
+    const HEARTBEAT: u32 = 10;
+
+    fn spawn(
+        trip: CancelToken,
+        external: Option<CancelToken>,
+        deadline_at: Option<Instant>,
+        in_flight: Arc<AtomicUsize>,
+        obs: Option<Arc<ObsHub>>,
+    ) -> std::io::Result<Watchdog> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("scan-watchdog".into())
+            .spawn(move || {
+                let mut ticks = 0u32;
+                while !stop_flag.load(Ordering::SeqCst) {
+                    if external.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        trip.cancel();
+                    }
+                    let mut remaining_ms = None;
+                    if let Some(at) = deadline_at {
+                        let now = Instant::now();
+                        if now >= at {
+                            trip.cancel();
+                        }
+                        let remaining = at.saturating_duration_since(now).as_millis() as u64;
+                        remaining_ms = Some(remaining);
+                        if let Some(hub) = &obs {
+                            hub.set_deadline_remaining_ms(remaining);
+                        }
+                    }
+                    ticks += 1;
+                    if ticks.is_multiple_of(Self::HEARTBEAT) {
+                        if let Some(hub) = &obs {
+                            hub.emit(|| ObsEvent::WatchdogTick {
+                                in_flight: in_flight.load(Ordering::SeqCst) as u64,
+                                deadline_remaining_ms: remaining_ms,
+                            });
+                        }
+                    }
+                    std::thread::park_timeout(Self::TICK);
+                }
+            })?;
+        Ok(Watchdog {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 
@@ -639,8 +802,34 @@ impl HotspotDetector {
         if let Some(hub) = obs {
             executor = executor.with_obs(Arc::clone(hub));
         }
-        let in_flight = AtomicUsize::new(0);
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let peak = AtomicUsize::new(0);
+
+        // Cooperative stop machinery. `trip` is the scan's internal token:
+        // the executor polls it per task and `process_tile` polls it at
+        // stage boundaries. The watchdog forwards the external token and
+        // an expired deadline into it, so one flag stops everything; the
+        // admission loop below re-derives the *reason* from the sources
+        // directly (external cancel wins over the deadline).
+        let deadline_at = scan.deadline.and_then(|d| started.checked_add(d));
+        let trip = CancelToken::new();
+        let mut aborted: Option<AbortReason> = None;
+        let watchdog = if deadline_at.is_some()
+            || scan.cancel.is_some()
+            || scan.tile_timeout.is_some()
+        {
+            let guard = Watchdog::spawn(
+                trip.clone(),
+                scan.cancel.clone(),
+                deadline_at,
+                Arc::clone(&in_flight),
+                obs.map(Arc::clone),
+            )
+            .map_err(|e| DetectError::Internal(format!("failed to spawn scan watchdog: {e}")))?;
+            Some(guard)
+        } else {
+            None
+        };
 
         let mut tiles_scanned = 0usize;
         let mut tiles_prefiltered = 0usize;
@@ -654,13 +843,24 @@ impl HotspotDetector {
         let mut flagged_cores: Vec<Rect> = Vec::new();
 
         loop {
+            // Abort point: stop admitting tiles at the batch boundary when
+            // the external token tripped or the deadline expired. The
+            // journal already holds every completed batch (fsync'd below),
+            // so everything up to here is resumable.
+            if scan.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                aborted = Some(AbortReason::Interrupted);
+            } else if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                aborted = Some(AbortReason::DeadlineExceeded);
+            }
+            if aborted.is_some() {
+                break;
+            }
             // Backpressure: pull at most one window's worth of tiles, fan
             // them out, then drain before pulling more.
             let batch: Vec<Tile> = scanner.by_ref().take(window_cap).collect();
             if batch.is_empty() {
                 break;
             }
-            tiles_scanned += batch.len();
 
             // Partition the batch in order: journaled tiles replay, cached
             // tiles replay by content fingerprint, the rest run fresh.
@@ -746,41 +946,77 @@ impl HotspotDetector {
                         tasks_executed: 0,
                         tasks_stolen: 0,
                         tasks_failed: 0,
+                        tasks_skipped: 0,
                     },
                 )
             } else {
-                executor.try_map("scan_tile", &fresh_tasks, |_, &(pos, id)| {
-                    let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                    let _guard = InFlightGuard(&in_flight);
-                    peak.fetch_max(current, Ordering::SeqCst);
-                    // Worker-side progress: one relaxed add per transition,
-                    // recorded into the worker's own counter shard.
-                    if let Some(hub) = obs {
-                        hub.counters().add(Counter::TilesStarted, 1);
-                    }
-                    let outcome =
-                        self.process_tile(&batch[pos], &index, config, scan, threshold, id, 0);
-                    if let Some(hub) = obs {
-                        hub.counters().add(Counter::TilesDone, 1);
-                    }
-                    outcome
-                })
+                executor.try_map_with_cancel(
+                    "scan_tile",
+                    &fresh_tasks,
+                    |_, &(pos, id)| {
+                        let current = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        let _guard = InFlightGuard(&in_flight);
+                        peak.fetch_max(current, Ordering::SeqCst);
+                        // Worker-side progress: one relaxed add per transition,
+                        // recorded into the worker's own counter shard.
+                        if let Some(hub) = obs {
+                            hub.counters().add(Counter::TilesStarted, 1);
+                        }
+                        let outcome = self.process_tile(
+                            &batch[pos],
+                            &index,
+                            config,
+                            scan,
+                            threshold,
+                            id,
+                            0,
+                            &trip,
+                        );
+                        if let Some(hub) = obs {
+                            hub.counters().add(Counter::TilesDone, 1);
+                        }
+                        outcome
+                    },
+                    Some(&trip),
+                )
             };
 
             // Retry failed tiles once, sequentially, then apply the
             // failure policy to any that fail again.
             let mut retry_failures = 0usize;
             let mut batch_retries = 0usize;
+            let mut batch_timeouts = 0usize;
+            let mut batch_quarantined = 0usize;
             for (result, &(pos, id)) in results.into_iter().zip(&fresh_tasks) {
                 match result {
-                    Ok(outcome) => slots[pos] = Some(outcome),
-                    Err(failure) => {
+                    TaskResult::Done(outcome) => slots[pos] = Some(outcome),
+                    // Skipped by the cooperative stop: the tile was never
+                    // computed. Its slot stays empty — an aborted scan's
+                    // journal simply lacks the record, and the resumed
+                    // scan recomputes it.
+                    TaskResult::Skipped => {}
+                    TaskResult::Failed(failure) => {
+                        if trip.is_cancelled() {
+                            // The scan is stopping: don't burn wall time on
+                            // a mid-abort retry. The tile is recomputed on
+                            // resume instead.
+                            continue;
+                        }
                         batch_retries += 1;
                         if let Some(hub) = obs {
                             hub.counters().add(Counter::TaskRetries, 1);
                         }
                         let retry = catch_unwind(AssertUnwindSafe(|| {
-                            self.process_tile(&batch[pos], &index, config, scan, threshold, id, 1)
+                            self.process_tile(
+                                &batch[pos],
+                                &index,
+                                config,
+                                scan,
+                                threshold,
+                                id,
+                                1,
+                                &trip,
+                            )
                         }));
                         match retry {
                             Ok(outcome) => {
@@ -789,15 +1025,38 @@ impl HotspotDetector {
                                 }
                                 slots[pos] = Some(outcome);
                             }
+                            // The retry observed the cooperative stop
+                            // mid-tile: an abort, not a failure. The slot
+                            // stays empty for resume.
+                            Err(payload) if payload.downcast_ref::<CancelPanic>().is_some() => {}
                             Err(payload) => {
                                 retry_failures += 1;
+                                let timed_out = payload.downcast_ref::<TimeoutPanic>().is_some();
+                                let kind = if timed_out {
+                                    FailureKind::TimedOut
+                                } else {
+                                    FailureKind::Panicked
+                                };
+                                if timed_out {
+                                    batch_timeouts += 1;
+                                }
                                 let reason = panic_payload_to_string(payload.as_ref());
                                 if let Some(hub) = obs {
                                     hub.counters().add(Counter::TilesQuarantined, 1);
-                                    hub.emit(|| ObsEvent::TileQuarantined {
-                                        tile: id as u64,
-                                        stage: failure.stage.clone(),
-                                    });
+                                    if timed_out {
+                                        hub.counters().add(Counter::TilesTimedOut, 1);
+                                        hub.emit(|| ObsEvent::TileTimedOut {
+                                            tile: id as u64,
+                                            budget_ms: scan
+                                                .tile_timeout
+                                                .map_or(0, |t| t.as_millis() as u64),
+                                        });
+                                    } else {
+                                        hub.emit(|| ObsEvent::TileQuarantined {
+                                            tile: id as u64,
+                                            stage: failure.stage.clone(),
+                                        });
+                                    }
                                 }
                                 match scan.failure_policy {
                                     FailurePolicy::Abort => {
@@ -808,7 +1067,12 @@ impl HotspotDetector {
                                         }));
                                     }
                                     FailurePolicy::SkipAndRecord { max_failed_tiles } => {
-                                        failed_tiles.push(QuarantinedTile { tile: id, reason });
+                                        batch_quarantined += 1;
+                                        failed_tiles.push(QuarantinedTile {
+                                            tile: id,
+                                            kind,
+                                            reason,
+                                        });
                                         if failed_tiles.len() > max_failed_tiles {
                                             return Err(DetectError::TooManyFailures {
                                                 failed: failed_tiles.len(),
@@ -823,6 +1087,11 @@ impl HotspotDetector {
                 }
             }
             retries_total += batch_retries;
+            // Tiles actually processed this batch: replayed, cache-served,
+            // freshly computed, or quarantined — but *not* those skipped by
+            // a mid-batch abort, which the resumed scan will process. On an
+            // uninterrupted scan this equals the batch length.
+            tiles_scanned += slots.iter().filter(|s| s.is_some()).count() + batch_quarantined;
 
             // Paranoid cache verification: every hit was recomputed above;
             // the fresh outcome must reproduce the stored record exactly.
@@ -920,6 +1189,9 @@ impl HotspotDetector {
             if batch_retries > 0 {
                 recorder.record_faults(StageId::KernelEvaluation, retry_failures, batch_retries);
             }
+            if batch_timeouts > 0 {
+                recorder.record_timeouts(StageId::KernelEvaluation, batch_timeouts);
+            }
             tiles_prefiltered += prefiltered;
             clips_extracted += batch_clips;
             clips_flagged += batch_flagged;
@@ -979,19 +1251,36 @@ impl HotspotDetector {
 
         // Rewrite the cache with this scan's results: only tiles recorded
         // this run survive, so entries for deleted tiles don't accumulate.
+        // An aborted scan writes back too — partial progress is exactly
+        // what the cache is for.
         if let Some(c) = &cache {
-            let path = scan.cache.as_deref().expect("cache implies a path");
+            let path = scan.cache.as_deref().ok_or_else(|| {
+                DetectError::Internal("tile cache open without a configured cache path".into())
+            })?;
             c.store().map_err(|e| {
                 DetectError::Cache(format!("{}: write-back failed: {e}", path.display()))
             })?;
         }
 
+        // Stop the watchdog before the terminal event, so no heartbeat can
+        // trail a ScanAborted/ScanCompleted in the event stream.
+        drop(watchdog);
+        if let Some(reason) = aborted {
+            recorder.set_aborted(reason.name());
+        }
         if let Some(hub) = obs {
-            hub.emit(|| ObsEvent::ScanCompleted {
-                tiles_scanned,
-                reported: reported.len(),
-                quarantined: failed_tiles.len(),
-            });
+            hub.clear_deadline_remaining();
+            match aborted {
+                Some(reason) => hub.emit(|| ObsEvent::ScanAborted {
+                    reason: reason.name().to_string(),
+                    tiles_scanned,
+                }),
+                None => hub.emit(|| ObsEvent::ScanCompleted {
+                    tiles_scanned,
+                    reported: reported.len(),
+                    quarantined: failed_tiles.len(),
+                }),
+            }
             recorder.set_obs_sinks(hub.sink_names());
         }
         Ok(ScanReport {
@@ -1008,6 +1297,7 @@ impl HotspotDetector {
             resumed_tiles: resumed_total,
             cache_hits: cache_hits_total,
             cache_misses: cache_misses_total,
+            aborted,
             peak_in_flight: peak.load(Ordering::SeqCst),
             telemetry: recorder.finish(),
             scan_time: started.elapsed(),
@@ -1019,7 +1309,8 @@ impl HotspotDetector {
     /// `tile_id` is the stable grid id and `attempt` the attempt number
     /// (0 = first, 1 = retry); both exist only to key the deterministic
     /// fault-injection hooks, which compile down to an `is_empty` check on
-    /// production scans.
+    /// production scans. `trip` is the scan's internal stop token, polled
+    /// at stage boundaries together with the soft tile budget.
     #[allow(clippy::too_many_arguments)]
     fn process_tile(
         &self,
@@ -1030,6 +1321,7 @@ impl HotspotDetector {
         threshold: f64,
         tile_id: usize,
         attempt: u32,
+        trip: &CancelToken,
     ) -> TileOutcome {
         TILE_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
@@ -1041,6 +1333,7 @@ impl HotspotDetector {
                 threshold,
                 tile_id,
                 attempt,
+                trip,
                 &mut scratch,
             )
         })
@@ -1057,10 +1350,34 @@ impl HotspotDetector {
         threshold: f64,
         tile_id: usize,
         attempt: u32,
+        trip: &CancelToken,
         scratch: &mut TileScratch,
     ) -> TileOutcome {
         let shape = config.clip_shape;
         let fault = &scan.fault_plan;
+        let budget = scan.tile_timeout;
+        let tile_started = Instant::now();
+        // The cooperative stop/budget poll, called at every stage boundary
+        // and per evaluated clip. Cancellation wins over the budget so an
+        // aborting scan never mislabels in-flight tiles as timed out. Both
+        // outcomes unwind with typed markers the executor and the retry
+        // loop downcast; the timeout marker carries only the configured
+        // budget — never the measured elapsed time — so quarantine reasons
+        // (digest content) stay deterministic across machines, runs, and
+        // thread counts. The panic releases the scratch borrow on unwind,
+        // like any other tile panic.
+        let checkpoint = || {
+            if trip.is_cancelled() {
+                panic_any(CancelPanic);
+            }
+            if let Some(b) = budget {
+                if tile_started.elapsed() > b {
+                    panic_any(TimeoutPanic {
+                        budget_ms: b.as_millis() as u64,
+                    });
+                }
+            }
+        };
         let mut outcome = TileOutcome {
             prefiltered: false,
             clips: 0,
@@ -1081,6 +1398,7 @@ impl HotspotDetector {
         if !fault.is_empty() {
             fault.inject(FaultSite::Prefilter, tile_id, attempt);
         }
+        checkpoint();
         let t0 = Instant::now();
         let covered: i64 = tile
             .rects
@@ -1104,6 +1422,7 @@ impl HotspotDetector {
         if !fault.is_empty() {
             fault.inject(FaultSite::Extraction, tile_id, attempt);
         }
+        checkpoint();
         let t1 = Instant::now();
         let TileScratch {
             eval,
@@ -1134,10 +1453,12 @@ impl HotspotDetector {
         if !fault.is_empty() {
             fault.inject(FaultSite::Evaluation, tile_id, attempt);
         }
+        checkpoint();
         let t2 = Instant::now();
         let engine = self.eval_engine_with_threshold(threshold);
         eval.reset_counters();
         for pattern in patterns.iter() {
+            checkpoint();
             let (flagged, reclaimed) = Self::flag_with_engine(&engine, pattern, eval);
             if flagged {
                 outcome.flagged += 1;
@@ -1210,6 +1531,20 @@ mod tests {
             ..Default::default()
         };
         assert!(ok_verify.validate().is_ok());
+        let bad_timeout = ScanConfig {
+            tile_timeout: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        assert!(bad_timeout.validate().unwrap_err().contains("tile_timeout"));
+        // A zero deadline is a valid "abort before the first batch"; a
+        // positive tile budget is a valid budget.
+        let ok_deadline = ScanConfig {
+            deadline: Some(Duration::ZERO),
+            tile_timeout: Some(Duration::from_millis(100)),
+            cancel: Some(CancelToken::new()),
+            ..Default::default()
+        };
+        assert!(ok_deadline.validate().is_ok());
     }
 
     #[test]
@@ -1234,6 +1569,8 @@ mod tests {
         assert_eq!(config.failure_policy, FailurePolicy::Abort);
         assert!(config.journal.is_none() && config.resume_from.is_none());
         assert!(config.fault_plan.is_empty());
+        assert!(config.deadline.is_none() && config.tile_timeout.is_none());
+        assert!(config.cancel.is_none(), "tokens are never deserialised");
     }
 
     fn empty_report() -> ScanReport {
@@ -1251,6 +1588,7 @@ mod tests {
             resumed_tiles: 0,
             cache_hits: 0,
             cache_misses: 0,
+            aborted: None,
             peak_in_flight: 0,
             telemetry: PipelineTelemetry::default(),
             scan_time: Duration::ZERO,
@@ -1276,6 +1614,7 @@ mod tests {
             resumed_tiles: 7,
             cache_hits: 11,
             cache_misses: 2,
+            aborted: Some(AbortReason::DeadlineExceeded),
             peak_in_flight: 5,
             scan_time: Duration::from_secs(1),
             ..base.clone()
@@ -1289,10 +1628,37 @@ mod tests {
         let quarantined = ScanReport {
             failed_tiles: vec![QuarantinedTile {
                 tile: 4,
+                kind: FailureKind::Panicked,
                 reason: "injected".into(),
             }],
             ..base.clone()
         };
         assert_ne!(base.digest(), quarantined.digest());
+        // The failure *kind* is content too: a timed-out tile digests
+        // differently from a panicked one.
+        let timed_out = ScanReport {
+            failed_tiles: vec![QuarantinedTile {
+                tile: 4,
+                kind: FailureKind::TimedOut,
+                reason: "injected".into(),
+            }],
+            ..base.clone()
+        };
+        assert_ne!(quarantined.digest(), timed_out.digest());
+    }
+
+    #[test]
+    fn legacy_quarantine_records_deserialise_as_panicked() {
+        let json = r#"{"tile":9,"reason":"boom"}"#;
+        let q: QuarantinedTile = serde_json::from_str(json).unwrap();
+        assert_eq!(q.kind, FailureKind::Panicked);
+        let json = serde_json::to_string(&QuarantinedTile {
+            tile: 1,
+            kind: FailureKind::TimedOut,
+            reason: "slow".into(),
+        })
+        .unwrap();
+        let back: QuarantinedTile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kind, FailureKind::TimedOut);
     }
 }

@@ -82,6 +82,73 @@ if [ "$q1" -eq 0 ] || [ "$q1" -ne "$q2" ]; then
 fi
 echo "fault smoke: both runs quarantined $q1 tile(s), reports completed"
 
+echo "==> deadline smoke (seeded stalls + --tile-timeout: exit 7, stable TimedOut count)"
+# Every tile stalls past its soft budget: both runs must complete in
+# degraded mode (exit 7) and quarantine the identical timed-out set.
+DL_DIR=target/deadline_smoke
+rm -rf "$DL_DIR"
+mkdir -p "$DL_DIR"
+cargo build --release --quiet -p hotspot-cli
+BIN=target/release/hotspot
+for run in 1 2; do
+  set +e
+  "$BIN" scan --model "$FAULT_DIR/model.json" --layout "$FAULT_DIR/layout.gds" \
+    --out "$DL_DIR/report_to_$run.json" --threads 2 --tile-cores 2 \
+    --max-failed-tiles 10000 --tile-timeout 50ms \
+    --fault-stall-per-mille 1000 --fault-stall-ms 150 \
+    > "$DL_DIR/out_to_$run.txt" 2> "$DL_DIR/err_to_$run.txt"
+  status=$?
+  set -e
+  if [ "$status" -ne 7 ]; then
+    echo "deadline smoke run $run: expected exit 7 (quarantined), got $status"
+    cat "$DL_DIR/out_to_$run.txt"
+    exit 1
+  fi
+done
+t1=$(grep -c 'soft time budget' "$DL_DIR/out_to_1.txt")
+t2=$(grep -c 'soft time budget' "$DL_DIR/out_to_2.txt")
+if [ "$t1" -eq 0 ] || [ "$t1" -ne "$t2" ]; then
+  echo "deadline smoke: TimedOut counts diverged or were empty ($t1 vs $t2)"
+  exit 1
+fi
+echo "deadline smoke: both runs timed out $t1 tile(s), reports completed"
+
+echo "==> SIGINT smoke (live scan interrupted: exit 8, valid journal, resume cmp-identical)"
+# Uninterrupted reference report for the byte-equality check.
+"$BIN" scan --model "$FAULT_DIR/model.json" --layout "$FAULT_DIR/layout.gds" \
+  --out "$DL_DIR/report_ref.json" --threads 2 --tile-cores 2 \
+  --journal "$DL_DIR/ref.journal" > "$DL_DIR/out_ref.txt"
+# A live scan slowed by stall injection so the interrupt lands mid-flight.
+"$BIN" scan --model "$FAULT_DIR/model.json" --layout "$FAULT_DIR/layout.gds" \
+  --out "$DL_DIR/report_int.json" --threads 2 --tile-cores 2 \
+  --journal "$DL_DIR/int.journal" \
+  --fault-stall-per-mille 1000 --fault-stall-ms 800 \
+  > "$DL_DIR/out_int.txt" 2> "$DL_DIR/err_int.txt" &
+scan_pid=$!
+for _ in $(seq 1 100); do
+  [ -f "$DL_DIR/int.journal" ] && break
+  sleep 0.1
+done
+sleep 0.3
+kill -INT "$scan_pid"
+set +e
+wait "$scan_pid"
+status=$?
+set -e
+if [ "$status" -ne 8 ]; then
+  echo "SIGINT smoke: expected exit 8 (aborted-but-resumable), got $status"
+  cat "$DL_DIR/out_int.txt" "$DL_DIR/err_int.txt"
+  exit 1
+fi
+grep -q 'scan aborted (interrupted)' "$DL_DIR/out_int.txt"
+# The journal's prefix is valid: a resume (without the stalls) finishes
+# the scan and the report is byte-identical to the uninterrupted one.
+"$BIN" scan --model "$FAULT_DIR/model.json" --layout "$FAULT_DIR/layout.gds" \
+  --out "$DL_DIR/report_resumed.json" --threads 2 --tile-cores 2 \
+  --journal "$DL_DIR/int.journal" --resume > "$DL_DIR/out_resumed.txt"
+cmp "$DL_DIR/report_ref.json" "$DL_DIR/report_resumed.json"
+echo "SIGINT smoke: interrupted at exit 8, resume byte-identical"
+
 echo "==> observability smoke (NDJSON events + live /metrics + digest equality)"
 OBS_DIR=target/obs_smoke
 rm -rf "$OBS_DIR"

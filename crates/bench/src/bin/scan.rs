@@ -4,10 +4,14 @@
 //! testing layout three times through a content-addressed tile cache:
 //! cold (fresh cache), warm (unchanged layout — every tile served from
 //! the cache), and edited (one rect added — only the touched tiles
-//! recompute). Writes `BENCH_scan.json` (schema v2, documented in
-//! `DESIGN.md`): clips/second, tiles scanned vs prefiltered, the observed
-//! peak in-flight window, a peak-RSS proxy, the per-stage breakdown, and
-//! the warm/edited re-scan columns.
+//! recompute). A rasterisation micro-phase then re-times density-grid
+//! construction for every clip of the layout: the reference per-rect
+//! sweep versus one shared summed-area table per tile, asserting the two
+//! produce bit-identical grids. Writes `BENCH_scan.json` (schema v3,
+//! documented in `DESIGN.md`): clips/second, tiles scanned vs
+//! prefiltered, the observed peak in-flight window, a peak-RSS proxy,
+//! the per-stage breakdown, the warm/edited re-scan columns, and the
+//! raster micro-phase columns.
 //!
 //! ```sh
 //! HOTSPOT_SCALE=huge cargo run --release --bin scan
@@ -17,17 +21,24 @@
 //! Table-I area), `HOTSPOT_TILE_CORES`, `HOTSPOT_MAX_IN_FLIGHT`,
 //! `HOTSPOT_BENCH_OUT` (output path, default `BENCH_scan.json`),
 //! `HOTSPOT_SCAN_MIN_WARM_SPEEDUP` (exit non-zero when the warm re-scan
-//! speedup falls below this floor), `HOTSPOT_SCAN_PROGRESS=1` (live
-//! stderr progress line), and `HOTSPOT_METRICS_ADDR` (serve Prometheus
-//! `/metrics` during the scan).
+//! speedup falls below this floor), `HOTSPOT_SCAN_MIN_RASTER_SPEEDUP`
+//! (exit non-zero when the summed-area rasterisation speedup falls below
+//! this floor), `HOTSPOT_SCAN_PROGRESS=1` (live stderr progress line),
+//! and `HOTSPOT_METRICS_ADDR` (serve Prometheus `/metrics` during the
+//! scan).
 
 use hotspot_bench::{print_header, scale_from_env, ScanBenchReport};
 use hotspot_benchgen::{iccad_suite, Benchmark};
+use hotspot_core::extraction::{passes_filter, split_oversized_into};
+use hotspot_core::scan::RASTER_SUBTILE_CORES;
+use hotspot_core::training::{density_grid, Region};
 use hotspot_core::{
-    CancelToken, DetectorConfig, HotspotDetector, MetricsServer, ObsHub, ProgressSink, Sampler,
-    ScanConfig,
+    CancelToken, DetectorConfig, HotspotDetector, MetricsServer, ObsHub, Pattern, ProgressSink,
+    RasterMode, RectIndex, Sampler, ScanConfig,
 };
-use hotspot_geom::Rect;
+use hotspot_geom::{AreaTable, AreaTableGrid, DensityGrid, Rect};
+use hotspot_layout::scan::{TileScanner, TileSpec};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -192,6 +203,122 @@ fn main() {
         println!("edited digest check passed (cache-free reference identical)");
     }
 
+    // Rasterisation micro-phase: walk the scan's own tile grid, enumerate
+    // the exact clip set evaluation sees, and time density-grid
+    // construction both ways — the production reference path per clip
+    // (`density_grid` under `RasterMode::Reference`: normalise the clip's
+    // rects, then the per-rect sweep) versus the production Sat path
+    // (padded subtile summed-area tables rebuilt in place per tile with
+    // retained allocations, then in-place rasterisation into a reused
+    // scratch grid — rebuild included in the timed region, exactly as the
+    // scan worker pays it). Each tile's legs are timed as a min over a few
+    // repetitions so scheduler noise on a loaded host cannot fabricate or
+    // hide a regression. The grids must be bit-identical; the timings feed
+    // the `raster_*` columns and the speedup gate.
+    let config = detector.config();
+    let mut ref_config = config.clone();
+    ref_config.raster_mode = RasterMode::Reference;
+    let shape = config.clip_shape;
+    let g = config.cluster.grid;
+    let spec = TileSpec::new(
+        shape.core_side() * scan.tile_cores as i64,
+        shape.ambit() + shape.core_side(),
+    )
+    .expect("tile spec");
+    let index = RectIndex::from_layout(&benchmark.layout, benchmark.layer, shape.clip_side());
+    let scanner = TileScanner::from_rects(index.rects().to_vec(), spec);
+
+    let mut naive_time = Duration::ZERO;
+    let mut sat_time = Duration::ZERO;
+    let mut raster_clips = 0usize;
+    let mut sat_fallbacks = 0usize;
+    let mut pieces: Vec<Rect> = Vec::new();
+    let mut seen: HashSet<hotspot_geom::Point> = HashSet::new();
+    // Production-shaped Sat state: one table grid and one clip-grid
+    // scratch reused across every tile (`EvalScratch` holds the same).
+    let mut tables = AreaTableGrid::default();
+    let mut scratch = DensityGrid::default();
+    let mut windows: Vec<Rect> = Vec::new();
+    const RASTER_REPS: usize = 5;
+    for tile in scanner {
+        // Clip enumeration mirrors `scan_layout`'s per-tile extraction;
+        // it stays outside both timed regions.
+        split_oversized_into(&tile.rects, shape.core_side(), &mut pieces);
+        seen.clear();
+        let mut patterns: Vec<Pattern> = Vec::new();
+        for piece in pieces.iter() {
+            let anchor = piece.min();
+            if !tile.region.contains_point(anchor) || !seen.insert(anchor) {
+                continue;
+            }
+            let window = shape.window_from_core_corner(anchor);
+            let pattern = Pattern::new(window, &index.query(&window.clip));
+            if passes_filter(&pattern, &config.distribution) {
+                patterns.push(pattern);
+            }
+        }
+        if patterns.is_empty() {
+            continue;
+        }
+        raster_clips += patterns.len();
+
+        let mut naive_best = Duration::MAX;
+        let mut naive_grids: Vec<DensityGrid> = Vec::new();
+        for _ in 0..RASTER_REPS {
+            let t = Instant::now();
+            let grids: Vec<DensityGrid> = patterns
+                .iter()
+                .map(|p| density_grid(p, Region::Core, &ref_config))
+                .collect();
+            naive_best = naive_best.min(t.elapsed());
+            naive_grids = grids;
+        }
+        naive_time += naive_best;
+
+        let mut sat_best = Duration::MAX;
+        for _ in 0..RASTER_REPS {
+            let t = Instant::now();
+            windows.clear();
+            windows.extend(patterns.iter().map(|p| p.window.core));
+            tables.rebuild_for(
+                &tile.region,
+                shape.core_side() * RASTER_SUBTILE_CORES,
+                shape.core_side(),
+                &tile.rects,
+                AreaTable::DEFAULT_MAX_CELLS,
+                &windows,
+            );
+            for p in patterns.iter() {
+                if tables.rasterize_into(&p.window.core, g, g, &mut scratch) {
+                    std::hint::black_box(&scratch);
+                } else {
+                    scratch = density_grid(p, Region::Core, &ref_config);
+                }
+            }
+            sat_best = sat_best.min(t.elapsed());
+        }
+        sat_time += sat_best;
+
+        // Untimed verification against the reference grids (the fallback
+        // path runs the very same reference constructor, so only table
+        // answers need checking).
+        for (p, naive) in patterns.iter().zip(&naive_grids) {
+            match tables.rasterize(&p.window.core, g, g) {
+                Some(sat) => assert_eq!(
+                    naive.cells(),
+                    sat.cells(),
+                    "summed-area rasterisation must be bit-identical to the reference sweep"
+                ),
+                None => sat_fallbacks += 1,
+            }
+        }
+    }
+    bench.record_raster(naive_time, sat_time);
+    println!(
+        "raster: {} clips — reference {:.2?}, sat {:.2?} ({:.1}x speedup, {} fallback clips)",
+        raster_clips, naive_time, sat_time, bench.raster_speedup, sat_fallbacks
+    );
+
     if let Some(sampler) = sampler {
         sampler.stop();
     }
@@ -222,6 +349,23 @@ fn main() {
         println!(
             "warm speedup gate passed: {:.2}x >= {floor}",
             bench.warm_speedup
+        );
+    }
+
+    if let Ok(floor) = std::env::var("HOTSPOT_SCAN_MIN_RASTER_SPEEDUP") {
+        let floor: f64 = floor
+            .parse()
+            .expect("HOTSPOT_SCAN_MIN_RASTER_SPEEDUP must be a number");
+        if bench.raster_speedup < floor {
+            eprintln!(
+                "FAIL: rasterisation speedup {:.2}x below HOTSPOT_SCAN_MIN_RASTER_SPEEDUP={floor}",
+                bench.raster_speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "raster speedup gate passed: {:.2}x >= {floor}",
+            bench.raster_speedup
         );
     }
 }

@@ -167,8 +167,12 @@ pub fn run_basic(benchmark: &Benchmark, config: DetectorConfig) -> MethodResult 
 /// incremental re-scan columns (`warm_*`, `edited_*`) timing a second
 /// scan through the content-addressed tile result cache — unchanged
 /// layout (all hits) and after a one-tile edit (only touched tiles
-/// recompute). v1 records deserialise with the new fields zeroed.
-pub const SCAN_BENCH_SCHEMA_VERSION: u32 = 2;
+/// recompute); v3 adds the rasterisation micro-phase columns
+/// (`raster_naive_wall_ms`, `raster_sat_wall_ms`, `raster_speedup`)
+/// timing per-clip density-grid construction through the reference
+/// per-rect sweep versus one shared summed-area table per tile. Older
+/// records deserialise with the new fields zeroed.
+pub const SCAN_BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// The `BENCH_scan.json` record written by the `scan` benchmark binary:
 /// streaming-scan throughput, prefilter effectiveness, the memory bound
@@ -233,6 +237,20 @@ pub struct ScanBenchReport {
     /// Tiles still served from the cache after the edit.
     #[serde(default)]
     pub edited_cache_hits: usize,
+    /// Wall time of rasterising every extracted clip through the
+    /// reference per-rect sweep, in milliseconds; `0.0` in pre-v3
+    /// records.
+    #[serde(default)]
+    pub raster_naive_wall_ms: f64,
+    /// Wall time of rasterising the same clips through one shared
+    /// summed-area table per tile (build included), in milliseconds;
+    /// `0.0` in pre-v3 records.
+    #[serde(default)]
+    pub raster_sat_wall_ms: f64,
+    /// Rasterisation speedup: `raster_naive_wall_ms /
+    /// raster_sat_wall_ms`; `0.0` in pre-v3 records.
+    #[serde(default)]
+    pub raster_speedup: f64,
     /// Per-stage telemetry of the cold scan phase.
     pub telemetry: PipelineTelemetry,
 }
@@ -270,8 +288,24 @@ impl ScanBenchReport {
             edited_wall_ms: 0.0,
             edited_cache_misses: 0,
             edited_cache_hits: 0,
+            raster_naive_wall_ms: 0.0,
+            raster_sat_wall_ms: 0.0,
+            raster_speedup: 0.0,
             telemetry: report.telemetry.clone(),
         }
+    }
+
+    /// Records the rasterisation micro-phase (reference per-rect sweep
+    /// versus shared summed-area tables over the identical clip set) and
+    /// derives `raster_speedup`.
+    pub fn record_raster(&mut self, naive: Duration, sat: Duration) {
+        self.raster_naive_wall_ms = naive.as_secs_f64() * 1e3;
+        self.raster_sat_wall_ms = sat.as_secs_f64() * 1e3;
+        self.raster_speedup = if self.raster_sat_wall_ms > 0.0 {
+            self.raster_naive_wall_ms / self.raster_sat_wall_ms
+        } else {
+            0.0
+        };
     }
 
     /// Records the warm re-scan pass (unchanged layout through the tile
@@ -559,17 +593,21 @@ mod tests {
         let mut bench =
             ScanBenchReport::from_scan(&report, &bm.spec.name, SuiteScale::Tiny, threads, &scan);
         assert_eq!(bench.schema_version, SCAN_BENCH_SCHEMA_VERSION);
-        assert_eq!(bench.schema_version, 2);
+        assert_eq!(bench.schema_version, 3);
         assert_eq!(bench.scale, "tiny");
         assert_eq!(bench.tiles_scanned, report.tiles_scanned);
         assert!(bench.max_in_flight >= 1);
-        // Cold-only record leaves the warm-rescan columns defaulted.
+        // Cold-only record leaves the warm-rescan and raster columns
+        // defaulted.
         assert_eq!(bench.warm_speedup, 0.0);
         assert_eq!(bench.warm_cache_hits, 0);
+        assert_eq!(bench.raster_speedup, 0.0);
         bench.record_warm(&report);
         bench.record_edited(&report);
+        bench.record_raster(Duration::from_millis(80), Duration::from_millis(20));
         assert!(bench.warm_wall_ms > 0.0);
         assert!(bench.warm_speedup > 0.0);
+        assert!((bench.raster_speedup - 4.0).abs() < 1e-9);
         let json = serde_json::to_string_pretty(&bench).expect("serialise");
         let back: ScanBenchReport = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, bench);
@@ -584,6 +622,9 @@ mod tests {
             "\"warm_speedup\"",
             "\"warm_cache_hits\"",
             "\"edited_cache_misses\"",
+            "\"raster_naive_wall_ms\"",
+            "\"raster_sat_wall_ms\"",
+            "\"raster_speedup\"",
             "\"telemetry\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
@@ -628,5 +669,8 @@ mod tests {
         assert_eq!(back.edited_wall_ms, 0.0);
         assert_eq!(back.edited_cache_hits, 0);
         assert_eq!(back.edited_cache_misses, 0);
+        assert_eq!(back.raster_naive_wall_ms, 0.0);
+        assert_eq!(back.raster_sat_wall_ms, 0.0);
+        assert_eq!(back.raster_speedup, 0.0);
     }
 }

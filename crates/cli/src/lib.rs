@@ -26,7 +26,8 @@ mod sigint;
 use hotspot_benchgen::{iccad_suite, Benchmark, SuiteScale};
 use hotspot_core::{
     CancelToken, DetectError, DetectorConfig, EvalMode, FailurePolicy, FaultPlan, HotspotDetector,
-    MetricsServer, NdjsonSink, ObsEvent, ObsHub, ProgressSink, Sampler, ScanConfig, TrainingSet,
+    MetricsServer, NdjsonSink, ObsEvent, ObsHub, ProgressSink, RasterMode, Sampler, ScanConfig,
+    TrainingSet,
 };
 use hotspot_layout::{gdsii, ClipWindow, LayerId};
 use std::fmt;
@@ -109,11 +110,13 @@ USAGE:
   hotspot detect   --model <model.json> --layout <layout.gds> --out <report.json>
                    [--layer N] [--threshold X] [--threads N] [--json]
                    [--eval-mode reference|compiled]
+                   [--raster-mode reference|sat]
                    [--telemetry <telemetry.json>]
   hotspot scan     --model <model.json> --layout <layout.gds> --out <report.json>
                    [--layer N] [--threshold X] [--threads N] [--tile-cores N]
                    [--max-in-flight N] [--tile-density X] [--json]
                    [--eval-mode reference|compiled]
+                   [--raster-mode reference|sat]
                    [--telemetry <telemetry.json>]
                    [--cache <cache.bin>] [--cache-verify]
                    [--journal <journal.log>] [--resume] [--max-failed-tiles N]
@@ -139,6 +142,9 @@ the model's training telemetry with the run into an eight-stage record.
 routes admission through the batched 8-orientation centroid router and
 the flattened SVM engine; `reference` keeps the naive per-kernel search
 as a cross-checking oracle. Both flag the identical hotspot set.
+--raster-mode selects the density-grid rasteriser: `sat` (default) shares
+one exact summed-area table per tile; `reference` sweeps every rect per
+clip. Both are exact-integer paths and produce byte-identical reports.
 `scan` streams the layout tile by tile: --max-in-flight bounds memory
 (0 = 2x threads), --tile-cores sets the tile stride in core sides, and
 --tile-density enables the aggressive mean-coverage prefilter.
@@ -403,6 +409,20 @@ fn parse_eval_mode(opts: &Opts) -> Result<Option<EvalMode>, CliError> {
         .transpose()
 }
 
+/// Parses the optional `--raster-mode` flag; absent means "keep the
+/// model's persisted mode". Bad values are usage errors (exit code 2).
+fn parse_raster_mode(opts: &Opts) -> Result<Option<RasterMode>, CliError> {
+    opts.get("raster-mode")
+        .map(|v| {
+            v.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "invalid value `{v}` for --raster-mode (expected `reference` or `sat`)"
+                ))
+            })
+        })
+        .transpose()
+}
+
 fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
     let mut detector: HotspotDetector = read_json(opts.require("model")?)?;
     let layout = gdsii::read_file(opts.require("layout")?)?;
@@ -417,6 +437,9 @@ fn cmd_detect(opts: &Opts) -> Result<String, CliError> {
     }
     if let Some(mode) = parse_eval_mode(opts)? {
         detector = detector.with_eval_mode(mode);
+    }
+    if let Some(mode) = parse_raster_mode(opts)? {
+        detector = detector.with_raster_mode(mode);
     }
 
     let report = detector.detect_with_threshold(&layout, layer, threshold)?;
@@ -467,6 +490,9 @@ fn cmd_scan(opts: &Opts) -> Result<(String, i32), CliError> {
     }
     if let Some(mode) = parse_eval_mode(opts)? {
         detector = detector.with_eval_mode(mode);
+    }
+    if let Some(mode) = parse_raster_mode(opts)? {
+        detector = detector.with_raster_mode(mode);
     }
     let failure_policy = match opts.get("max-failed-tiles") {
         None => FailurePolicy::Abort,
@@ -1170,6 +1196,76 @@ mod tests {
             report.to_str().unwrap(),
             "--eval-mode",
             "fast",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raster_mode_flag_selects_rasteriser_and_rejects_bad_values() {
+        let dir = workdir("raster_mode");
+        run(&argv(&[
+            "generate",
+            "--name",
+            "array_benchmark1",
+            "--scale",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&[
+            "train",
+            "--training",
+            dir.join("training.json").to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+
+        let report = dir.join("report.json");
+        let scan_args = |mode: &str| {
+            argv(&[
+                "scan",
+                "--model",
+                model.to_str().unwrap(),
+                "--layout",
+                dir.join("layout.gds").to_str().unwrap(),
+                "--out",
+                report.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--raster-mode",
+                mode,
+            ])
+        };
+
+        // Both rasterisers produce byte-identical reports.
+        run(&scan_args("sat")).unwrap();
+        let sat = std::fs::read_to_string(&report).unwrap();
+        run(&scan_args("reference")).unwrap();
+        let reference = std::fs::read_to_string(&report).unwrap();
+        assert_eq!(sat, reference, "raster modes disagree via the CLI");
+
+        // Bad values are usage errors (exit code 2) on scan and detect.
+        let err = run(&scan_args("bilinear")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--raster-mode"), "{err}");
+        let err = run(&argv(&[
+            "detect",
+            "--model",
+            model.to_str().unwrap(),
+            "--layout",
+            dir.join("layout.gds").to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+            "--raster-mode",
+            "naive",
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2, "{err}");

@@ -1,7 +1,7 @@
 //! All framework parameters, defaulting to the values the paper reports in
 //! its experiments (Section V, second experiment set).
 
-use hotspot_geom::Coord;
+use hotspot_geom::{Coord, RasterMode};
 use hotspot_layout::ClipShape;
 use hotspot_topo::{ClusterParams, FeatureConfig};
 use serde::{Deserialize, Serialize};
@@ -168,6 +168,12 @@ pub struct DetectorConfig {
     /// as a debugging switch, hence the serde default.
     #[serde(default)]
     pub eval_mode: EvalMode,
+    /// Density-grid rasterisation strategy ([`RasterMode::Sat`] shares a
+    /// per-tile summed-area table across clips; both modes are
+    /// bit-identical on arbitrary input). Serde default for the same
+    /// back-compat reason as `eval_mode`.
+    #[serde(default)]
+    pub raster_mode: RasterMode,
     /// Worker threads for training and evaluation; 0 = one per core.
     pub threads: usize,
     /// Ablation switches (Table III).
@@ -197,6 +203,7 @@ impl Default for DetectorConfig {
             decision_threshold: 0.0,
             admission: AdmissionParams::default(),
             eval_mode: EvalMode::default(),
+            raster_mode: RasterMode::default(),
             threads: 0,
             ablation: AblationSwitches::default(),
         }
@@ -364,12 +371,13 @@ mod tests {
         let serde::Value::Object(entries) = &mut value else {
             panic!("config serialises as an object");
         };
-        entries.retain(|(k, _)| k != "admission" && k != "eval_mode");
+        entries.retain(|(k, _)| k != "admission" && k != "eval_mode" && k != "raster_mode");
         entries.push(("fuzziness".into(), serde::Value::Float(1.5)));
         let legacy = serde_json::to_string(&value).unwrap();
         let parsed: DetectorConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(parsed.admission, AdmissionParams::default());
         assert_eq!(parsed.eval_mode, EvalMode::Compiled);
+        assert_eq!(parsed.raster_mode, RasterMode::Sat);
     }
 
     #[test]

@@ -12,9 +12,10 @@ use crate::obs::{Counter, ObsHub};
 use crate::pattern::{Pattern, TrainingSet};
 use crate::removal::remove_redundant_clips;
 use crate::training::{
-    classify_patterns, density_grid, train_cluster_kernels_with, ClusterKernel, PatternCluster,
-    Region,
+    classify_patterns_mode, density_grid, train_cluster_kernels_with, ClusterKernel,
+    PatternCluster, Region,
 };
+use hotspot_geom::RasterMode;
 use hotspot_layout::{ClipShape, ClipWindow, LayerId, Layout};
 use hotspot_svm::{CompiledModel, TrainError};
 use hotspot_topo::route::CentroidRouter;
@@ -316,8 +317,18 @@ impl HotspotDetector {
                 StageId::TopologicalClassification,
                 hotspots.len() + training.nonhotspots.len(),
                 || {
-                    let h = classify_patterns(&hotspots, Region::Core, &config.cluster);
-                    let n = classify_patterns(&training.nonhotspots, Region::Core, &config.cluster);
+                    let h = classify_patterns_mode(
+                        &hotspots,
+                        Region::Core,
+                        &config.cluster,
+                        config.raster_mode,
+                    );
+                    let n = classify_patterns_mode(
+                        &training.nonhotspots,
+                        Region::Core,
+                        &config.cluster,
+                        config.raster_mode,
+                    );
                     let count = h.len() + n.len();
                     ((h, n), count)
                 },
@@ -435,6 +446,17 @@ impl HotspotDetector {
     /// testing and the naive-vs-compiled benchmark.
     pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
         self.config.eval_mode = mode;
+        self
+    }
+
+    /// Returns this detector with the density-grid rasterisation strategy
+    /// selected. [`RasterMode::Sat`] (the default) shares one summed-area
+    /// table across every clip of a scan tile; [`RasterMode::Reference`]
+    /// sweeps each clip's rects directly. Both produce bit-identical grids
+    /// (and therefore byte-identical scan digests) on arbitrary input,
+    /// pinned by `tests/raster_mode.rs`.
+    pub fn with_raster_mode(mut self, mode: RasterMode) -> Self {
+        self.config.raster_mode = mode;
         self
     }
 
@@ -846,6 +868,13 @@ impl DetectorBuilder {
     /// Selects the evaluation engine ([`EvalMode::Compiled`] by default).
     pub fn eval_mode(mut self, mode: EvalMode) -> Self {
         self.config.eval_mode = mode;
+        self
+    }
+
+    /// Selects the density-grid rasterisation strategy
+    /// ([`RasterMode::Sat`] by default).
+    pub fn raster_mode(mut self, mode: RasterMode) -> Self {
+        self.config.raster_mode = mode;
         self
     }
 

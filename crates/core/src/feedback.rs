@@ -16,6 +16,7 @@ use crate::training::{
     classify_patterns, density_grid, feature_vector_padded, train_iterative, ClusterKernel,
     FeatureMemo, PatternCluster, Region,
 };
+use hotspot_geom::{AreaTableGrid, DensityGrid};
 use hotspot_svm::{BatchEvaluator, CompiledModel, SvmModel, TrainError};
 use hotspot_topo::route::{Admission, CentroidRouter, RouteStats};
 use hotspot_topo::TopoSignature;
@@ -33,6 +34,19 @@ pub struct EvalScratch {
     admissions: Vec<Admission>,
     route_stats: RouteStats,
     admitted: usize,
+    /// Padded subtile summed-area tables over the current scan tile's
+    /// dissected rects, rebuilt in place by the tile loop under
+    /// [`hotspot_geom::RasterMode::Sat`] (allocations persist across
+    /// tiles). When live, every clip of the tile rasterises its core
+    /// density grid from its subtile's shared table instead of sweeping
+    /// its rects.
+    raster: AreaTableGrid,
+    /// Whether `raster` holds the *current* tile's tables. Cleared at the
+    /// start of every tile so stale tables never leak across tiles.
+    raster_live: bool,
+    /// Reused clip-grid buffer for the in-place table rasterisation, so the
+    /// per-clip grid costs no allocation once grown.
+    grid: DensityGrid,
 }
 
 impl EvalScratch {
@@ -63,6 +77,32 @@ impl EvalScratch {
     pub fn reset_counters(&mut self) {
         self.route_stats = RouteStats::default();
         self.admitted = 0;
+    }
+
+    /// Marks the shared per-tile summed-area tables stale. The scan loop
+    /// calls this unconditionally at the start of every tile, so tables
+    /// never leak across tiles; the storage itself is retained for the
+    /// next rebuild.
+    pub(crate) fn clear_raster_tables(&mut self) {
+        self.raster_live = false;
+    }
+
+    /// Rebuilds the shared per-tile summed-area tables in place (see
+    /// [`AreaTableGrid::rebuild_for`]) and marks them live for the
+    /// current tile.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rebuild_raster_tables(
+        &mut self,
+        region: &hotspot_geom::Rect,
+        stride: i64,
+        pad: i64,
+        rects: &[hotspot_geom::Rect],
+        max_cells_per_table: usize,
+        windows: &[hotspot_geom::Rect],
+    ) {
+        self.raster
+            .rebuild_for(region, stride, pad, rects, max_cells_per_table, windows);
+        self.raster_live = true;
     }
 }
 
@@ -191,15 +231,28 @@ impl<'d> EvalEngine<'d> {
             .collect();
         let local = hotspot_geom::Rect::from_extents(0, 0, window.width(), window.height());
         let signature = TopoSignature::of(&local, &rects);
-        let grid = density_grid(pattern, Region::Core, self.config);
-        let mut memo = FeatureMemo::new(pattern, Region::Core, self.config);
-
+        // With per-tile summed-area tables installed, the clip's core grid
+        // is four table lookups per cell against its subtile's table (in
+        // absolute coordinates — the integer pixel boundaries shift with
+        // the window origin, so the result is bit-identical to the
+        // per-pattern rasterisation). Windows no subtile covers (cell-cap
+        // overflow) fall back to the reference sweep.
+        let g = self.config.cluster.grid;
         let EvalScratch {
             eval,
             admissions,
             route_stats,
             admitted,
+            raster,
+            raster_live,
+            grid: scratch_grid,
         } = scratch;
+        let filled = *raster_live && raster.rasterize_into(&window, g, g, scratch_grid);
+        if !filled {
+            *scratch_grid = density_grid(pattern, Region::Core, self.config);
+        }
+        let grid: &DensityGrid = scratch_grid;
+        let mut memo = FeatureMemo::new(pattern, Region::Core, self.config);
 
         // The compiled router answers the density side of admission for
         // every kernel in one fused pass; the admissions come back sorted
@@ -210,7 +263,7 @@ impl<'d> EvalEngine<'d> {
             .router
             .filter(|r| (grid.nx(), grid.ny()) == (r.nx(), r.ny()));
         if let Some(router) = router {
-            router.route_into(&grid, admissions, route_stats);
+            router.route_into(grid, admissions, route_stats);
             let mut next = 0usize;
             for (idx, k) in self.kernels.iter().enumerate() {
                 let density_match = admissions.get(next).is_some_and(|a| a.kernel == idx);

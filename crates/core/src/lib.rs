@@ -75,6 +75,7 @@ pub use engine::{
 };
 pub use extraction::{extract_clips, RectIndex};
 pub use feedback::{EvalEngine, EvalScratch};
+pub use hotspot_geom::RasterMode;
 pub use metrics::{score, Evaluation};
 pub use multilayer::{MultilayerDetector, MultilayerPattern, MultilayerTrainingSet};
 pub use obs::{

@@ -11,7 +11,7 @@
 use crate::config::DetectorConfig;
 use crate::extraction::{extract_clips_indexed, RectIndex};
 use crate::pattern::Pattern;
-use crate::training::{classify_patterns, train_iterative, Region};
+use crate::training::{classify_patterns_mode, core_signature_and_grid, train_iterative, Region};
 use hotspot_geom::{DensityGrid, Rect};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use hotspot_svm::{SvmModel, TrainError};
@@ -131,7 +131,12 @@ impl MultilayerDetector {
             .iter()
             .map(MultilayerPattern::classification_pattern)
             .collect();
-        let clusters = classify_patterns(&class_patterns, Region::Core, &config.cluster);
+        let clusters = classify_patterns_mode(
+            &class_patterns,
+            Region::Core,
+            &config.cluster,
+            config.raster_mode,
+        );
 
         // Nonhotspot side: all nonhotspots (multilayer sets are small; the
         // single-layer pipeline's medoid downsampling applies before this).
@@ -188,20 +193,7 @@ impl MultilayerDetector {
     /// Classifies one multilayer clip (any-kernel-flags semantics).
     pub fn classify(&self, pattern: &MultilayerPattern) -> bool {
         let class = pattern.classification_pattern();
-        let core = class.window.core;
-        let local = Rect::from_extents(0, 0, core.width(), core.height());
-        let rects: Vec<Rect> = class
-            .core_rects()
-            .iter()
-            .map(|r| r.translate(-core.min()))
-            .collect();
-        let signature = TopoSignature::of(&local, &rects);
-        let grid = DensityGrid::from_rects(
-            &local,
-            &rects,
-            self.config.cluster.grid,
-            self.config.cluster.grid,
-        );
+        let (signature, grid) = core_signature_and_grid(&class, &self.config);
         let features_full = pattern.feature_vector(&self.config);
         for k in &self.kernels {
             let topo_match = signature == k.signature;

@@ -13,7 +13,7 @@
 use crate::config::DetectorConfig;
 use crate::extraction::{extract_clips_indexed, RectIndex};
 use crate::pattern::Pattern;
-use crate::training::{classify_patterns, train_iterative, Region};
+use crate::training::{classify_patterns_mode, core_signature_and_grid, train_iterative, Region};
 use hotspot_geom::{Coord, DensityGrid, Rect};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
 use hotspot_svm::{SvmModel, TrainError};
@@ -104,7 +104,12 @@ impl DoublePatterningDetector {
             .iter()
             .map(DecomposedPattern::combined_pattern)
             .collect();
-        let clusters = classify_patterns(&class_patterns, Region::Core, &config.cluster);
+        let clusters = classify_patterns_mode(
+            &class_patterns,
+            Region::Core,
+            &config.cluster,
+            config.raster_mode,
+        );
 
         let negative_features: Vec<Vec<f64>> = nonhotspots
             .iter()
@@ -163,20 +168,7 @@ impl DoublePatterningDetector {
     /// Classifies one decomposed clip.
     pub fn classify(&self, pattern: &DecomposedPattern) -> bool {
         let combined = pattern.combined_pattern();
-        let core = combined.window.core;
-        let local = Rect::from_extents(0, 0, core.width(), core.height());
-        let rects: Vec<Rect> = combined
-            .core_rects()
-            .iter()
-            .map(|r| r.translate(-core.min()))
-            .collect();
-        let signature = TopoSignature::of(&local, &rects);
-        let grid = DensityGrid::from_rects(
-            &local,
-            &rects,
-            self.config.cluster.grid,
-            self.config.cluster.grid,
-        );
+        let (signature, grid) = core_signature_and_grid(&combined, &self.config);
         let features_full = pattern.feature_vector(&self.config);
         for k in &self.kernels {
             let topo_match = signature == k.signature;

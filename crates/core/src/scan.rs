@@ -125,6 +125,7 @@ use crate::obs::{Counter, ObsEvent, ObsHub};
 use crate::pattern::Pattern;
 use crate::removal::remove_redundant_clips;
 use crate::tile_cache::{self, CacheHeader, TileCache};
+use hotspot_geom::{AreaTable, RasterMode};
 use hotspot_geom::{Point, Rect};
 use hotspot_layout::scan::{Tile, TileScanner, TileSpec};
 use hotspot_layout::{ClipWindow, LayerId, Layout};
@@ -136,6 +137,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Subtile pitch of the Sat rasteriser's per-tile [`hotspot_geom::AreaTableGrid`], in
+/// core sides. Table build cost is quadratic in the rects per subtile, so
+/// a pitch of a few cores keeps boundary crossings local while the padded
+/// windows (one core side of +x/+y padding) stay small relative to the
+/// pitch. Public so the benchmark's rasterisation micro-phase measures
+/// exactly the production decomposition.
+pub const RASTER_SUBTILE_CORES: i64 = 4;
 
 /// What a scan does when a tile task fails (panics on both attempts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -586,6 +595,9 @@ struct TileScratch {
     pieces: Vec<Rect>,
     seen: HashSet<Point>,
     patterns: Vec<Pattern>,
+    /// Clip core windows of the current tile, collected for the
+    /// anchor-aware subtile table build.
+    windows: Vec<Rect>,
 }
 
 thread_local! {
@@ -1400,6 +1412,10 @@ impl HotspotDetector {
         }
         checkpoint();
         let t0 = Instant::now();
+        // Cleared up front (set again below for surviving Sat tiles) so
+        // tables never leak from one tile into the next on this worker's
+        // scratch.
+        scratch.eval.clear_raster_tables();
         let covered: i64 = tile
             .rects
             .iter()
@@ -1429,6 +1445,7 @@ impl HotspotDetector {
             pieces,
             seen,
             patterns,
+            windows,
         } = scratch;
         split_oversized_into(&tile.rects, shape.core_side(), pieces);
         seen.clear();
@@ -1455,6 +1472,26 @@ impl HotspotDetector {
         }
         checkpoint();
         let t2 = Instant::now();
+        // Under `RasterMode::Sat`, padded subtile summed-area tables over
+        // the tile's dissected rects serve the whole eval loop: every owned
+        // clip's core grid is rasterised from its subtile's table. Built
+        // only for tiles the prefilter kept, after extraction, and only
+        // for the subtiles the extracted clip windows anchor in. Subtiles
+        // over the cell cap (or outside the anchored set) have no table and
+        // their clips silently run the reference path — bit-identical
+        // either way.
+        if config.raster_mode == RasterMode::Sat && !patterns.is_empty() {
+            windows.clear();
+            windows.extend(patterns.iter().map(|p| p.window.core));
+            eval.rebuild_raster_tables(
+                &tile.region,
+                shape.core_side() * RASTER_SUBTILE_CORES,
+                shape.core_side(),
+                &tile.rects,
+                AreaTable::DEFAULT_MAX_CELLS,
+                windows,
+            );
+        }
         let engine = self.eval_engine_with_threshold(threshold);
         eval.reset_counters();
         for pattern in patterns.iter() {

@@ -4,7 +4,7 @@
 use crate::config::DetectorConfig;
 use crate::engine::{Executor, ExecutorStats};
 use crate::pattern::Pattern;
-use hotspot_geom::{DensityGrid, Rect};
+use hotspot_geom::{DensityGrid, RasterMode, Rect};
 use hotspot_svm::{Kernel, PlattScaler, SharedKernelCache, SvmModel, SvmTrainer, TrainError};
 use hotspot_topo::{ClusterParams, CriticalFeatures, DensityClustering, TopoSignature};
 use serde::{Deserialize, Serialize};
@@ -62,6 +62,18 @@ pub fn classify_patterns(
     region: Region,
     params: &ClusterParams,
 ) -> Vec<PatternCluster> {
+    classify_patterns_mode(patterns, region, params, RasterMode::default())
+}
+
+/// [`classify_patterns`] with an explicit [`RasterMode`] for density-grid
+/// construction. Modes are bit-identical for disjoint rects, so the cluster
+/// structure never depends on the choice.
+pub fn classify_patterns_mode(
+    patterns: &[Pattern],
+    region: Region,
+    params: &ClusterParams,
+    mode: RasterMode,
+) -> Vec<PatternCluster> {
     // Level 1: group by canonical string signature.
     let mut groups: HashMap<TopoSignature, Vec<usize>> = HashMap::new();
     for (i, p) in patterns.iter().enumerate() {
@@ -80,7 +92,7 @@ pub fn classify_patterns(
             .map(|&i| normalized_rects(&patterns[i], region))
             .collect();
         let window = normalized_window(&patterns[members[0]], region);
-        let dc = DensityClustering::run(&window, &member_patterns, params);
+        let dc = DensityClustering::run_with_mode(&window, &member_patterns, params, mode);
         for cluster in &dc.clusters {
             let global: Vec<usize> = cluster.members.iter().map(|&m| members[m]).collect();
             let medoid_local = cluster.medoid(&dc.grids);
@@ -187,11 +199,41 @@ impl<'a> FeatureMemo<'a> {
 }
 
 /// Density grid of a pattern region at the configured resolution (used for
-/// routing evaluation clips to kernels).
+/// routing evaluation clips to kernels), rasterised via the configured
+/// [`RasterMode`].
 pub fn density_grid(pattern: &Pattern, region: Region, config: &DetectorConfig) -> DensityGrid {
     let window = normalized_window(pattern, region);
     let rects = normalized_rects(pattern, region);
-    DensityGrid::from_rects(&window, &rects, config.cluster.grid, config.cluster.grid)
+    DensityGrid::from_rects_mode(
+        &window,
+        &rects,
+        config.cluster.grid,
+        config.cluster.grid,
+        config.raster_mode,
+    )
+}
+
+/// Core-region topology signature and density grid of one pattern — the
+/// admission precomputation shared by the scan eval loop and the
+/// classification entry points of the multilayer and double-patterning
+/// detectors. Keeping grid construction behind this one helper (which
+/// routes through [`DensityGrid::from_rects_mode`]) gives raster-mode
+/// selection a single seam.
+pub fn core_signature_and_grid(
+    pattern: &Pattern,
+    config: &DetectorConfig,
+) -> (TopoSignature, DensityGrid) {
+    let window = normalized_window(pattern, Region::Core);
+    let rects = normalized_rects(pattern, Region::Core);
+    let signature = TopoSignature::of(&window, &rects);
+    let grid = DensityGrid::from_rects_mode(
+        &window,
+        &rects,
+        config.cluster.grid,
+        config.cluster.grid,
+        config.raster_mode,
+    );
+    (signature, grid)
 }
 
 /// Result of the iterative `(C, γ)` self-training loop.

@@ -10,7 +10,7 @@
 //! ρ(p_i, p_j) = min_{τ ∈ D8}  Σ_k | d_k(p_i) − d_k(τ(p_j)) |      (1)
 //! ```
 
-use crate::{Coord, Orientation, Rect, D8};
+use crate::{AreaTable, Coord, Orientation, RasterMode, Rect, D8};
 use serde::{Deserialize, Serialize};
 
 /// A pixelated density image of a pattern window.
@@ -39,9 +39,26 @@ pub struct DensityDistance {
     pub orientation: Orientation,
 }
 
+/// The empty `0 × 0` grid — a scratch placeholder for in-place
+/// rasterisation ([`crate::AreaTableGrid::rasterize_into`]).
+impl Default for DensityGrid {
+    fn default() -> Self {
+        DensityGrid {
+            nx: 0,
+            ny: 0,
+            cells: Vec::new(),
+        }
+    }
+}
+
 impl DensityGrid {
     /// Rasterises `rects` (clipped to `window`) into an `nx × ny` grid of
     /// coverage fractions.
+    ///
+    /// Coverage is accumulated as an exact integer area per cell (nm², in
+    /// `i64`) and divided by the cell area exactly once at the end, so the
+    /// result is independent of the order of `rects` — integer addition
+    /// commutes, unlike the f64 fraction sum it replaces.
     ///
     /// # Panics
     ///
@@ -49,7 +66,7 @@ impl DensityGrid {
     pub fn from_rects(window: &Rect, rects: &[Rect], nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
         assert!(!window.is_empty(), "window must be non-empty");
-        let mut covered = vec![0.0f64; nx * ny];
+        let mut covered = vec![0i64; nx * ny];
         let w = window.width();
         let h = window.height();
         for r in rects {
@@ -66,24 +83,84 @@ impl DensityGrid {
             for py in py0..py1 {
                 for px in px0..px1 {
                     let cell = pixel_rect(w, h, nx, ny, px, py);
-                    let ov = cell.overlap_area(&local) as f64;
-                    if ov > 0.0 {
-                        covered[py * nx + px] += ov / cell.area() as f64;
+                    let ov = cell.overlap_area(&local);
+                    if ov > 0 {
+                        // Saturating keeps overlapping pathological inputs
+                        // order-independent: min(true sum, i64::MAX) no
+                        // matter the accumulation order.
+                        let c = &mut covered[py * nx + px];
+                        *c = c.saturating_add(ov);
                     }
                 }
             }
         }
-        // Overlapping input rects may push coverage above 1; clamp.
-        for c in &mut covered {
-            if *c > 1.0 {
-                *c = 1.0;
+        // One f64 division per cell; overlapping input rects may push the
+        // integer sum above the cell area, so clamp first.
+        let cells = covered
+            .iter()
+            .enumerate()
+            .map(|(idx, &cov)| {
+                let cell = pixel_rect(w, h, nx, ny, idx % nx, idx / nx);
+                let area = cell.area();
+                if area == 0 {
+                    0.0
+                } else {
+                    cov.min(area) as f64 / area as f64
+                }
+            })
+            .collect();
+        DensityGrid { nx, ny, cells }
+    }
+
+    /// [`DensityGrid::from_rects`] routed through a [`RasterMode`]: the
+    /// single seam every pipeline grid-construction site goes through.
+    ///
+    /// Under [`RasterMode::Sat`] the rects are clipped to `window`, compiled
+    /// into an [`AreaTable`] (overlaps accumulate multiplicity, exactly as
+    /// the reference sweep does), and rasterised from the table —
+    /// bit-identical to the reference sweep on arbitrary input (see
+    /// [`crate::sat`]). Inputs exceeding
+    /// [`AreaTable::DEFAULT_MAX_CELLS`] compressed cells silently fall
+    /// back to the reference path, so the two modes always agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero or the window is empty.
+    pub fn from_rects_mode(
+        window: &Rect,
+        rects: &[Rect],
+        nx: usize,
+        ny: usize,
+        mode: RasterMode,
+    ) -> Self {
+        match mode {
+            RasterMode::Reference => Self::from_rects(window, rects, nx, ny),
+            RasterMode::Sat => {
+                let clipped: Vec<Rect> = rects
+                    .iter()
+                    .filter_map(|r| r.intersection(window))
+                    .collect();
+                match AreaTable::try_build(&clipped, AreaTable::DEFAULT_MAX_CELLS) {
+                    Some(table) => table.rasterize(window, nx, ny),
+                    None => Self::from_rects(window, rects, nx, ny),
+                }
             }
         }
-        DensityGrid {
-            nx,
-            ny,
-            cells: covered,
+    }
+
+    /// Reshapes the grid to `nx × ny` with all cells zero, reusing the
+    /// backing allocation, and returns the cell buffer (row-major, bottom
+    /// row first) for in-place rasterisation.
+    pub(crate) fn reset_for(&mut self, nx: usize, ny: usize) -> &mut [f64] {
+        self.nx = nx;
+        self.ny = ny;
+        // Contents are not zeroed: the rasterisation kernel writes every
+        // cell.
+        if self.cells.len() != nx * ny {
+            self.cells.clear();
+            self.cells.resize(nx * ny, 0.0);
         }
+        &mut self.cells
     }
 
     /// Builds a grid directly from cell values (row-major, bottom row first).
@@ -133,22 +210,33 @@ impl DensityGrid {
     /// Returns the grid transformed by `orientation` (pixels permuted; no
     /// re-rasterisation error).
     pub fn transform(&self, orientation: Orientation) -> DensityGrid {
+        let mut out = DensityGrid {
+            nx: 0,
+            ny: 0,
+            cells: Vec::new(),
+        };
+        self.transform_into(orientation, &mut out);
+        out
+    }
+
+    /// [`DensityGrid::transform`] into a caller-owned scratch grid, reusing
+    /// its allocation. Lets the eq. (1) 8-orientation loop permute pixels
+    /// without allocating a fresh `Vec` per orientation per comparison.
+    pub fn transform_into(&self, orientation: Orientation, out: &mut DensityGrid) {
         let (tnx, tny) = if orientation.rotation_steps() % 2 == 1 {
             (self.ny, self.nx)
         } else {
             (self.nx, self.ny)
         };
-        let mut cells = vec![0.0; self.cells.len()];
+        out.nx = tnx;
+        out.ny = tny;
+        out.cells.clear();
+        out.cells.resize(self.cells.len(), 0.0);
         for py in 0..self.ny {
             for px in 0..self.nx {
                 let (tx, ty) = transform_pixel(orientation, px, py, self.nx, self.ny);
-                cells[ty * tnx + tx] = self.cells[py * self.nx + px];
+                out.cells[ty * tnx + tx] = self.cells[py * self.nx + px];
             }
-        }
-        DensityGrid {
-            nx: tnx,
-            ny: tny,
-            cells,
         }
     }
 
@@ -178,13 +266,30 @@ impl DensityGrid {
     /// Panics if the grids cannot be aligned in any orientation (dimension
     /// mismatch in every element of D8).
     pub fn distance(&self, other: &DensityGrid) -> DensityDistance {
+        let mut scratch = DensityGrid {
+            nx: 0,
+            ny: 0,
+            cells: Vec::with_capacity(other.cells.len()),
+        };
+        self.distance_with(other, &mut scratch)
+    }
+
+    /// [`DensityGrid::distance`] with a caller-owned scratch grid for the
+    /// orientation loop, so repeated comparisons (clustering, medoid
+    /// selection) allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids cannot be aligned in any orientation (dimension
+    /// mismatch in every element of D8).
+    pub fn distance_with(&self, other: &DensityGrid, scratch: &mut DensityGrid) -> DensityDistance {
         let mut best: Option<DensityDistance> = None;
         for o in D8 {
-            let t = other.transform(o);
-            if (t.nx, t.ny) != (self.nx, self.ny) {
+            other.transform_into(o, scratch);
+            if (scratch.nx, scratch.ny) != (self.nx, self.ny) {
                 continue;
             }
-            let d = self.l1_distance(&t);
+            let d = self.l1_distance(scratch);
             if best.is_none_or(|b| d < b.distance) {
                 best = Some(DensityDistance {
                     distance: d,

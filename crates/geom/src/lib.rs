@@ -10,6 +10,8 @@
 //! - the [`Orientation`] group `D8` (four rotations × two mirrors) used by
 //!   topological classification and the density distance of eq. (1),
 //! - pixelated [`DensityGrid`]s with the orientation-minimised L1 distance,
+//! - exact integer summed-area tables ([`AreaTable`]) over rect soups,
+//!   the shared-per-tile fast path for density rasterisation ([`RasterMode`]),
 //! - corner/touch analysis used by the nontopological features (Fig. 7(e)),
 //! - a uniform-grid [`GridIndex`] for sublinear window queries, shared by
 //!   clip extraction and the tiled layout scanner.
@@ -40,6 +42,7 @@ mod orientation;
 mod point;
 mod polygon;
 mod rect;
+pub mod sat;
 
 pub use corner::{corner_count, touch_point_count, CornerKind, CornerSummary};
 pub use density::{DensityDistance, DensityGrid};
@@ -48,6 +51,7 @@ pub use orientation::{Orientation, D8};
 pub use point::{Coord, Point};
 pub use polygon::{dissect_rects, DissectError, Polygon};
 pub use rect::Rect;
+pub use sat::{AreaTable, AreaTableGrid, RasterMode};
 
 /// Minimum horizontal or vertical distance between the edges of two
 /// disjoint rectangles, `None` if they overlap or touch in both axes.

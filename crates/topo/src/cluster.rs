@@ -13,7 +13,7 @@
 //! centroid is within `R`, recalculating that centroid, and otherwise seeds
 //! a new cluster.
 
-use hotspot_geom::{DensityGrid, Rect};
+use hotspot_geom::{DensityGrid, RasterMode, Rect};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of density-based classification.
@@ -52,15 +52,20 @@ impl Cluster {
     /// to the centroid — the cluster representative the paper selects when
     /// downsampling nonhotspots.
     pub fn medoid(&self, grids: &[DensityGrid]) -> usize {
-        *self
-            .members
-            .iter()
-            .min_by(|&&a, &&b| {
-                let da = self.centroid.distance(&grids[a]).distance;
-                let db = self.centroid.distance(&grids[b]).distance;
-                da.partial_cmp(&db).expect("distances are finite")
-            })
-            .expect("clusters are never empty")
+        // One scratch grid shared across the member loop (eq. (1) would
+        // otherwise allocate eight grids per member).
+        let mut scratch = DensityGrid::from_cells(0, 0, Vec::new());
+        let mut best: Option<(usize, f64)> = None;
+        for &m in &self.members {
+            let d = self
+                .centroid
+                .distance_with(&grids[m], &mut scratch)
+                .distance;
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((m, d));
+            }
+        }
+        best.expect("clusters are never empty").0
     }
 }
 
@@ -80,9 +85,24 @@ impl DensityClustering {
     ///
     /// Returns an empty clustering for no patterns.
     pub fn run(window: &Rect, patterns: &[Vec<Rect>], params: &ClusterParams) -> Self {
+        Self::run_with_mode(window, patterns, params, RasterMode::default())
+    }
+
+    /// [`DensityClustering::run`] with an explicit rasterisation mode for
+    /// grid construction. Both modes yield bit-identical grids for disjoint
+    /// rects, so the clustering itself is mode-independent; the toggle only
+    /// selects the rasterisation cost model.
+    pub fn run_with_mode(
+        window: &Rect,
+        patterns: &[Vec<Rect>],
+        params: &ClusterParams,
+        mode: RasterMode,
+    ) -> Self {
         let grids: Vec<DensityGrid> = patterns
             .iter()
-            .map(|rects| DensityGrid::from_rects(window, rects, params.grid, params.grid))
+            .map(|rects| {
+                DensityGrid::from_rects_mode(window, rects, params.grid, params.grid, mode)
+            })
             .collect();
         Self::run_on_grids(grids, params)
     }
@@ -97,11 +117,14 @@ impl DensityClustering {
             };
         }
 
-        // Eq. (2): R = max(R0, max pairwise distance / K).
+        // Eq. (2): R = max(R0, max pairwise distance / K). One scratch grid
+        // serves every orientation loop in the quadratic pass and the
+        // assignment pass below.
+        let mut scratch = DensityGrid::from_cells(0, 0, Vec::new());
         let mut max_pair = 0.0f64;
         for i in 0..grids.len() {
             for j in (i + 1)..grids.len() {
-                let d = grids[i].distance(&grids[j]).distance;
+                let d = grids[i].distance_with(&grids[j], &mut scratch).distance;
                 if d > max_pair {
                     max_pair = d;
                 }
@@ -114,7 +137,7 @@ impl DensityClustering {
         for (idx, grid) in grids.iter().enumerate() {
             let mut joined = false;
             for cluster in &mut clusters {
-                if cluster.centroid.distance(grid).distance <= radius {
+                if cluster.centroid.distance_with(grid, &mut scratch).distance <= radius {
                     // Recalculate the centroid as the running mean.
                     let n = cluster.members.len();
                     cluster.centroid.fold_mean(grid, n);

@@ -283,17 +283,32 @@ cargo run --release --quiet -p hotspot-cli --bin hotspot -- \
 cmp "$CACHE_DIR/report_cold.json" "$CACHE_DIR/report_verify.json"
 echo "tile-cache smoke OK"
 
-echo "==> scan bench smoke (small suite: warm-rescan schema + speedup gate)"
-# Cold → warm → edited through the tile cache; the binary asserts the
-# warm digest equals the cold one, the CI env adds the cache-free
-# reference for the edited pass, and exits non-zero if the warm speedup
-# dips below the gate.
+echo "==> scan bench smoke (small suite: warm-rescan + raster schema, speedup gates)"
+# Cold → warm → edited through the tile cache, then the rasterisation
+# micro-phase; the binary asserts the warm digest equals the cold one and
+# that every summed-area grid is bit-identical to the reference sweep,
+# the CI env adds the cache-free reference for the edited pass, and exits
+# non-zero if either the warm or the rasterisation speedup dips below its
+# gate.
 HOTSPOT_SCALE=small HOTSPOT_SCAN_MIN_WARM_SPEEDUP=1.0 \
+  HOTSPOT_SCAN_MIN_RASTER_SPEEDUP=1.0 \
   HOTSPOT_SCAN_CHECK_EDITED=1 \
   HOTSPOT_BENCH_OUT=target/BENCH_scan_ci.json \
   cargo run --release --quiet -p hotspot-bench --bin scan
-grep -q '"schema_version": 2' target/BENCH_scan_ci.json
+grep -q '"schema_version": 3' target/BENCH_scan_ci.json
 grep -q '"warm_speedup"' target/BENCH_scan_ci.json
 grep -q '"edited_cache_misses"' target/BENCH_scan_ci.json
+grep -q '"raster_naive_wall_ms"' target/BENCH_scan_ci.json
+grep -q '"raster_sat_wall_ms"' target/BENCH_scan_ci.json
+grep -q '"raster_speedup"' target/BENCH_scan_ci.json
+# The committed medium-suite record must carry the >=2x rasterisation win.
+python3 - BENCH_scan.json <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["schema_version"] == 3, bench["schema_version"]
+assert bench["raster_speedup"] >= 2.0, \
+    f"committed raster_speedup {bench['raster_speedup']:.2f} below 2.0"
+print(f"committed BENCH_scan.json: raster speedup {bench['raster_speedup']:.2f}x")
+EOF
 
 echo "CI OK"
